@@ -1,0 +1,64 @@
+"""Figure 3: box plot of per-query elapsed time across the four settings.
+
+The Section 4.2 experiment: an 840-statement workload (scaled) with
+interleaved updates, run under NoStats / GeneralStats / WorkloadStats /
+JITS. The paper's box plot shows JITS winning overall; our assertions use
+the deterministic modeled plan cost so machine noise cannot flake them,
+and the wall-clock five-number summary is reported alongside.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.workload import (
+    BoxStats,
+    Setting,
+    ascii_box_plot,
+    format_table,
+    summarize_settings,
+)
+
+
+def test_fig3_workload_boxplot(benchmark, setting_reports):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # timing is in the fixture
+    reports = setting_reports
+
+    wall_table = summarize_settings(reports)
+    rows = []
+    for setting, report in reports.items():
+        costs = np.array(report.select_modeled_costs()) / 1000.0
+        box = BoxStats.of(list(costs))
+        rows.append(
+            [
+                setting.value,
+                *(round(v, 1) for v in box.row(unit=1.0)),
+                round(float(costs.mean()), 1),
+                round(float(costs.sum()), 0),
+            ]
+        )
+    cost_table = format_table(
+        ["setting", "min", "q1", "median", "q3", "max", "mean", "total"], rows
+    )
+    plot = ascii_box_plot(
+        [s.value for s in reports],
+        [BoxStats.of(r.select_totals()) for r in reports.values()],
+    )
+    emit(
+        "fig3_workload",
+        "Wall-clock per-query totals (ms):\n" + wall_table
+        + "\n\nModeled plan cost per query (kcost units):\n" + cost_table
+        + "\n\nWall-clock box plot:\n" + plot,
+    )
+
+    total = {s: sum(r.select_modeled_costs()) for s, r in reports.items()}
+    # The paper's ordering on overall workload cost: JITS beats general
+    # statistics and beats no statistics by a wide margin.
+    assert total[Setting.JITS] < total[Setting.GENERAL]
+    assert total[Setting.JITS] < 0.65 * total[Setting.NOSTATS]
+    assert total[Setting.WORKLOAD] < total[Setting.NOSTATS]
+    # "Having general statistics only results in a slight benefit" over
+    # collecting the workload's column groups up front.
+    assert total[Setting.WORKLOAD] <= total[Setting.GENERAL]
+    # Wall-clock numbers are reported above but deliberately not asserted:
+    # they flake under machine load, while the modeled plan cost is
+    # deterministic for a fixed seed.

@@ -1,0 +1,75 @@
+"""Figure 4: per-query scatter, JITS (no prior stats) vs WorkloadStats.
+
+The paper's reading: early queries suffer JITS collection overhead while
+the pre-collected workload statistics are still fresh; as updates
+accumulate, the workload statistics go stale and JITS pulls ahead.
+
+We report the improvement/degradation split (the scatter's two regions)
+for the first and last thirds of the workload, on wall-clock and on the
+deterministic modeled plan cost.
+"""
+
+from conftest import emit
+
+from repro.workload import ScatterSplit, Setting, format_table
+
+
+def window_split(candidate, baseline, lo, hi):
+    return ScatterSplit.of(candidate[lo:hi], baseline[lo:hi])
+
+
+def test_fig4_jits_vs_workload_stats(benchmark, setting_reports):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    jits = setting_reports[Setting.JITS]
+    workload = setting_reports[Setting.WORKLOAD]
+
+    j_wall = [r.total_time for r in jits.select_records()]
+    w_wall = [r.total_time for r in workload.select_records()]
+    j_cost = jits.select_modeled_costs()
+    w_cost = workload.select_modeled_costs()
+    n = len(j_wall)
+    third = n // 3
+
+    rows = []
+    windows = {
+        "early (first 1/3)": (0, third),
+        "late (last 1/3)": (n - third, n),
+        "all": (0, n),
+    }
+    splits = {}
+    for label, (lo, hi) in windows.items():
+        wall = window_split(j_wall, w_wall, lo, hi)
+        cost = window_split(j_cost, w_cost, lo, hi)
+        splits[label] = cost
+        rows.append(
+            [
+                label,
+                wall.improved,
+                wall.degraded,
+                round(wall.total_candidate / max(wall.total_baseline, 1e-9), 3),
+                cost.improved,
+                cost.degraded,
+                round(cost.total_candidate / max(cost.total_baseline, 1e-9), 3),
+            ]
+        )
+    emit(
+        "fig4_vs_workload_stats",
+        format_table(
+            ["window", "wall imp", "wall deg", "wall ratio",
+             "cost imp", "cost deg", "cost ratio"],
+            rows,
+        ),
+    )
+
+    early = splits["early (first 1/3)"]
+    late = splits["late (last 1/3)"]
+    early_ratio = early.total_candidate / max(early.total_baseline, 1e-9)
+    late_ratio = late.total_candidate / max(late.total_baseline, 1e-9)
+    # Staleness trend: JITS gains ground as the data drifts away from the
+    # pre-collected workload statistics.
+    assert late_ratio <= early_ratio * 1.05
+    # Overall the two settings are in the same league (the paper's scatter
+    # hugs the diagonal): within 2x either way on total plan cost.
+    overall = splits["all"]
+    ratio = overall.total_candidate / max(overall.total_baseline, 1e-9)
+    assert 0.5 < ratio < 2.0

@@ -1,0 +1,93 @@
+"""Figure 6: tuning the sensitivity-analysis threshold s_max.
+
+Average compilation and execution time per query for
+s_max in {0, 0.1, 0.5, 0.7, 0.9, 1}:
+
+* s_max = 0 — no sensitivity analysis, all statistics always collected:
+  huge compilation time, no execution benefit over moderate thresholds;
+* rising s_max sheds collection (compilation time falls monotonically);
+* s_max = 1 — no statistics ever collected: compilation is cheapest,
+  execution worst (this is the traditional optimizer).
+"""
+
+import os
+
+from conftest import DATA_SEED, SCALE, emit
+
+from repro.workload import (
+    Setting,
+    WorkloadOptions,
+    build_car_database,
+    format_table,
+    generate_workload,
+    run_setting,
+)
+
+S_MAX_VALUES = (0.0, 0.1, 0.5, 0.7, 0.9, 1.0)
+# The sweep runs the workload six times; trim it a little by default.
+N_SWEEP = int(os.environ.get("REPRO_SWEEP_STATEMENTS", "180"))
+
+
+def test_fig6_smax_sweep(benchmark):
+    _, profile = build_car_database(scale=SCALE, seed=DATA_SEED)
+    workload = generate_workload(
+        profile, WorkloadOptions(n_statements=N_SWEEP, seed=3)
+    )
+
+    def sweep():
+        return {
+            s_max: run_setting(
+                Setting.JITS,
+                workload,
+                scale=SCALE,
+                data_seed=DATA_SEED,
+                s_max=s_max,
+            )
+            for s_max in S_MAX_VALUES
+        }
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for s_max, report in reports.items():
+        cost = sum(report.select_modeled_costs()) / 1000.0
+        rows.append(
+            [
+                s_max,
+                round(report.avg_compile * 1000, 2),
+                round(report.avg_execution * 1000, 2),
+                round(report.avg_total * 1000, 2),
+                round(cost, 0),
+            ]
+        )
+    emit(
+        "fig6_smax_sweep",
+        format_table(
+            ["s_max", "avg compile ms", "avg execute ms", "avg total ms",
+             "total modeled kcost"],
+            rows,
+        ),
+    )
+
+    compile_ms = {s: r.avg_compile for s, r in reports.items()}
+    modeled = {s: sum(r.select_modeled_costs()) for s, r in reports.items()}
+
+    # Compilation time falls as s_max rises (less collection) — checked at
+    # the paper's inflection points with a little slack for wall noise.
+    assert compile_ms[0.0] > compile_ms[0.5] * 1.3
+    assert compile_ms[0.5] >= compile_ms[1.0] * 0.9
+    assert compile_ms[0.0] > compile_ms[1.0] * 2.0
+
+    # Execution quality: collecting (any s_max < 1) beats never collecting.
+    assert modeled[0.5] < modeled[1.0]
+    assert modeled[0.0] < modeled[1.0]
+    # "Increasing s_max from 0 to 0.5 decreases the average compilation
+    # time significantly while the average execution time is not affected"
+    # (plan quality at 0.5 stays within a modest factor of always-collect).
+    assert modeled[0.5] < modeled[0.0] * 1.4
+
+    # The paper's headline: with no sensitivity analysis (s_max = 0) the
+    # system performs worse than traditional (s_max = 1) on *total* time
+    # because of pure overhead. Compare total wall-clock.
+    total = {s: r.avg_total for s, r in reports.items()}
+    assert total[0.0] > total[1.0] * 0.9

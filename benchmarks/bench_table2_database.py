@@ -1,0 +1,40 @@
+"""Table 2: the experiment database (CAR / OWNER / DEMOGRAPHICS / ACCIDENTS).
+
+Regenerates the paper's table of row counts (at the configured scale) and
+benchmarks database construction.
+"""
+
+from conftest import DATA_SEED, SCALE, emit
+
+from repro.workload import PAPER_SIZES, build_car_database, format_table
+
+
+def test_table2_database_sizes(benchmark):
+    db, profile = benchmark.pedantic(
+        build_car_database,
+        kwargs={"scale": SCALE, "seed": DATA_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name in ("car", "owner", "demographics", "accidents"):
+        table = db.table(name)
+        rows.append(
+            [
+                name.upper(),
+                f"{PAPER_SIZES[name]:,}",
+                f"{table.row_count:,}",
+                len(table.schema.columns),
+            ]
+        )
+    emit(
+        "table2_database",
+        format_table(
+            ["Table", "Paper rows", f"Ours (x{SCALE})", "Columns"], rows
+        ),
+    )
+    # Shape: proportions of Table 2 are preserved.
+    ratio_car = db.table("car").row_count / db.table("owner").row_count
+    ratio_acc = db.table("accidents").row_count / db.table("owner").row_count
+    assert abs(ratio_car - 1.430798) < 0.01
+    assert abs(ratio_acc - 4.28998) < 0.01

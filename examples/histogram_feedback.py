@@ -1,0 +1,96 @@
+"""Walkthrough of the paper's Figure 2 and Table 1.
+
+Shows the two core data structures of JITS in isolation:
+
+* the adaptive 2-D histogram and its maximum-entropy updates
+  (Figure 2 a -> b -> c, with the exact numbers from the paper), and
+* the StatHistory that records which statistics estimated what, how often,
+  and with what errorfactor (Table 1).
+
+Run:  python examples/histogram_feedback.py
+"""
+
+import math
+
+from repro.histograms import AdaptiveGridHistogram, Interval, Region
+from repro.jits import StatHistory
+
+INF = math.inf
+
+
+def print_grid(h: AdaptiveGridHistogram, title: str) -> None:
+    print(f"\n{title}")
+    a_bounds = h.boundary_list(0)
+    b_bounds = h.boundary_list(1)
+    print(f"  a boundaries: {[round(x, 1) for x in a_bounds]}")
+    print(f"  b boundaries: {[round(x, 1) for x in b_bounds]}")
+    print("  bucket counts (rows = b high->low, cols = a low->high):")
+    for j in reversed(range(len(b_bounds) - 1)):
+        row = [f"{h.counts[i, j]:6.1f}" for i in range(len(a_bounds) - 1)]
+        b_lo, b_hi = b_bounds[j], b_bounds[j + 1]
+        print(f"    b in [{b_lo:5.1f},{b_hi:5.1f}): " + " ".join(row))
+    print(f"  total mass: {h.total_mass:.1f}")
+
+
+def figure2() -> None:
+    print("=" * 64)
+    print("Figure 2: maximum-entropy histogram updates")
+    print("=" * 64)
+    # (a) one bucket over a in [0,50), b in [0,100); 100 tuples.
+    h = AdaptiveGridHistogram(
+        Region.of(Interval(0, 50), Interval(0, 100)), total=100, now=0
+    )
+    print_grid(h, "(a) initial: one bucket, uniformity assumed everywhere")
+
+    # A query arrives with (a > 20 AND b > 60); sampling finds 20 matching
+    # tuples, and the same sample yields the marginals: a>20 -> 70,
+    # b>60 -> 30.
+    h.observe(Region.of(Interval(20, 50), Interval(60, 100)), 20, total=100, now=1)
+    h.observe(Region.of(Interval(20, 50), Interval(0, 100)), 70, now=1)
+    h.observe(Region.of(Interval(0, 50), Interval(60, 100)), 30, now=1)
+    print_grid(h, "(b) after (a>20 AND b>60)=20, a>20=70, b>60=30")
+    joint = h.estimate_count(Region.of(Interval(20, 50), Interval(60, 100)))
+    print(f"  -> joint region now estimates {joint:.1f} (was 24 under uniformity)")
+
+    # (c) a later query observes a > 40 with 14 tuples; the new boundary
+    # splits buckets under uniformity, then everything recalibrates.
+    h.observe(Region.of(Interval(40, 50), Interval(-INF, INF)), 14, now=2)
+    print_grid(h, "(c) after a>40 = 14 from a second query")
+    got = h.estimate_count(Region.of(Interval(40, 50), Interval(-INF, INF)))
+    print(f"  -> a>40 estimates {got:.1f}; timestamps: \n{h.timestamps.T}")
+
+
+def table1() -> None:
+    print()
+    print("=" * 64)
+    print("Table 1: the statistics-collection history")
+    print("=" * 64)
+    history = StatHistory()
+    history.record("T1", ["a", "b", "c"], [["a", "b"], ["c"]], 0.4)
+    for _ in range(5):
+        history.record("T1", ["a", "b", "c"], [["a", "b"], ["c"]], 0.4)
+    history.record("T1", ["a", "b", "c"], [["a"], ["b", "c"]], 0.5)
+    history.record("T1", ["a", "b", "c"], [["a", "b", "c"]], 1.0)
+    history.record("T1", ["a", "b", "d"], [["a", "b"], ["d"]], 0.75)
+    history.record("T1", ["a", "b", "d"], [["a", "b"], ["d"]], 0.75)
+
+    print(f"{'T':>3} {'colgrp':>12} {'statlist':>24} {'count':>6} {'ef':>6}")
+    for entry in history.all_entries():
+        statlist = " ".join("(" + ",".join(g) + ")" for g in entry.statlist)
+        print(
+            f"{entry.table:>3} {','.join(entry.colgrp):>12} {statlist:>24} "
+            f"{entry.count:>6} {entry.errorfactor:>6.2f}"
+        )
+
+    print("\nAlg. 3 lookup — entries estimating (a,b,c):")
+    for entry in history.entries_for_group("T1", ["a", "b", "c"]):
+        print(f"  via {entry.statlist}: ef={entry.errorfactor:.2f}")
+    print("Alg. 4 lookup — entries *using* the statistic (a,b):")
+    for entry in history.entries_using_stat("T1", ["a", "b"]):
+        print(f"  {entry.colgrp} estimated with it {entry.count}x, "
+              f"ef={entry.errorfactor:.2f}")
+
+
+if __name__ == "__main__":
+    figure2()
+    table1()

@@ -1,0 +1,68 @@
+"""OLAP workload comparison: the paper's Section 4.2 experiment, small.
+
+Runs the same mixed decision-support workload (with interleaved updates)
+under the four settings of Figure 3 — no statistics, general statistics,
+workload statistics, JITS — and prints the five-number summary plus the
+deterministic plan-cost comparison.
+
+Run:  python examples/olap_workload.py   (about a minute)
+Tune: REPRO_SCALE / statement count below.
+"""
+
+import os
+
+from repro.workload import (
+    Setting,
+    WorkloadOptions,
+    build_car_database,
+    generate_workload,
+    run_setting,
+    summarize_settings,
+    ascii_box_plot,
+    BoxStats,
+)
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.02"))
+N_STATEMENTS = int(os.environ.get("REPRO_STATEMENTS", "300"))
+
+
+def main() -> None:
+    _, profile = build_car_database(scale=SCALE, seed=0)
+    workload = generate_workload(
+        profile, WorkloadOptions(n_statements=N_STATEMENTS, seed=3)
+    )
+    print(
+        f"workload: {len(workload)} statements "
+        f"({len(workload.selects())} queries), scale {SCALE}"
+    )
+
+    reports = {}
+    for setting in Setting:
+        print(f"running {setting.value} ...")
+        reports[setting] = run_setting(
+            setting, workload, scale=SCALE, data_seed=0
+        )
+
+    print("\nPer-query wall-clock totals (ms):")
+    print(summarize_settings(reports))
+
+    print("\nDeterministic plan cost (total, lower is better):")
+    for setting, report in reports.items():
+        print(f"  {setting.value:>9}: {report.total_modeled_cost / 1000:10.0f}")
+
+    print("\nBox plot of per-query elapsed time:")
+    print(
+        ascii_box_plot(
+            [s.value for s in reports],
+            [BoxStats.of(r.select_totals()) for r in reports.values()],
+        )
+    )
+
+    jits = reports[Setting.JITS]
+    nostats = reports[Setting.NOSTATS]
+    saving = 1 - jits.total_modeled_cost / nostats.total_modeled_cost
+    print(f"\nJITS plan-cost saving vs no statistics: {saving:.0%}")
+
+
+if __name__ == "__main__":
+    main()

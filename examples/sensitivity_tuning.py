@@ -1,0 +1,65 @@
+"""Tuning the sensitivity threshold s_max (the paper's Figure 6, small).
+
+Sweeps s_max over the paper's values and prints average compilation and
+execution time per query. Expect: compile time collapses as s_max grows
+(fewer collections), execution quality degrades near s_max = 1, and
+s_max = 0 (collect everything, no sensitivity analysis) costs more total
+time than a traditional optimizer — pure overhead without analysis.
+
+Run:  python examples/sensitivity_tuning.py    (about a minute)
+"""
+
+import os
+
+from repro.workload import (
+    Setting,
+    WorkloadOptions,
+    build_car_database,
+    format_table,
+    generate_workload,
+    run_setting,
+)
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.02"))
+N_STATEMENTS = int(os.environ.get("REPRO_STATEMENTS", "200"))
+S_MAX_VALUES = (0.0, 0.1, 0.5, 0.7, 0.9, 1.0)
+
+
+def main() -> None:
+    _, profile = build_car_database(scale=SCALE, seed=0)
+    workload = generate_workload(
+        profile, WorkloadOptions(n_statements=N_STATEMENTS, seed=3)
+    )
+    rows = []
+    for s_max in S_MAX_VALUES:
+        print(f"running s_max = {s_max} ...")
+        report = run_setting(
+            Setting.JITS, workload, scale=SCALE, data_seed=0, s_max=s_max
+        )
+        rows.append(
+            [
+                s_max,
+                round(report.avg_compile * 1000, 2),
+                round(report.avg_execution * 1000, 2),
+                round(report.avg_total * 1000, 2),
+                round(report.total_modeled_cost / 1000, 0),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["s_max", "avg compile ms", "avg execute ms", "avg total ms",
+             "total plan kcost"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: s_max=0 collects everything (max compile time, no "
+        "analysis);\ns_max=1 never collects (the traditional optimizer); "
+        "the sweet spot sits\nin between — the paper recommends ~0.5 for "
+        "single queries, ~0.7 for workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""System catalog: general statistics and the RUNSTATS collection tool."""
+
+from .catalog import SystemCatalog, canonical_group
+from .runstats import (
+    collect_group_statistics,
+    collect_workload_statistics,
+    column_domain,
+    run_runstats,
+)
+from .statistics import (
+    ROWS_PER_PAGE,
+    ColumnGroupStatistics,
+    ColumnStatistics,
+    TableProfile,
+    TableStatistics,
+    top_frequent_values,
+)
+
+__all__ = [
+    "SystemCatalog",
+    "canonical_group",
+    "run_runstats",
+    "collect_group_statistics",
+    "collect_workload_statistics",
+    "column_domain",
+    "TableStatistics",
+    "ColumnStatistics",
+    "ColumnGroupStatistics",
+    "TableProfile",
+    "top_frequent_values",
+    "ROWS_PER_PAGE",
+]

@@ -1,0 +1,100 @@
+"""The system catalog: statistics about tables, columns and column groups.
+
+The catalog never talks to the optimizer directly; the optimizer goes
+through :mod:`repro.optimizer.selectivity`, which layers QSS (when present)
+over catalog statistics over defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import CatalogError
+from .statistics import (
+    ColumnGroupStatistics,
+    ColumnStatistics,
+    TableProfile,
+    TableStatistics,
+)
+
+
+def canonical_group(columns: Iterable[str]) -> Tuple[str, ...]:
+    """Canonical (lower-cased, sorted) key for a column group."""
+    return tuple(sorted(c.lower() for c in columns))
+
+
+class SystemCatalog:
+    """All statistics the engine has persisted."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, TableProfile] = {}
+
+    def _profile(self, table: str) -> TableProfile:
+        return self._profiles.setdefault(table.lower(), TableProfile())
+
+    # ------------------------------------------------------------------
+    # Table statistics
+    # ------------------------------------------------------------------
+    def set_table_stats(self, stats: TableStatistics) -> None:
+        self._profile(stats.table).table_stats = stats
+
+    def table_stats(self, table: str) -> Optional[TableStatistics]:
+        profile = self._profiles.get(table.lower())
+        return profile.table_stats if profile else None
+
+    # ------------------------------------------------------------------
+    # Column statistics
+    # ------------------------------------------------------------------
+    def set_column_stats(self, table: str, stats: ColumnStatistics) -> None:
+        self._profile(table).column_stats[stats.column.lower()] = stats
+
+    def column_stats(self, table: str, column: str) -> Optional[ColumnStatistics]:
+        profile = self._profiles.get(table.lower())
+        if profile is None:
+            return None
+        return profile.column_stats.get(column.lower())
+
+    def columns_with_stats(self, table: str) -> List[str]:
+        profile = self._profiles.get(table.lower())
+        if profile is None:
+            return []
+        return sorted(profile.column_stats)
+
+    # ------------------------------------------------------------------
+    # Column-group statistics (workload stats)
+    # ------------------------------------------------------------------
+    def set_group_stats(self, stats: ColumnGroupStatistics) -> None:
+        key = canonical_group(stats.columns)
+        if len(key) < 2:
+            raise CatalogError(
+                "column-group statistics need at least two columns; "
+                "single columns belong in column statistics"
+            )
+        self._profile(stats.table).group_stats[key] = stats
+
+    def group_stats(
+        self, table: str, columns: Iterable[str]
+    ) -> Optional[ColumnGroupStatistics]:
+        profile = self._profiles.get(table.lower())
+        if profile is None:
+            return None
+        return profile.group_stats.get(canonical_group(columns))
+
+    def groups_with_stats(self, table: str) -> List[Tuple[str, ...]]:
+        profile = self._profiles.get(table.lower())
+        if profile is None:
+            return []
+        return sorted(profile.group_stats)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clear_table(self, table: str) -> None:
+        self._profiles.pop(table.lower(), None)
+
+    def clear(self) -> None:
+        self._profiles.clear()
+
+    def has_any_stats(self, table: str) -> bool:
+        profile = self._profiles.get(table.lower())
+        return profile is not None and profile.table_stats is not None

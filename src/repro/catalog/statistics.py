@@ -1,0 +1,136 @@
+"""Statistics objects stored in the system catalog.
+
+These are the *general statistics* of the paper's Section 1: table
+cardinality, per-column distinct counts, min/max, frequent values and an
+equi-depth histogram. A traditional optimizer combines them under the
+uniformity and independence assumptions; JITS exists because that often
+goes wrong.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..histograms import AdaptiveGridHistogram, EquiDepthHistogram, Interval
+from ..types import DataType
+
+ROWS_PER_PAGE = 100  # fixed page shape for the cost model
+
+
+@dataclass
+class ColumnStatistics:
+    """Distribution statistics for one column (physical value space)."""
+
+    column: str
+    dtype: DataType
+    n_distinct: float
+    min_value: float
+    max_value: float
+    row_count: float
+    frequent_values: List[Tuple[float, float]] = field(default_factory=list)
+    histogram: Optional[EquiDepthHistogram] = None
+    collected_at: int = 0
+
+    @property
+    def frequent_mass(self) -> float:
+        return sum(count for _, count in self.frequent_values)
+
+    def selectivity_eq(self, physical_value: float) -> float:
+        """Selectivity of ``col = value`` at collection time."""
+        if self.row_count <= 0 or self.n_distinct <= 0:
+            return 0.0
+        if physical_value < self.min_value or physical_value > self.max_value:
+            return 0.0
+        for value, count in self.frequent_values:
+            if value == physical_value:
+                return min(1.0, count / self.row_count)
+        remaining_rows = max(0.0, self.row_count - self.frequent_mass)
+        remaining_ndv = max(1.0, self.n_distinct - len(self.frequent_values))
+        return min(1.0, (remaining_rows / remaining_ndv) / self.row_count)
+
+    def selectivity_interval(self, interval: Interval) -> float:
+        """Selectivity of ``col`` in a half-open interval."""
+        if interval.is_empty or self.row_count <= 0:
+            return 0.0
+        if self.histogram is not None:
+            return self.histogram.estimate_selectivity(interval)
+        # No distribution statistics: fall back to uniformity over [min, max].
+        span_high = self.max_value + (1.0 if not self.dtype.is_numeric else 0.0)
+        domain = Interval(self.min_value, max(span_high, self.max_value))
+        if domain.width <= 0:
+            return 1.0 if interval.contains_value(self.min_value) else 0.0
+        clipped = interval.intersect(
+            Interval(domain.low, math.nextafter(domain.high, math.inf))
+        )
+        if clipped.is_empty:
+            return 0.0
+        return min(1.0, clipped.width / max(domain.width, 1e-12))
+
+    def boundary_list(self) -> List[float]:
+        """Boundaries used by the Section 3.3.2 accuracy metric."""
+        if self.histogram is not None:
+            return self.histogram.boundary_list()
+        return [self.min_value, self.max_value]
+
+
+@dataclass
+class TableStatistics:
+    """Basic statistics for one table."""
+
+    table: str
+    cardinality: float
+    collected_at: int = 0
+    udi_snapshot: int = 0
+
+    @property
+    def n_pages(self) -> float:
+        return max(1.0, self.cardinality / ROWS_PER_PAGE)
+
+
+@dataclass
+class ColumnGroupStatistics:
+    """A multi-column distribution statistic (used for *workload stats*).
+
+    In the paper's experiment setting 3, all column groups appearing in the
+    workload get statistics collected up front. We store them as grid
+    histograms built from the full data at collection time — they are
+    general statistics, so they are *not* refreshed as the data changes.
+    """
+
+    table: str
+    columns: Tuple[str, ...]  # canonical (sorted) order
+    histogram: AdaptiveGridHistogram
+    collected_at: int = 0
+
+    def selectivity(self, region) -> float:
+        return self.histogram.estimate_selectivity(region)
+
+
+@dataclass
+class TableProfile:
+    """Everything the catalog knows about one table."""
+
+    table_stats: Optional[TableStatistics] = None
+    column_stats: Dict[str, ColumnStatistics] = field(default_factory=dict)
+    group_stats: Dict[Tuple[str, ...], ColumnGroupStatistics] = field(
+        default_factory=dict
+    )
+
+
+def top_frequent_values(
+    values: np.ndarray, k: int
+) -> List[Tuple[float, float]]:
+    """Top-``k`` most frequent physical values with their counts."""
+    if len(values) == 0 or k <= 0:
+        return []
+    uniques, counts = np.unique(values, return_counts=True)
+    if len(uniques) <= k:
+        order = np.argsort(-counts)
+    else:
+        order = np.argpartition(-counts, k)[:k]
+        order = order[np.argsort(-counts[order])]
+    return [(float(uniques[i]), float(counts[i])) for i in order[:k]]

@@ -1,0 +1,196 @@
+"""Command-line interface: a small SQL shell over the car database.
+
+Usage::
+
+    python -m repro                       # interactive shell, JITS on
+    python -m repro --no-jits             # traditional optimizer
+    python -m repro --scale 0.01          # bigger data
+    python -m repro -e "SELECT COUNT(*) FROM car"   # one-shot
+    python -m repro --explain -e "SELECT ..."       # plan only
+
+Shell commands: ``\\q`` quit, ``\\explain <sql>`` plan without executing,
+``\\stats`` JITS state summary, ``\\tables`` table sizes, ``\\help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import Engine, EngineConfig, ReproError
+from .workload import build_car_database
+
+PROMPT = "repro> "
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JITS reproduction SQL shell (car-insurance database)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.002,
+        help="fraction of the paper's Table 2 row counts (default 0.002)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="data seed")
+    parser.add_argument(
+        "--no-jits", action="store_true", help="disable JITS (traditional)"
+    )
+    parser.add_argument(
+        "--smax", type=float, default=0.5,
+        help="sensitivity threshold s_max (default 0.5)",
+    )
+    parser.add_argument(
+        "-e", "--execute", metavar="SQL", action="append",
+        help="execute one statement and exit (repeatable)",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="with -e: print the plan instead of executing",
+    )
+    return parser
+
+
+def make_engine(args: argparse.Namespace) -> Engine:
+    db, _ = build_car_database(scale=args.scale, seed=args.seed)
+    config = (
+        EngineConfig.traditional()
+        if args.no_jits
+        else EngineConfig.with_jits(s_max=args.smax)
+    )
+    return Engine(db, config)
+
+
+def format_rows(columns: List[str], rows, limit: int = 25) -> str:
+    if not rows:
+        return "(no rows)"
+    shown = rows[:limit]
+    text = [[_cell(v) for v in row] for row in shown]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in text))
+        for i in range(len(columns))
+    ]
+    lines = [
+        " | ".join(c.ljust(w) for c, w in zip(columns, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines += [" | ".join(v.ljust(w) for v, w in zip(r, widths)) for r in text]
+    if len(rows) > limit:
+        lines.append(f"... ({len(rows) - limit} more rows)")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def run_statement(engine: Engine, sql: str, explain: bool, out) -> None:
+    try:
+        if explain:
+            out.write(engine.explain(sql) + "\n")
+            return
+        result = engine.execute(sql)
+        if result.statement_type == "select":
+            out.write(format_rows(result.columns, result.rows) + "\n")
+            out.write(
+                f"{result.row_count} row(s); compile "
+                f"{result.compile_time * 1000:.2f} ms, execute "
+                f"{result.execution_time * 1000:.2f} ms\n"
+            )
+            report = result.jits_report
+            if report is not None and report.tables_collected:
+                out.write(
+                    f"[jits] sampled {', '.join(report.tables_collected)}; "
+                    f"{report.collection.groups_computed} group(s), "
+                    f"{report.collection.groups_materialized} materialized\n"
+                )
+        else:
+            out.write(
+                f"{result.statement_type}: {result.affected_rows} row(s)\n"
+            )
+    except ReproError as exc:
+        out.write(f"error: {exc}\n")
+
+
+def print_stats(engine: Engine, out) -> None:
+    jits = engine.jits
+    out.write(
+        f"jits enabled={jits.config.enabled} s_max={jits.config.s_max}\n"
+        f"collections={jits.total_collections} "
+        f"archive={len(jits.archive)} histogram(s), "
+        f"{jits.archive.total_cells} cell(s)\n"
+        f"history={len(jits.history)} entry(ies), "
+        f"residual stats={len(jits.residual_store)}\n"
+        f"migrations={jits.total_migrations}\n"
+    )
+
+
+def print_tables(engine: Engine, out) -> None:
+    for table in engine.database.tables():
+        columns = ", ".join(
+            f"{c.name}:{c.dtype.value}" for c in table.schema.columns
+        )
+        out.write(f"{table.name} ({table.row_count} rows): {columns}\n")
+
+
+def repl(engine: Engine, stdin, out) -> None:
+    out.write(
+        "repro SQL shell — \\help for commands, \\q to quit.\n"
+    )
+    buffer: List[str] = []
+    while True:
+        out.write(PROMPT if not buffer else "  ...> ")
+        out.flush()
+        line = stdin.readline()
+        if not line:
+            break
+        line = line.strip()
+        if not buffer and line.startswith("\\"):
+            command, _, rest = line.partition(" ")
+            if command in ("\\q", "\\quit"):
+                break
+            if command == "\\help":
+                out.write(
+                    "\\q quit | \\explain <sql> | \\stats | \\tables | "
+                    "end statements with ';'\n"
+                )
+            elif command == "\\stats":
+                print_stats(engine, out)
+            elif command == "\\tables":
+                print_tables(engine, out)
+            elif command == "\\explain":
+                run_statement(engine, rest.rstrip(";"), explain=True, out=out)
+            else:
+                out.write(f"unknown command {command}\n")
+            continue
+        if line:
+            buffer.append(line)
+        if line.endswith(";"):
+            sql = " ".join(buffer).rstrip(";")
+            buffer = []
+            if sql.strip():
+                run_statement(engine, sql, explain=False, out=out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+    out.write(f"building car database (scale={args.scale}) ...\n")
+    engine = make_engine(args)
+    sizes = ", ".join(
+        f"{t.name}={t.row_count}" for t in engine.database.tables()
+    )
+    out.write(f"ready: {sizes}\n")
+    if args.execute:
+        for sql in args.execute:
+            run_statement(engine, sql, explain=args.explain, out=out)
+        return 0
+    repl(engine, sys.stdin, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Engine facade: configuration, results and the execute() pipeline."""
+
+from .config import EngineConfig, StatsMode
+from .engine import Engine
+from .result import PHASE_COMPILE, PHASE_EXECUTE, PHASE_FETCH, QueryResult
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "StatsMode",
+    "QueryResult",
+    "PHASE_COMPILE",
+    "PHASE_EXECUTE",
+    "PHASE_FETCH",
+]

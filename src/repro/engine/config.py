@@ -1,0 +1,53 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..jits import JITSConfig
+from ..rng import DEFAULT_SEED
+
+
+class StatsMode(enum.Enum):
+    """Initial-statistics settings used in the paper's experiments."""
+
+    NONE = "none"  # no statistics at all (Section 4.2 setting 1)
+    GENERAL = "general"  # RUNSTATS basic + distribution (setting 2)
+    WORKLOAD = "workload"  # general + all workload column groups (setting 3)
+
+
+@dataclass
+class EngineConfig:
+    """All engine knobs in one place."""
+
+    jits: JITSConfig = field(default_factory=lambda: JITSConfig(enabled=False))
+    seed: int = DEFAULT_SEED
+    # A constant per-query fetch overhead, mimicking the paper's note that
+    # "total time ... also includes the fetch time, which is the same in
+    # all cases". Wall-clock decode time is added on top.
+    fetch_overhead: float = 0.0
+
+    @staticmethod
+    def traditional() -> "EngineConfig":
+        """A classic optimizer: no JITS."""
+        return EngineConfig(jits=JITSConfig(enabled=False))
+
+    @staticmethod
+    def with_jits(
+        s_max: float = 0.5,
+        sample_size: int = 2000,
+        always_collect: bool = False,
+        materialize_enabled: bool = True,
+        migration_interval: int = 50,
+    ) -> "EngineConfig":
+        return EngineConfig(
+            jits=JITSConfig(
+                enabled=True,
+                s_max=s_max,
+                sample_size=sample_size,
+                always_collect=always_collect,
+                materialize_enabled=materialize_enabled,
+                migration_interval=migration_interval,
+            )
+        )

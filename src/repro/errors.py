@@ -1,0 +1,43 @@
+"""Exception hierarchy for the engine.
+
+All engine errors derive from :class:`ReproError` so callers can catch one
+base class; the leaf classes mirror the classic DBMS error families.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(ReproError):
+    """Unknown table/column, duplicate definition, or schema mismatch."""
+
+
+class BindingError(ReproError):
+    """A query references a column or table that cannot be resolved."""
+
+
+class StorageError(ReproError):
+    """Invalid physical operation on a table (bad row shape, bad type...)."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce a plan for the query."""
+
+
+class ExecutionError(ReproError):
+    """A plan failed while executing."""
+
+
+class StatisticsError(ReproError):
+    """Invalid statistics operation (bad histogram, bad constraint...)."""

@@ -1,0 +1,85 @@
+"""Vectorized equi-join index matching.
+
+Integer keys (row ids, dictionary codes — every join key in this engine)
+with a compact value range take a dense O(n) counting path; anything else
+falls back to sort + binary search.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+_EMPTY = np.empty(0, dtype=np.int64)
+# Dense path allowed while the key span stays within this factor of the
+# build size (memory for the counting arrays stays proportional).
+_DENSE_SPAN_FACTOR = 8
+_DENSE_SPAN_MIN = 1 << 16
+
+
+def equi_join_indices(
+    left: np.ndarray, right: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All (i, j) with ``left[i] == right[j]`` as two index arrays."""
+    left = np.asarray(left)
+    right = np.asarray(right)
+    if len(left) == 0 or len(right) == 0:
+        return _EMPTY, _EMPTY
+    if (
+        np.issubdtype(left.dtype, np.integer)
+        and np.issubdtype(right.dtype, np.integer)
+    ):
+        rmin = int(right.min())
+        rmax = int(right.max())
+        span = rmax - rmin + 1
+        if span <= max(_DENSE_SPAN_FACTOR * len(right), _DENSE_SPAN_MIN):
+            return _dense_join(left, right, rmin, span)
+    return _sorted_join(left, right)
+
+
+def _dense_join(
+    left: np.ndarray, right: np.ndarray, rmin: int, span: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Counting-sort join: O(n + m + span + output)."""
+    rkeys = right.astype(np.int64) - rmin
+    counts = np.bincount(rkeys, minlength=span)
+    starts = np.zeros(span + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    # Positions of right rows grouped by key, in row order within a key.
+    order = np.argsort(rkeys, kind="stable")
+
+    lkeys = left.astype(np.int64) - rmin
+    valid = (lkeys >= 0) & (lkeys < span)
+    lkeys_valid = lkeys[valid]
+    left_rows = np.flatnonzero(valid).astype(np.int64)
+    match_counts = counts[lkeys_valid]
+    total = int(match_counts.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY
+    left_idx = np.repeat(left_rows, match_counts)
+    run_starts = np.cumsum(match_counts) - match_counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        run_starts, match_counts
+    )
+    right_sorted_pos = np.repeat(starts[lkeys_valid], match_counts) + within
+    return left_idx, order[right_sorted_pos]
+
+
+def _sorted_join(
+    left: np.ndarray, right: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort + binary-search join (general keys, duplicate-safe)."""
+    order = np.argsort(right, kind="stable")
+    sorted_right = right[order]
+    lo = np.searchsorted(sorted_right, left, side="left")
+    hi = np.searchsorted(sorted_right, left, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY
+    left_idx = np.repeat(np.arange(len(left), dtype=np.int64), counts)
+    run_starts = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(run_starts, counts)
+    right_sorted_pos = np.repeat(lo, counts) + within
+    return left_idx, order[right_sorted_pos]

@@ -1,0 +1,42 @@
+"""Histogram structures: catalog equi-depth and adaptive max-entropy grids."""
+
+from .accuracy import boundary_accuracy, interval_accuracy, region_accuracy
+from .equidepth import DEFAULT_BUCKETS, EquiDepthHistogram
+from .grid import (
+    DEFAULT_MAX_BOUNDARIES,
+    DEFAULT_MAX_CONSTRAINTS,
+    AdaptiveGridHistogram,
+    GridConstraint,
+    domain_for_values,
+)
+from .intervals import FULL, INF, Interval, Region, hull
+from .maxent import (
+    CellConstraint,
+    iterative_scaling,
+    make_constraints,
+    max_abs_violation,
+    uniformity_deviation,
+)
+
+__all__ = [
+    "Interval",
+    "Region",
+    "FULL",
+    "INF",
+    "hull",
+    "EquiDepthHistogram",
+    "DEFAULT_BUCKETS",
+    "AdaptiveGridHistogram",
+    "GridConstraint",
+    "domain_for_values",
+    "DEFAULT_MAX_BOUNDARIES",
+    "DEFAULT_MAX_CONSTRAINTS",
+    "CellConstraint",
+    "iterative_scaling",
+    "make_constraints",
+    "max_abs_violation",
+    "uniformity_deviation",
+    "boundary_accuracy",
+    "interval_accuracy",
+    "region_accuracy",
+]

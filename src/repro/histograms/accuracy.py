@@ -1,0 +1,76 @@
+"""Histogram accuracy metric of paper Section 3.3.2.
+
+Given a histogram's bucket boundaries and a predicate constant ``value``,
+the paper scores how accurately the histogram can estimate selectivities
+around that constant:
+
+1. locate the bucket ``B_j = [b_{j-1}, b_j)`` containing ``value``;
+2. ``d1 = value - b_{j-1}``, ``d2 = b_j - value``;
+3. ``u = (min(d1, d2) / max(d1, d2)) * (b_j - b_{j-1}) / (b_n - b_0)``;
+4. ``accuracy = 1 - u``.
+
+A constant sitting exactly on a boundary scores 1 (the histogram answers it
+exactly); a constant in the middle of a wide bucket scores lowest. For
+multi-dimensional histograms the overall accuracy is the product over the
+dimensions; for a region with two finite endpoints on one dimension we take
+the product of the endpoint accuracies (the paper defines the one-constant
+case only — see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .intervals import Interval, Region
+
+
+def boundary_accuracy(boundaries: Sequence[float], value: float) -> float:
+    """Paper's single-dimension accuracy of a histogram at ``value``."""
+    n = len(boundaries)
+    if n < 2:
+        return 0.0
+    b0 = boundaries[0]
+    bn = boundaries[-1]
+    span = bn - b0
+    if span <= 0:
+        return 0.0
+    value = min(max(value, b0), bn)
+    # Find j with b_{j-1} <= value <= b_j.
+    j = 1
+    while j < n - 1 and boundaries[j] < value:
+        j += 1
+    lo = boundaries[j - 1]
+    hi = boundaries[j]
+    d1 = value - lo
+    d2 = hi - value
+    if d1 == 0.0 or d2 == 0.0:
+        return 1.0
+    u = (min(d1, d2) / max(d1, d2)) * ((hi - lo) / span)
+    return max(0.0, 1.0 - u)
+
+
+def interval_accuracy(boundaries: Sequence[float], interval: Interval) -> float:
+    """Accuracy of estimating an interval: product over finite endpoints.
+
+    An unbounded side contributes no error (the histogram edge answers it
+    exactly), matching the paper's treatment of single-constant predicates.
+    """
+    acc = 1.0
+    if not math.isinf(interval.low):
+        acc *= boundary_accuracy(boundaries, interval.low)
+    if not math.isinf(interval.high):
+        acc *= boundary_accuracy(boundaries, interval.high)
+    return acc
+
+
+def region_accuracy(
+    boundaries_per_dim: Sequence[Sequence[float]], region: Region
+) -> float:
+    """Multi-dimensional accuracy: product of per-dimension accuracies."""
+    if len(boundaries_per_dim) != region.ndim:
+        raise ValueError("dimension mismatch between boundaries and region")
+    acc = 1.0
+    for boundaries, interval in zip(boundaries_per_dim, region.intervals):
+        acc *= interval_accuracy(boundaries, interval)
+    return acc

@@ -1,0 +1,482 @@
+"""Adaptive multi-dimensional grid histograms (the QSS archive structure).
+
+This is the data structure of paper Section 3.4 / Figure 2:
+
+* Each newly observed predicate region inserts bucket boundaries along the
+  affected dimensions; existing bucket mass is split under the uniformity
+  assumption.
+* The observed count becomes a *constraint*; all retained constraints are
+  re-satisfied by iterative proportional fitting, i.e. the bucket counts
+  move to the maximum-entropy distribution consistent with everything the
+  system has learned.
+* Every bucket carries a timestamp (a logical clock supplied by callers) so
+  the sensitivity analysis can judge recentness.
+* Per-dimension boundary counts are capped; the least informative interior
+  boundary is merged away when the cap is exceeded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import StatisticsError
+from .intervals import Interval, Region
+from .maxent import (
+    CellConstraint,
+    iterative_scaling,
+    uniformity_deviation,
+)
+
+DEFAULT_MAX_BOUNDARIES = 32
+DEFAULT_MAX_CONSTRAINTS = 24
+_ALIGN_TOL = 1e-9
+
+
+@dataclass
+class GridConstraint:
+    """An observed fact: ``count(region) == target`` as of ``timestamp``."""
+
+    region: Region
+    target: float
+    sequence: int
+    timestamp: int
+
+
+class AdaptiveGridHistogram:
+    """An n-dimensional bucket grid maintained under maximum entropy."""
+
+    def __init__(
+        self,
+        domain: Region,
+        total: float,
+        now: int = 0,
+        max_boundaries_per_dim: int = DEFAULT_MAX_BOUNDARIES,
+        max_constraints: int = DEFAULT_MAX_CONSTRAINTS,
+        calibrate: bool = True,
+    ):
+        if domain.ndim == 0:
+            raise StatisticsError("histogram needs at least one dimension")
+        for iv in domain.intervals:
+            if math.isinf(iv.low) or math.isinf(iv.high) or iv.is_empty:
+                raise StatisticsError(
+                    f"histogram domain must be bounded and non-empty, got {iv}"
+                )
+        if total < 0:
+            raise StatisticsError("total must be non-negative")
+        self.ndim = domain.ndim
+        self.boundaries: List[np.ndarray] = [
+            np.array([iv.low, iv.high], dtype=np.float64)
+            for iv in domain.intervals
+        ]
+        self.counts = np.full([1] * self.ndim, float(total))
+        self.timestamps = np.full([1] * self.ndim, int(now), dtype=np.int64)
+        self.constraints: List[GridConstraint] = []
+        self.max_boundaries_per_dim = max_boundaries_per_dim
+        self.max_constraints = max_constraints
+        # Ablation knob: with calibrate=False the histogram only splits
+        # buckets under uniformity and rescales the single newest
+        # constraint — no maximum-entropy reconciliation of older facts.
+        self.calibrate = calibrate
+        self.created_at = now
+        self.last_used = now
+        self._sequence = 0
+
+    @classmethod
+    def from_data(
+        cls,
+        columns: Sequence[np.ndarray],
+        domain: Region,
+        bins_per_dim: int = 8,
+        now: int = 0,
+        max_boundaries_per_dim: int = DEFAULT_MAX_BOUNDARIES,
+        max_constraints: int = DEFAULT_MAX_CONSTRAINTS,
+        integral_dims: Optional[Sequence[bool]] = None,
+    ) -> "AdaptiveGridHistogram":
+        """Build a grid with exact counts from full column data.
+
+        Per-dimension boundaries are equi-depth quantiles (so dense areas
+        get resolution), counts are exact. ``integral_dims`` marks
+        dimensions holding INT values / dictionary codes: their boundaries
+        snap to integer edges so point queries on discrete values resolve
+        exactly. Used for the catalog's column-group ("workload")
+        statistics.
+        """
+        if not columns:
+            raise StatisticsError("from_data needs at least one column")
+        n = len(columns[0])
+        hist = cls(
+            domain,
+            total=float(n),
+            now=now,
+            max_boundaries_per_dim=max_boundaries_per_dim,
+            max_constraints=max_constraints,
+        )
+        if integral_dims is None:
+            integral_dims = [False] * len(columns)
+        edges = []
+        for d, data in enumerate(columns):
+            data = np.asarray(data, dtype=np.float64)
+            if len(data) != n:
+                raise StatisticsError("column length mismatch")
+            dom = domain.intervals[d]
+            if len(data) == 0:
+                edge = np.array([dom.low, dom.high])
+            else:
+                qs = np.linspace(0.0, 1.0, bins_per_dim + 1)
+                edge = np.quantile(data, qs)
+                if integral_dims[d]:
+                    edge = np.floor(edge)
+                edge = np.unique(edge)
+                edge[0] = min(edge[0], dom.low)
+                edge = edge[edge < dom.high]
+                edge = np.append(edge, dom.high)
+                edge = np.unique(edge)
+                if len(edge) < 2:
+                    edge = np.array([dom.low, dom.high])
+            edges.append(edge)
+        if n > 0:
+            sample = np.stack(
+                [np.asarray(c, dtype=np.float64) for c in columns], axis=1
+            )
+            counts, _ = np.histogramdd(sample, bins=edges)
+        else:
+            counts = np.zeros([len(e) - 1 for e in edges])
+        hist.boundaries = [np.asarray(e, dtype=np.float64) for e in edges]
+        hist.counts = counts.astype(np.float64)
+        hist.timestamps = np.full(counts.shape, int(now), dtype=np.int64)
+        return hist
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def domain(self) -> Region:
+        return Region(
+            tuple(
+                Interval(float(b[0]), float(b[-1])) for b in self.boundaries
+            )
+        )
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def total_mass(self) -> float:
+        return float(self.counts.sum())
+
+    def cell_widths(self, dim: int) -> np.ndarray:
+        return np.diff(self.boundaries[dim])
+
+    def cell_volumes(self) -> np.ndarray:
+        volume = np.ones([1] * self.ndim)
+        for d in range(self.ndim):
+            shape = [1] * self.ndim
+            shape[d] = -1
+            volume = volume * self.cell_widths(d).reshape(shape)
+        return volume
+
+    def uniformity(self) -> float:
+        """0 == indistinguishable from the uniform assumption."""
+        return uniformity_deviation(self.counts.ravel(), self.cell_volumes().ravel())
+
+    def boundary_list(self, dim: int) -> List[float]:
+        return [float(b) for b in self.boundaries[dim]]
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def _overlap_fractions(self, dim: int, interval: Interval) -> np.ndarray:
+        b = self.boundaries[dim]
+        lows = b[:-1]
+        highs = b[1:]
+        lo = np.maximum(lows, interval.low)
+        hi = np.minimum(highs, interval.high)
+        width = np.maximum(highs - lows, _ALIGN_TOL)
+        frac = np.clip((hi - lo) / width, 0.0, 1.0)
+        frac[hi <= lo] = 0.0
+        return frac
+
+    def estimate_count(self, region: Region) -> float:
+        """Estimated rows in ``region`` (uniform interpolation per cell)."""
+        self._check_ndim(region)
+        if region.is_empty:
+            return 0.0
+        weighted = self.counts
+        for d in range(self.ndim):
+            frac = self._overlap_fractions(d, region.intervals[d])
+            shape = [1] * self.ndim
+            shape[d] = -1
+            weighted = weighted * frac.reshape(shape)
+        return float(weighted.sum())
+
+    def estimate_selectivity(self, region: Region) -> float:
+        total = self.total_mass
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.estimate_count(region) / total)
+
+    # ------------------------------------------------------------------
+    # Updates (Section 3.4)
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        region: Region,
+        count: float,
+        total: Optional[float] = None,
+        now: int = 0,
+    ) -> None:
+        """Fold in an observed fact ``count(region) == count``.
+
+        ``total`` (when given) is the table cardinality at observation time
+        and becomes/refreshes the whole-domain constraint. Boundaries are
+        inserted for every finite region endpoint, old mass is split
+        uniformly, then iterative scaling recalibrates all retained
+        constraints.
+        """
+        self._check_ndim(region)
+        if count < 0:
+            raise StatisticsError("observed count must be non-negative")
+        self._extend_domain(region)
+        clipped = region.intersect(self.domain)
+        if clipped.is_empty:
+            return
+        for d in range(self.ndim):
+            iv = clipped.intervals[d]
+            self._insert_boundary(d, iv.low)
+            self._insert_boundary(d, iv.high)
+
+        if total is not None:
+            # Replace any previous whole-domain constraint: cardinality
+            # changes over time and only the latest observation is truth.
+            self.constraints = [
+                c
+                for c in self.constraints
+                if not c.region.contains(self.domain)
+            ]
+            self._sequence += 1
+            self.constraints.append(
+                GridConstraint(
+                    region=self.domain,
+                    target=float(total),
+                    sequence=self._sequence,
+                    timestamp=now,
+                )
+            )
+        self._sequence += 1
+        # A re-observation of the same region supersedes the old fact.
+        self.constraints = [
+            c for c in self.constraints if c.region != clipped
+        ]
+        self.constraints.append(
+            GridConstraint(
+                region=clipped,
+                target=float(count),
+                sequence=self._sequence,
+                timestamp=now,
+            )
+        )
+        self._retire_constraints()
+        self._calibrate()
+        self._stamp(clipped, now)
+        self._merge_to_budget()
+        self.last_used = max(self.last_used, now)
+
+    def touch(self, now: int) -> None:
+        """Record optimizer use (drives the archive's LRU eviction)."""
+        self.last_used = max(self.last_used, now)
+
+    def freshness(self, region: Region) -> int:
+        """Oldest timestamp among cells overlapping ``region``."""
+        mask = self._region_mask(region, partial=True)
+        if not mask.any():
+            return int(self.timestamps.min())
+        return int(self.timestamps[mask].min())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_ndim(self, region: Region) -> None:
+        if region.ndim != self.ndim:
+            raise StatisticsError(
+                f"region has {region.ndim} dims, histogram has {self.ndim}"
+            )
+
+    def _extend_domain(self, region: Region) -> None:
+        """Stretch edge cells so finite region endpoints fall inside."""
+        for d in range(self.ndim):
+            iv = region.intervals[d]
+            b = self.boundaries[d]
+            if not math.isinf(iv.low) and iv.low < b[0]:
+                b[0] = iv.low
+            if not math.isinf(iv.high) and iv.high > b[-1]:
+                b[-1] = iv.high
+
+    def _insert_boundary(self, dim: int, value: float) -> None:
+        if math.isinf(value):
+            return
+        b = self.boundaries[dim]
+        pos = int(np.searchsorted(b, value))
+        if pos < len(b) and abs(b[pos] - value) <= _ALIGN_TOL:
+            return
+        if pos == 0 or pos == len(b):
+            return  # outside domain; _extend_domain handles growth
+        cell = pos - 1
+        width = b[pos] - b[cell]
+        fraction = (value - b[cell]) / width
+        self.boundaries[dim] = np.insert(b, pos, value)
+        slab_counts = np.take(self.counts, cell, axis=dim)
+        slab_stamps = np.take(self.timestamps, cell, axis=dim)
+        self.counts = np.insert(self.counts, cell, slab_counts, axis=dim)
+        self.timestamps = np.insert(self.timestamps, cell, slab_stamps, axis=dim)
+        left = self._axis_slice(dim, cell)
+        right = self._axis_slice(dim, cell + 1)
+        self.counts[left] *= fraction
+        self.counts[right] *= 1.0 - fraction
+
+    def _axis_slice(self, dim: int, index: int) -> Tuple:
+        idx: List = [slice(None)] * self.ndim
+        idx[dim] = index
+        return tuple(idx)
+
+    def _region_cell_range(self, dim: int, interval: Interval) -> Tuple[int, int]:
+        """Cell index range [i0, i1) covered by an aligned interval."""
+        b = self.boundaries[dim]
+        if math.isinf(interval.low):
+            i0 = 0
+        else:
+            i0 = int(np.searchsorted(b, interval.low - _ALIGN_TOL, side="left"))
+        if math.isinf(interval.high):
+            i1 = len(b) - 1
+        else:
+            i1 = int(np.searchsorted(b, interval.high - _ALIGN_TOL, side="left"))
+        return i0, i1
+
+    def _is_aligned(self, region: Region) -> bool:
+        for d in range(self.ndim):
+            iv = region.intervals[d]
+            b = self.boundaries[d]
+            for bound in (iv.low, iv.high):
+                if math.isinf(bound):
+                    continue
+                pos = int(np.searchsorted(b, bound))
+                near = [b[i] for i in (pos - 1, pos, pos + 1) if 0 <= i < len(b)]
+                if not any(abs(x - bound) <= _ALIGN_TOL for x in near):
+                    return False
+        return True
+
+    def _region_mask(self, region: Region, partial: bool = False) -> np.ndarray:
+        """Boolean cell mask for a region (aligned; ``partial`` = overlap)."""
+        mask = np.zeros(self.counts.shape, dtype=bool)
+        slices = []
+        for d in range(self.ndim):
+            iv = region.intervals[d].intersect(self.domain.intervals[d])
+            if iv.is_empty:
+                return mask
+            if partial:
+                frac = self._overlap_fractions(d, iv)
+                covered = np.flatnonzero(frac > 0)
+                if len(covered) == 0:
+                    return mask
+                slices.append(slice(int(covered[0]), int(covered[-1]) + 1))
+            else:
+                i0, i1 = self._region_cell_range(d, iv)
+                if i1 <= i0:
+                    return mask
+                slices.append(slice(i0, i1))
+        mask[tuple(slices)] = True
+        return mask
+
+    def _calibrate(self) -> None:
+        constraints = (
+            self.constraints
+            if self.calibrate
+            else self.constraints[-1:]  # naive mode: newest fact only
+        )
+        cell_constraints = []
+        for c in constraints:
+            if not self._is_aligned(c.region):
+                continue
+            mask = self._region_mask(c.region)
+            cells = np.flatnonzero(mask.ravel())
+            if len(cells) == 0:
+                continue
+            cell_constraints.append(
+                CellConstraint(cells=cells, target=c.target, sequence=c.sequence)
+            )
+        if not cell_constraints:
+            return
+        flat, _ = iterative_scaling(self.counts.ravel(), cell_constraints)
+        self.counts = flat.reshape(self.counts.shape)
+
+    def _retire_constraints(self) -> None:
+        if len(self.constraints) <= self.max_constraints:
+            return
+        # Keep the whole-domain (cardinality) constraint plus the most
+        # recent observations.
+        domain = self.domain
+        keepers = [c for c in self.constraints if c.region.contains(domain)]
+        others = [c for c in self.constraints if not c.region.contains(domain)]
+        others.sort(key=lambda c: c.sequence)
+        budget = self.max_constraints - len(keepers)
+        self.constraints = sorted(
+            keepers + others[-budget:], key=lambda c: c.sequence
+        )
+
+    def _stamp(self, region: Region, now: int) -> None:
+        mask = self._region_mask(region, partial=True)
+        self.timestamps[mask] = now
+
+    def _merge_to_budget(self) -> None:
+        for d in range(self.ndim):
+            while len(self.boundaries[d]) - 1 > self.max_boundaries_per_dim:
+                self._merge_one(d)
+
+    def _merge_one(self, dim: int) -> None:
+        b = self.boundaries[dim]
+        if len(b) <= 2:
+            return
+        axes = tuple(a for a in range(self.ndim) if a != dim)
+        masses = self.counts.sum(axis=axes) if axes else self.counts
+        widths = np.diff(b)
+        density = masses / np.maximum(widths, _ALIGN_TOL)
+        # Score each interior boundary by how different the densities of the
+        # two cells it separates are; merge the most similar pair.
+        diffs = np.abs(np.diff(density)) / (density[:-1] + density[1:] + 1e-12)
+        j = int(np.argmin(diffs)) + 1  # boundary index to remove
+        cell = j - 1
+        merged_counts = np.take(self.counts, cell, axis=dim) + np.take(
+            self.counts, cell + 1, axis=dim
+        )
+        merged_stamps = np.maximum(
+            np.take(self.timestamps, cell, axis=dim),
+            np.take(self.timestamps, cell + 1, axis=dim),
+        )
+        self.counts = np.delete(self.counts, cell + 1, axis=dim)
+        self.timestamps = np.delete(self.timestamps, cell + 1, axis=dim)
+        self.counts[self._axis_slice(dim, cell)] = merged_counts
+        self.timestamps[self._axis_slice(dim, cell)] = merged_stamps
+        self.boundaries[dim] = np.delete(b, j)
+        # Constraints that referenced the removed boundary no longer align
+        # with the grid; drop them rather than approximate.
+        self.constraints = [
+            c for c in self.constraints if self._is_aligned(c.region)
+        ]
+
+
+def domain_for_values(
+    low: float, high: float, integral: bool
+) -> Interval:
+    """Bucket domain covering observed data values [low, high].
+
+    Integral (INT / dictionary-code) columns get ``[low, high + 1)`` so the
+    half-open convention covers the max value exactly; float columns get a
+    hair past the max.
+    """
+    if integral:
+        return Interval(float(low), float(high) + 1.0)
+    return Interval(float(low), float(np.nextafter(high, np.inf)))

@@ -1,0 +1,140 @@
+"""Maximum-entropy calibration by iterative proportional fitting (IPF).
+
+Section 3.4 of the paper updates QSS histograms so the bucket counts
+"satisfy the knowledge gained by the new statistics without assuming any
+further knowledge of the data". With axis-aligned constraints over a grid of
+buckets, the maximum-entropy distribution subject to linear count
+constraints is exactly what iterative proportional fitting converges to
+(this is the ISOMER [13] construction the paper extends).
+
+Constraints may be mutually inconsistent when observations were taken at
+different times against changing data; the solver then oscillates inside a
+bounded band. We iterate oldest-to-newest so the most recent observation
+gets the last word of every sweep, and stop after ``max_iterations``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import StatisticsError
+
+EPSILON_MASS = 1e-9
+
+
+@dataclass
+class CellConstraint:
+    """``counts[cells].sum()`` should equal ``target``."""
+
+    cells: np.ndarray  # flat cell indices
+    target: float
+    sequence: int = 0  # insertion order; newer constraints applied last
+
+    def __post_init__(self) -> None:
+        if self.target < 0:
+            raise StatisticsError("constraint target must be non-negative")
+
+
+def iterative_scaling(
+    counts: np.ndarray,
+    constraints: Sequence[CellConstraint],
+    max_iterations: int = 16,
+    tolerance: float = 4e-3,
+) -> Tuple[np.ndarray, bool]:
+    """Scale ``counts`` multiplicatively until all constraints hold.
+
+    Returns ``(new_counts, converged)``. ``counts`` is not modified.
+
+    Cells inside a positive-target constraint that currently carry zero
+    mass are seeded with :data:`EPSILON_MASS` — multiplicative scaling can
+    never create mass out of nothing otherwise.
+    """
+    result = np.asarray(counts, dtype=np.float64).copy()
+    if result.ndim != 1:
+        raise StatisticsError("iterative_scaling works on flat cell arrays")
+    if np.any(result < 0):
+        raise StatisticsError("cell counts must be non-negative")
+    # Zero-target constraints are absorbing (scaled zeros stay zero), so
+    # they go first; every later constraint can still be satisfied by
+    # scaling the remaining cells. Others apply oldest-to-newest.
+    ordered = sorted(
+        constraints, key=lambda c: (c.target != 0.0, c.sequence)
+    )
+    if not ordered:
+        return result, True
+
+    for c in ordered:
+        if c.target > 0 and len(c.cells) > 0 and result[c.cells].sum() <= 0:
+            result[c.cells] = EPSILON_MASS
+
+    converged = False
+    for _ in range(max_iterations):
+        worst = 0.0
+        for c in ordered:
+            if len(c.cells) == 0:
+                continue
+            current = result[c.cells].sum()
+            if c.target == 0.0:
+                result[c.cells] = 0.0
+                continue
+            if current <= 0.0:
+                result[c.cells] = c.target / len(c.cells)
+                worst = np.inf
+                continue
+            ratio = c.target / current
+            result[c.cells] *= ratio
+            worst = max(worst, abs(ratio - 1.0))
+        if worst <= tolerance:
+            converged = True
+            break
+    return result, converged
+
+
+def max_abs_violation(
+    counts: np.ndarray, constraints: Sequence[CellConstraint]
+) -> float:
+    """Largest relative violation across constraints (diagnostics/tests)."""
+    worst = 0.0
+    for c in constraints:
+        current = float(counts[c.cells].sum()) if len(c.cells) else 0.0
+        if c.target == 0.0:
+            worst = max(worst, current)
+        else:
+            worst = max(worst, abs(current - c.target) / c.target)
+    return worst
+
+
+def uniformity_deviation(counts: np.ndarray, volumes: np.ndarray) -> float:
+    """How far a histogram is from uniform: weighted CV of cell density.
+
+    0 means perfectly uniform (density identical everywhere). The QSS
+    archive evicts the most uniform histograms first because they carry the
+    least information beyond the optimizer's default assumption
+    (Section 3.4).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    volumes = np.asarray(volumes, dtype=np.float64)
+    if counts.shape != volumes.shape:
+        raise StatisticsError("counts/volumes shape mismatch")
+    total_mass = counts.sum()
+    total_volume = volumes.sum()
+    if total_mass <= 0 or total_volume <= 0:
+        return 0.0
+    density = counts / np.maximum(volumes, EPSILON_MASS)
+    mean_density = total_mass / total_volume
+    # volume-weighted standard deviation of density, relative to the mean
+    var = float(np.average((density - mean_density) ** 2, weights=volumes))
+    return float(np.sqrt(var) / mean_density)
+
+
+def make_constraints(
+    pairs: Sequence[Tuple[np.ndarray, float]],
+) -> List[CellConstraint]:
+    """Convenience constructor preserving order as recency."""
+    return [
+        CellConstraint(cells=np.asarray(c, dtype=np.int64), target=t, sequence=i)
+        for i, (c, t) in enumerate(pairs)
+    ]

@@ -1,0 +1,103 @@
+"""Query analysis (paper Algorithm 1).
+
+Walk the query blocks of a compiled query and enumerate, per base table,
+every combination of its local predicates — the candidate predicate groups
+on which query-specific statistics could be collected. The enumeration is
+per query block (SPJ block), matching intra-block optimization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..predicates import LocalPredicate, PredicateGroup
+from ..sql.qgm import QueryBlock
+
+# Enumerating all subsets is exponential in the number of local predicates
+# on one table; above this many predicates only singletons, pairs and the
+# full group are enumerated. (Real queries rarely exceed it.)
+MAX_FULL_ENUMERATION = 8
+
+
+@dataclass
+class TableCandidates:
+    """All candidate statistics for one quantifier of one block."""
+
+    block_id: int
+    alias: str
+    table: str
+    groups: List[PredicateGroup] = field(default_factory=list)
+    # Residual predicates on this quantifier (footnote 1 of Section 3.4):
+    # evaluated on the same sample when the table is marked for collection.
+    residuals: List = field(default_factory=list)  # List[ast.BoolExpr]
+
+    @property
+    def full_group(self) -> PredicateGroup:
+        """The group with the maximum number of predicates (Alg. 3 line 2)."""
+        return max(self.groups, key=lambda g: g.size)
+
+
+def enumerate_groups(predicates: List[LocalPredicate]) -> List[PredicateGroup]:
+    """All i-predicate groups for i = 1..m (Alg. 1 lines 9-12)."""
+    if not predicates:
+        return []
+    m = len(predicates)
+    groups: List[PredicateGroup] = []
+    if m <= MAX_FULL_ENUMERATION:
+        for size in range(1, m + 1):
+            for combo in itertools.combinations(predicates, size):
+                groups.append(PredicateGroup.from_iterable(combo))
+    else:
+        for predicate in predicates:
+            groups.append(PredicateGroup.of(predicate))
+        for combo in itertools.combinations(predicates, 2):
+            groups.append(PredicateGroup.from_iterable(combo))
+        groups.append(PredicateGroup.from_iterable(predicates))
+    # Deduplicate (duplicate predicates collapse inside frozensets).
+    seen = set()
+    unique: List[PredicateGroup] = []
+    for group in groups:
+        if group not in seen:
+            seen.add(group)
+            unique.append(group)
+    return unique
+
+
+def analyze_query(root_block: QueryBlock) -> List[TableCandidates]:
+    """Candidate predicate groups for every base table of every block."""
+    candidates: List[TableCandidates] = []
+    for block in root_block.all_blocks():
+        for alias, table_name in block.base_tables().items():
+            predicates = block.local_predicates_for(alias)
+            if not predicates:
+                continue
+            groups = enumerate_groups(list(predicates))
+            if groups:
+                candidates.append(
+                    TableCandidates(
+                        block_id=block.block_id,
+                        alias=alias,
+                        table=table_name.lower(),
+                        groups=groups,
+                        residuals=list(block.scan_residuals.get(alias, ())),
+                    )
+                )
+    return candidates
+
+
+def merge_by_table(
+    candidates: List[TableCandidates],
+) -> Dict[str, List[PredicateGroup]]:
+    """Union of candidate groups per base table (self-joins merge)."""
+    merged: Dict[str, List[PredicateGroup]] = {}
+    seen: Dict[str, set] = {}
+    for candidate in candidates:
+        bucket = merged.setdefault(candidate.table, [])
+        dedupe = seen.setdefault(candidate.table, set())
+        for group in candidate.groups:
+            if group not in dedupe:
+                dedupe.add(group)
+                bucket.append(group)
+    return merged

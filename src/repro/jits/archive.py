@@ -1,0 +1,163 @@
+"""The QSS archive: materialized query-specific statistics.
+
+A repository of adaptive single- and multi-dimensional histograms keyed by
+(table, column group), updated under the maximum-entropy principle and
+bounded by a space budget. Eviction follows the paper (Section 3.4): when
+the dedicated space is full, remove the histograms that are almost
+uniformly distributed (they say nothing the optimizer's default assumption
+doesn't); ties broken by LRU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..histograms import AdaptiveGridHistogram, Region
+from ..storage import Database
+from ..catalog import column_domain
+
+ColumnGroup = Tuple[str, ...]
+
+DEFAULT_CELL_BUDGET = 4096
+# Histograms with uniformity deviation below this are "almost uniform" and
+# evicted first.
+UNIFORMITY_EVICTION_THRESHOLD = 0.25
+
+
+@dataclass
+class ArchiveEntry:
+    table: str
+    columns: ColumnGroup
+    histogram: AdaptiveGridHistogram
+
+
+class QSSArchive:
+    """All materialized QSS histograms."""
+
+    def __init__(
+        self,
+        database: Database,
+        cell_budget: int = DEFAULT_CELL_BUDGET,
+        max_boundaries_per_dim: int = 24,
+        calibrate: bool = True,
+    ):
+        self.database = database
+        self.cell_budget = cell_budget
+        self.max_boundaries_per_dim = max_boundaries_per_dim
+        self.calibrate = calibrate  # ablation: max-entropy IPF on/off
+        self._entries: Dict[Tuple[str, ColumnGroup], ArchiveEntry] = {}
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(
+        self, table: str, columns: Iterable[str]
+    ) -> Optional[AdaptiveGridHistogram]:
+        entry = self._entries.get(self._key(table, columns))
+        return entry.histogram if entry else None
+
+    def mark_used(self, table: str, columns: Iterable[str], now: int) -> None:
+        entry = self._entries.get(self._key(table, columns))
+        if entry is not None:
+            entry.histogram.touch(now)
+
+    def has(self, table: str, columns: Iterable[str]) -> bool:
+        return self._key(table, columns) in self._entries
+
+    def entries(self) -> List[ArchiveEntry]:
+        return list(self._entries.values())
+
+    @property
+    def total_cells(self) -> int:
+        return sum(e.histogram.n_cells for e in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        table: str,
+        columns: Iterable[str],
+        region: Region,
+        count: float,
+        total: Optional[float],
+        now: int,
+    ) -> AdaptiveGridHistogram:
+        """Fold an observed (region, count) fact into the archive.
+
+        Creates the histogram on first touch (domain from current column
+        min/max), then applies the max-entropy update. Regions must use the
+        canonical (sorted) column order.
+        """
+        key = self._key(table, columns)
+        entry = self._entries.get(key)
+        if entry is None:
+            histogram = self._create_histogram(
+                key[0], key[1], total if total is not None else count, now
+            )
+            entry = ArchiveEntry(table=key[0], columns=key[1], histogram=histogram)
+            self._entries[key] = entry
+        entry.histogram.observe(region, count, total=total, now=now)
+        self._enforce_budget(protect=key)
+        return entry.histogram
+
+    def _create_histogram(
+        self, table: str, columns: ColumnGroup, total: float, now: int
+    ) -> AdaptiveGridHistogram:
+        tbl = self.database.table(table)
+        domain = Region(tuple(column_domain(tbl, c) for c in columns))
+        return AdaptiveGridHistogram(
+            domain,
+            total=total,
+            now=now,
+            max_boundaries_per_dim=self.max_boundaries_per_dim,
+            calibrate=self.calibrate,
+        )
+
+    # ------------------------------------------------------------------
+    # Space management
+    # ------------------------------------------------------------------
+    def _enforce_budget(self, protect: Tuple[str, ColumnGroup]) -> None:
+        while self.total_cells > self.cell_budget and len(self._entries) > 1:
+            victim = self._pick_victim(protect)
+            if victim is None:
+                break
+            del self._entries[victim]
+            self.evictions += 1
+
+    def _pick_victim(
+        self, protect: Tuple[str, ColumnGroup]
+    ) -> Optional[Tuple[str, ColumnGroup]]:
+        candidates = [
+            (key, entry)
+            for key, entry in self._entries.items()
+            if key != protect
+        ]
+        if not candidates:
+            return None
+        uniform = [
+            (key, entry)
+            for key, entry in candidates
+            if entry.histogram.uniformity() <= UNIFORMITY_EVICTION_THRESHOLD
+        ]
+        pool = uniform if uniform else candidates
+        # LRU among the pool.
+        return min(pool, key=lambda item: item[1].histogram.last_used)[0]
+
+    def drop(self, table: str, columns: Iterable[str]) -> bool:
+        return self._entries.pop(self._key(table, columns), None) is not None
+
+    def drop_table(self, table: str) -> int:
+        keys = [k for k in self._entries if k[0] == table.lower()]
+        for key in keys:
+            del self._entries[key]
+        return len(keys)
+
+    @staticmethod
+    def _key(table: str, columns: Iterable[str]) -> Tuple[str, ColumnGroup]:
+        return table.lower(), tuple(sorted(c.lower() for c in columns))

@@ -1,0 +1,101 @@
+"""Statistics migration: fold QSS archive histograms back into the catalog.
+
+The paper's Figure 1 shows a Statistics Migration module that periodically
+updates the system catalog from the QSS archive, so even queries compiled
+without a JITS collection benefit from what earlier queries learned.
+
+Single-column archive histograms replace the catalog's distribution
+statistics for that column; multi-column histograms are published as
+catalog column-group statistics (snapshot copies — the archive keeps
+evolving afterwards).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..catalog import (
+    ColumnGroupStatistics,
+    ColumnStatistics,
+    SystemCatalog,
+)
+from ..histograms import EquiDepthHistogram
+from ..storage import Database
+from .archive import QSSArchive
+
+
+def migrate_archive_to_catalog(
+    archive: QSSArchive,
+    catalog: SystemCatalog,
+    database: Database,
+    now: int,
+) -> int:
+    """Publish every archive histogram into the catalog. Returns count."""
+    migrated = 0
+    for entry in archive.entries():
+        if len(entry.columns) == 1:
+            if _migrate_single_column(entry, catalog, database, now):
+                migrated += 1
+        else:
+            catalog.set_group_stats(
+                ColumnGroupStatistics(
+                    table=entry.table,
+                    columns=entry.columns,
+                    histogram=_snapshot(entry.histogram),
+                    collected_at=now,
+                )
+            )
+            migrated += 1
+    return migrated
+
+
+def _migrate_single_column(entry, catalog: SystemCatalog, database, now) -> int:
+    histogram = entry.histogram
+    boundaries = np.asarray(histogram.boundary_list(0), dtype=np.float64)
+    counts = histogram.counts.reshape(-1).astype(np.float64)
+    if len(boundaries) < 2 or counts.sum() <= 0:
+        return 0
+    column = entry.columns[0]
+    published = EquiDepthHistogram(boundaries=boundaries, counts=counts)
+    existing = catalog.column_stats(entry.table, column)
+    if existing is not None:
+        existing.histogram = published
+        existing.row_count = float(counts.sum())
+        existing.min_value = float(boundaries[0])
+        existing.max_value = float(boundaries[-1])
+        existing.collected_at = now
+    else:
+        table = database.table(entry.table)
+        dtype = table.schema.column(column).dtype
+        total = float(counts.sum())
+        catalog.set_column_stats(
+            entry.table,
+            ColumnStatistics(
+                column=column,
+                dtype=dtype,
+                # NDV is not derivable from a bucket histogram; a square-
+                # root guess keeps equality estimates sane until RUNSTATS
+                # or a later migration refines it.
+                n_distinct=max(1.0, float(np.sqrt(total))),
+                min_value=float(boundaries[0]),
+                max_value=float(boundaries[-1]),
+                row_count=total,
+                histogram=published,
+                collected_at=now,
+            ),
+        )
+    return 1
+
+
+def _snapshot(histogram):
+    """Deep-enough copy so later archive updates don't mutate the catalog."""
+    import copy
+
+    clone = copy.copy(histogram)
+    clone.boundaries = [b.copy() for b in histogram.boundaries]
+    clone.counts = histogram.counts.copy()
+    clone.timestamps = histogram.timestamps.copy()
+    clone.constraints = list(histogram.constraints)
+    return clone

@@ -1,0 +1,78 @@
+"""Selectivities for predicates that histograms cannot represent.
+
+Paper Section 3.4, footnote 1: predicates whose operands are not constants
+(``a BETWEEN b + 10 AND c - 20``), OR-trees, NOT-IN lists and similar
+shapes cannot update a histogram — but "we can store such predicates and
+the number of tuples that satisfy them separately, and possibly reuse them
+for later queries. LRU can be used to prune unused predicates."
+
+This module is that store: observed selectivities of *residual* predicates
+(the ones the classifier could not turn into local or join predicates),
+keyed by the predicate's normalized text, bounded by LRU eviction.
+Residual selectivities are measured on the same sample a marked table's
+predicate groups use, so they are only refreshed when the sensitivity
+analysis samples the table anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..predicates.residualkey import residual_key  # re-exported
+
+__all__ = ["ResidualStatisticsStore", "ResidualEntry", "residual_key"]
+
+DEFAULT_CAPACITY = 128
+
+
+@dataclass
+class ResidualEntry:
+    selectivity: float
+    collected_at: int
+    last_used: int
+
+
+class ResidualStatisticsStore:
+    """LRU-bounded map: (table, normalized predicate text) -> selectivity."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[Tuple[str, str], ResidualEntry] = {}
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, table: str, key: str, selectivity: float, now: int) -> None:
+        entry = self._entries.get((table.lower(), key))
+        if entry is not None:
+            entry.selectivity = selectivity
+            entry.collected_at = now
+            entry.last_used = max(entry.last_used, now)
+        else:
+            self._entries[(table.lower(), key)] = ResidualEntry(
+                selectivity=selectivity, collected_at=now, last_used=now
+            )
+            self._evict_to_capacity()
+
+    def lookup(self, table: str, key: str, now: int) -> Optional[float]:
+        entry = self._entries.get((table.lower(), key))
+        if entry is None:
+            return None
+        entry.last_used = max(entry.last_used, now)
+        return entry.selectivity
+
+    def _evict_to_capacity(self) -> None:
+        while len(self._entries) > self.capacity:
+            victim = min(self._entries.items(), key=lambda kv: kv[1].last_used)[0]
+            del self._entries[victim]
+            self.evictions += 1
+
+    def drop_table(self, table: str) -> int:
+        keys = [k for k in self._entries if k[0] == table.lower()]
+        for key in keys:
+            del self._entries[key]
+        return len(keys)

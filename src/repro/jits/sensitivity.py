@@ -1,0 +1,162 @@
+"""Sensitivity analysis (paper Algorithms 2, 3 and 4).
+
+Decides (a) which tables are worth sampling during this compilation and
+(b) which of the computed statistics deserve materialization in the QSS
+archive. Scores combine:
+
+* ``s1`` — 1 minus the best accuracy any known statistics combination has
+  shown for the table's full predicate group (from the StatHistory plus the
+  Section 3.3.2 boundary-accuracy of the underlying histograms);
+* ``s2`` — data activity: UDI counter since the last collection over the
+  table cardinality.
+
+A table is sampled when ``f(s1, s2) = (s1 + s2) / 2 >= s_max``; ``s_max=0``
+collects everything, ``s_max=1`` disables collection entirely (sentinel,
+see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..catalog import SystemCatalog
+from ..histograms import region_accuracy
+from ..predicates import PredicateGroup, group_region, region_for_columns
+from ..storage import Database
+from .archive import QSSArchive
+from .history import StatHistory, canonical_colgroup
+
+ColumnGroup = Tuple[str, ...]
+
+
+@dataclass
+class TableDecision:
+    """Outcome of Algorithm 2 for one table."""
+
+    table: str
+    collect: bool
+    score: float
+    s1: float
+    s2: float
+    materialize: List[PredicateGroup] = field(default_factory=list)
+
+
+class SensitivityAnalyzer:
+    def __init__(
+        self,
+        database: Database,
+        catalog: SystemCatalog,
+        archive: QSSArchive,
+        history: StatHistory,
+        s_max: float,
+        last_collection_udi: Dict[str, int],
+        use_history_score: bool = True,
+    ):
+        self.database = database
+        self.catalog = catalog
+        self.archive = archive
+        self.history = history
+        self.s_max = s_max
+        self.last_collection_udi = last_collection_udi
+        # Ablation knob: with use_history_score=False, s1 is dropped and
+        # collection is triggered by data activity (s2 = UDI ratio) alone.
+        self.use_history_score = use_history_score
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+    def analyze(
+        self, candidates_by_table: Dict[str, List[PredicateGroup]]
+    ) -> Dict[str, TableDecision]:
+        decisions: Dict[str, TableDecision] = {}
+        for table, groups in candidates_by_table.items():
+            decision = self.should_collect(table, groups)
+            if decision.collect:
+                for group in groups:
+                    if self.should_materialize(table, group):
+                        decision.materialize.append(group)
+            decisions[table] = decision
+        return decisions
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: is statistics collection needed on this table?
+    # ------------------------------------------------------------------
+    def should_collect(
+        self, table: str, groups: List[PredicateGroup]
+    ) -> TableDecision:
+        table = table.lower()
+        full_group = max(groups, key=lambda g: g.size)
+        max_accuracy = 0.0
+        for entry in self.history.entries_for_group(table, full_group.columns()):
+            accuracy = entry.symmetric_accuracy
+            for stat_columns in entry.statlist:
+                accuracy *= self.stat_accuracy(table, stat_columns, full_group)
+            max_accuracy = max(max_accuracy, accuracy)
+        s1 = 1.0 - max_accuracy
+
+        tbl = self.database.table(table)
+        cardinality = max(tbl.row_count, 1)
+        snapshot = self.last_collection_udi.get(table)
+        if snapshot is None:
+            stats = self.catalog.table_stats(table)
+            snapshot = stats.udi_snapshot if stats is not None else 0
+        s2 = min(tbl.udi_since(snapshot) / cardinality, 1.0)
+
+        score = (s1 + s2) / 2.0 if self.use_history_score else s2
+        collect = self.s_max < 1.0 and score >= self.s_max
+        return TableDecision(
+            table=table, collect=collect, score=score, s1=s1, s2=s2
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 4: is this statistic useful for other queries?
+    # ------------------------------------------------------------------
+    def should_materialize(self, table: str, group: PredicateGroup) -> bool:
+        table = table.lower()
+        columns = group.columns()
+        if self.archive.has(table, columns):
+            return True  # keep existing histograms fresh (Alg. 4 line 2)
+        if self.s_max <= 0.0:
+            return True  # "all possible statistics are always collected"
+        entries = self.history.entries_using_stat(table, columns)
+        total = sum(e.count for e in entries)
+        if total == 0:
+            return False
+        score = sum(e.symmetric_accuracy * e.count for e in entries) / total
+        return score >= self.s_max
+
+    # ------------------------------------------------------------------
+    # Section 3.3.2: accuracy of an available statistic w.r.t. a group
+    # ------------------------------------------------------------------
+    def stat_accuracy(
+        self, table: str, stat_columns: Iterable[str], group: PredicateGroup
+    ) -> float:
+        """How accurately current statistics on ``stat_columns`` answer the
+        part of ``group`` that touches those columns."""
+        table = table.lower()
+        stat_columns = canonical_colgroup(stat_columns)
+        tbl = self.database.table(table)
+        relevant = [p for p in group.predicates if p.column in stat_columns]
+        if not relevant:
+            return 1.0  # the stat is not even consulted for this group
+        sub_group = PredicateGroup.from_iterable(relevant)
+        region = region_for_columns(tbl, sub_group, stat_columns)
+        if region is None:
+            return 0.0  # not a histogram-answerable shape (<> / multi-IN)
+
+        hist = self.archive.lookup(table, stat_columns)
+        if hist is not None:
+            boundaries = [hist.boundary_list(d) for d in range(hist.ndim)]
+            return region_accuracy(boundaries, region)
+        if len(stat_columns) == 1:
+            column_stats = self.catalog.column_stats(table, stat_columns[0])
+            if column_stats is not None:
+                return region_accuracy([column_stats.boundary_list()], region)
+            return 0.0
+        group_stats = self.catalog.group_stats(table, stat_columns)
+        if group_stats is not None:
+            hist = group_stats.histogram
+            boundaries = [hist.boundary_list(d) for d in range(hist.ndim)]
+            return region_accuracy(boundaries, region)
+        return 0.0

@@ -1,0 +1,71 @@
+"""Statistics context handed to the optimizer for one compilation.
+
+The optimizer never talks to the catalog or the QSS machinery directly; it
+sees one :class:`StatsContext` that layers, in priority order:
+
+1. the **QSS profile** — exact selectivities sampled by JITS *for this
+   query* (present only when JITS collected this compile);
+2. the **QSS archive** — materialized adaptive histograms from earlier
+   queries (present when JITS is enabled);
+3. catalog **column-group statistics** (the "workload stats" setting);
+4. catalog column statistics combined under independence;
+5. System-R style **defaults** when nothing is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..catalog import SystemCatalog
+from ..predicates import PredicateGroup
+from ..storage import Database
+
+# Classic Selinger-style magic numbers used when no statistics exist.
+DEFAULT_TABLE_CARDINALITY = 200.0
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_BETWEEN_SELECTIVITY = 0.25
+DEFAULT_NE_SELECTIVITY = 0.9
+DEFAULT_JOIN_NDV = 10.0
+DEFAULT_RESIDUAL_SELECTIVITY = 0.25
+
+
+@dataclass
+class QSSProfile:
+    """Exact selectivities JITS sampled during the current compilation.
+
+    Keys are ``(table_name, canonical column group, group key)``; in
+    practice lookups go through :meth:`selectivity` with the predicate
+    group itself.
+    """
+
+    table_cardinalities: Dict[str, float] = field(default_factory=dict)
+    group_selectivities: Dict[Tuple[str, PredicateGroup], float] = field(
+        default_factory=dict
+    )
+
+    def record(self, table: str, group: PredicateGroup, selectivity: float) -> None:
+        self.group_selectivities[(table.lower(), group)] = selectivity
+
+    def selectivity(self, table: str, group: PredicateGroup) -> Optional[float]:
+        return self.group_selectivities.get((table.lower(), group))
+
+    def cardinality(self, table: str) -> Optional[float]:
+        return self.table_cardinalities.get(table.lower())
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.group_selectivities)
+
+
+@dataclass
+class StatsContext:
+    """Everything the selectivity estimator may consult."""
+
+    database: Database
+    catalog: SystemCatalog
+    profile: Optional[QSSProfile] = None
+    archive: Optional[object] = None  # repro.jits.archive.QSSArchive
+    residuals: Optional[object] = None  # repro.jits.residuals store
+    now: int = 0

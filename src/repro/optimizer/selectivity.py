@@ -1,0 +1,270 @@
+"""Selectivity and cardinality estimation.
+
+`estimate_group_selectivity` is the heart of the reproduction: it is where
+query-specific statistics (when present) replace the uniformity and
+independence assumptions a traditional optimizer falls back on. The
+returned :class:`SelectivityEstimate` also records *which* statistics were
+combined (the ``statlist``), because the JITS StatHistory needs exactly
+that provenance (paper Section 3.3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..histograms import Interval
+from ..predicates import (
+    JoinPredicate,
+    LocalPredicate,
+    PredOp,
+    PredicateGroup,
+    group_region,
+    physical_value,
+    predicate_interval,
+    region_for_columns,
+)
+from ..storage import Table
+from .context import (
+    DEFAULT_BETWEEN_SELECTIVITY,
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_JOIN_NDV,
+    DEFAULT_NE_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    DEFAULT_TABLE_CARDINALITY,
+    StatsContext,
+)
+
+# Statistic source labels, most to least trusted.
+SOURCE_QSS_EXACT = "qss-exact"
+SOURCE_QSS_ARCHIVE = "qss-archive"
+SOURCE_GROUP_STATS = "group-stats"
+SOURCE_CATALOG = "catalog"
+SOURCE_DEFAULT = "default"
+
+
+@dataclass
+class SelectivityEstimate:
+    """A selectivity plus the provenance needed for feedback."""
+
+    selectivity: float
+    source: str
+    statlist: Tuple[Tuple[str, ...], ...] = ()
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def clamped(self) -> float:
+        return min(1.0, max(0.0, self.selectivity))
+
+
+def estimate_table_cardinality(ctx: StatsContext, table_name: str) -> Tuple[float, str]:
+    """(cardinality, source). QSS profile beats catalog beats default."""
+    if ctx.profile is not None:
+        card = ctx.profile.cardinality(table_name)
+        if card is not None:
+            return max(1.0, card), SOURCE_QSS_EXACT
+    stats = ctx.catalog.table_stats(table_name)
+    if stats is not None:
+        return max(1.0, stats.cardinality), SOURCE_CATALOG
+    return DEFAULT_TABLE_CARDINALITY, SOURCE_DEFAULT
+
+
+def default_predicate_selectivity(predicate: LocalPredicate) -> float:
+    """Magic-number selectivity when nothing is known (System R legacy)."""
+    op = predicate.op
+    if op is PredOp.EQ:
+        return DEFAULT_EQ_SELECTIVITY
+    if op is PredOp.NE:
+        return DEFAULT_NE_SELECTIVITY
+    if op is PredOp.BETWEEN:
+        return DEFAULT_BETWEEN_SELECTIVITY
+    if op is PredOp.IN:
+        return min(1.0, DEFAULT_EQ_SELECTIVITY * len(predicate.values))
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def _column_predicate_selectivity(
+    ctx: StatsContext, table: Table, predicate: LocalPredicate
+) -> Tuple[float, bool]:
+    """(selectivity, had_statistics) for one predicate from column stats."""
+    stats = ctx.catalog.column_stats(table.name, predicate.column)
+    if stats is None:
+        return default_predicate_selectivity(predicate), False
+    op = predicate.op
+    if op in (PredOp.EQ, PredOp.NE):
+        phys = physical_value(table, predicate.column, predicate.value)
+        eq = 0.0 if phys is None else stats.selectivity_eq(phys)
+        return (eq if op is PredOp.EQ else max(0.0, 1.0 - eq)), True
+    if op is PredOp.IN:
+        total = 0.0
+        for value in predicate.values:
+            phys = physical_value(table, predicate.column, value)
+            if phys is not None:
+                total += stats.selectivity_eq(phys)
+        return min(1.0, total), True
+    interval = predicate_interval(table, predicate)
+    if interval is None:
+        return default_predicate_selectivity(predicate), False
+    return stats.selectivity_interval(interval), True
+
+
+def _column_conjunct_selectivity(
+    ctx: StatsContext, table: Table, predicates: List[LocalPredicate]
+) -> Tuple[float, bool]:
+    """Selectivity of all predicates on ONE column (interval intersection)."""
+    if len(predicates) == 1:
+        # Single predicates go through the dedicated estimator, which uses
+        # frequent-value statistics for equality/IN (exact for heavy
+        # hitters) instead of interpolating a histogram.
+        return _column_predicate_selectivity(ctx, table, predicates[0])
+    intervals = [predicate_interval(table, p) for p in predicates]
+    if all(iv is not None for iv in intervals):
+        combined = Interval()
+        for iv in intervals:
+            combined = combined.intersect(iv)
+        if combined.is_empty:
+            return 0.0, True
+        stats = ctx.catalog.column_stats(table.name, predicates[0].column)
+        if stats is not None:
+            return stats.selectivity_interval(combined), True
+        # No stats; treat the strongest single default as the estimate.
+        return min(default_predicate_selectivity(p) for p in predicates), False
+    # Mixed interval / non-interval predicates on a column: multiply.
+    sel = 1.0
+    had_stats = True
+    for predicate in predicates:
+        s, known = _column_predicate_selectivity(ctx, table, predicate)
+        sel *= s
+        had_stats = had_stats and known
+    return sel, had_stats
+
+
+def estimate_group_selectivity(
+    ctx: StatsContext, table: Table, group: PredicateGroup
+) -> SelectivityEstimate:
+    """Best available estimate for a predicate group on a base table."""
+    table_key = table.name.lower()
+
+    # 1. Exact query-specific statistics collected this compilation.
+    if ctx.profile is not None:
+        exact = ctx.profile.selectivity(table_key, group)
+        if exact is not None:
+            return SelectivityEstimate(
+                selectivity=exact,
+                source=SOURCE_QSS_EXACT,
+                statlist=(group.columns(),),
+            )
+
+    # 2. A materialized QSS histogram on exactly this column group.
+    columns = group.columns()
+    if ctx.archive is not None:
+        hist = ctx.archive.lookup(table_key, columns)
+        if hist is not None:
+            region = region_for_columns(table, group, columns)
+            if region is not None:
+                ctx.archive.mark_used(table_key, columns, ctx.now)
+                return SelectivityEstimate(
+                    selectivity=hist.estimate_selectivity(region),
+                    source=SOURCE_QSS_ARCHIVE,
+                    statlist=(columns,),
+                )
+
+    # 3/4. Cover the columns with the largest available multi-column
+    # statistics, then per-column statistics, multiplying under
+    # independence across the chosen units.
+    by_column: Dict[str, List[LocalPredicate]] = {}
+    for predicate in group.predicates:
+        by_column.setdefault(predicate.column, []).append(predicate)
+    uncovered = set(by_column)
+    selectivity = 1.0
+    statlist: List[Tuple[str, ...]] = []
+    used_multi = False
+    used_any_stats = False
+
+    for size in range(len(uncovered), 1, -1):
+        if size > 4:
+            continue  # multi-dimensional stats beyond 4 columns don't exist
+        for subset in itertools.combinations(sorted(uncovered), size):
+            unit = _multi_column_unit(ctx, table, group, subset)
+            if unit is None:
+                continue
+            sel, source_cols = unit
+            selectivity *= sel
+            statlist.append(source_cols)
+            uncovered -= set(subset)
+            used_multi = True
+            used_any_stats = True
+            break
+
+    for column in sorted(uncovered):
+        sel, known = _column_conjunct_selectivity(ctx, table, by_column[column])
+        selectivity *= sel
+        statlist.append((column,))
+        used_any_stats = used_any_stats or known
+
+    if used_multi:
+        source = SOURCE_GROUP_STATS
+    elif used_any_stats:
+        source = SOURCE_CATALOG
+    else:
+        source = SOURCE_DEFAULT
+    return SelectivityEstimate(
+        selectivity=min(1.0, max(0.0, selectivity)),
+        source=source,
+        statlist=tuple(statlist),
+    )
+
+
+def _multi_column_unit(
+    ctx: StatsContext,
+    table: Table,
+    group: PredicateGroup,
+    subset: Tuple[str, ...],
+) -> Optional[Tuple[float, Tuple[str, ...]]]:
+    """Selectivity of the group restricted to ``subset`` columns from one
+    multi-column statistic (archive first, then catalog group stats)."""
+    sub_predicates = [p for p in group.predicates if p.column in subset]
+    sub_group = PredicateGroup.from_iterable(sub_predicates)
+    region = region_for_columns(table, sub_group, subset)
+    if region is None:
+        return None
+    table_key = table.name.lower()
+    if ctx.archive is not None:
+        hist = ctx.archive.lookup(table_key, subset)
+        if hist is not None:
+            ctx.archive.mark_used(table_key, subset, ctx.now)
+            return hist.estimate_selectivity(region), subset
+    stats = ctx.catalog.group_stats(table_key, subset)
+    if stats is not None:
+        return stats.selectivity(region), subset
+    return None
+
+
+def estimate_join_selectivity(
+    ctx: StatsContext,
+    left_table: Optional[Table],
+    right_table: Optional[Table],
+    predicate: JoinPredicate,
+) -> float:
+    """Equi-join selectivity ``1 / max(ndv(left), ndv(right))``."""
+    left_ndv = _join_side_ndv(ctx, left_table, predicate.left_column)
+    right_ndv = _join_side_ndv(ctx, right_table, predicate.right_column)
+    return 1.0 / max(left_ndv, right_ndv, 1.0)
+
+
+def _join_side_ndv(
+    ctx: StatsContext, table: Optional[Table], column: str
+) -> float:
+    if table is None:
+        return DEFAULT_JOIN_NDV
+    stats = ctx.catalog.column_stats(table.name, column)
+    if stats is not None and stats.n_distinct > 0:
+        return stats.n_distinct
+    if (
+        table.schema.primary_key is not None
+        and table.schema.primary_key.lower() == column.lower()
+    ):
+        # Schema knowledge: a primary key is unique even without stats.
+        card, _ = estimate_table_cardinality(ctx, table.name)
+        return card
+    return DEFAULT_JOIN_NDV

@@ -1,0 +1,103 @@
+"""Vectorized evaluation of local predicates against stored tables.
+
+Used by three consumers: the executor's scan filters, the JITS sampling
+collector (evaluating candidate groups on a sample), and the reference
+executor in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..storage import Table
+from ..types import DataType
+from .predicate import LocalPredicate, PredOp
+
+
+def _column_values(
+    table: Table, column: str, rows: Optional[np.ndarray]
+) -> np.ndarray:
+    data = table.column_data(column)
+    if rows is not None:
+        data = data[rows]
+    return data
+
+
+def _encode(table: Table, column: str, value) -> Optional[float]:
+    phys = table.column(column).lookup_value(value)
+    return None if phys is None else float(phys)
+
+
+def predicate_mask(
+    table: Table, predicate: LocalPredicate, rows: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Boolean mask of rows satisfying the predicate."""
+    data = _column_values(table, predicate.column, rows)
+    dtype = table.schema.column(predicate.column).dtype
+    op = predicate.op
+
+    if op in (PredOp.EQ, PredOp.NE):
+        phys = _encode(table, predicate.column, predicate.value)
+        if phys is None:
+            base = np.zeros(len(data), dtype=bool)
+            return ~base if op is PredOp.NE else base
+        mask = data == phys
+        return ~mask if op is PredOp.NE else mask
+
+    if op is PredOp.IN:
+        mask = np.zeros(len(data), dtype=bool)
+        for value in predicate.values:
+            phys = _encode(table, predicate.column, value)
+            if phys is not None:
+                mask |= data == phys
+        return mask
+
+    # Order comparisons: meaningful for numeric columns. Dictionary codes
+    # do not follow string order, so range predicates on strings are
+    # rejected rather than silently wrong.
+    if dtype is DataType.STRING:
+        raise ExecutionError(
+            f"range predicate on string column "
+            f"{predicate.alias}.{predicate.column} is not supported"
+        )
+    phys = _encode(table, predicate.column, predicate.values[0])
+    if op is PredOp.BETWEEN:
+        hi = _encode(table, predicate.column, predicate.values[1])
+        return (data >= phys) & (data <= hi)
+    if op is PredOp.LT:
+        return data < phys
+    if op is PredOp.LE:
+        return data <= phys
+    if op is PredOp.GT:
+        return data > phys
+    if op is PredOp.GE:
+        return data >= phys
+    raise AssertionError(f"unhandled predicate op {op}")
+
+
+def group_mask(
+    table: Table,
+    predicates: Iterable[LocalPredicate],
+    rows: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Conjunction of predicate masks."""
+    mask: Optional[np.ndarray] = None
+    for predicate in predicates:
+        m = predicate_mask(table, predicate, rows)
+        mask = m if mask is None else (mask & m)
+    if mask is None:
+        n = table.row_count if rows is None else len(rows)
+        return np.ones(n, dtype=bool)
+    return mask
+
+
+def count_matches(
+    table: Table,
+    predicates: Iterable[LocalPredicate],
+    rows: Optional[np.ndarray] = None,
+) -> int:
+    """Number of rows satisfying all predicates."""
+    return int(group_mask(table, predicates, rows).sum())

@@ -1,0 +1,153 @@
+"""Predicate model: local predicates, join predicates and predicate groups.
+
+A *local predicate* compares a column of one quantifier against constants
+(``make = 'Toyota'``, ``year > 2000``, ``price BETWEEN 10 AND 20``). A
+*predicate group* is a set of local predicates on the same quantifier —
+the unit the paper's query analysis enumerates and the unit whose joint
+selectivity is a query-specific statistic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..errors import PlanningError
+from ..types import Value
+
+
+class PredOp(enum.Enum):
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    BETWEEN = "between"
+    IN = "in"
+
+
+@dataclass(frozen=True)
+class LocalPredicate:
+    """``alias.column <op> values`` with constant operands."""
+
+    alias: str
+    column: str
+    op: PredOp
+    values: Tuple[Value, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "alias", self.alias.lower())
+        object.__setattr__(self, "column", self.column.lower())
+        expected = {PredOp.BETWEEN: 2}.get(self.op)
+        if expected is not None and len(self.values) != expected:
+            raise PlanningError(
+                f"{self.op.value} predicate needs {expected} values"
+            )
+        if self.op is PredOp.IN and len(self.values) == 0:
+            raise PlanningError("IN predicate needs at least one value")
+        if self.op not in (PredOp.BETWEEN, PredOp.IN) and len(self.values) != 1:
+            raise PlanningError(f"{self.op.value} predicate needs one value")
+
+    @property
+    def value(self) -> Value:
+        return self.values[0]
+
+    def __str__(self) -> str:
+        if self.op is PredOp.BETWEEN:
+            return (
+                f"{self.alias}.{self.column} BETWEEN "
+                f"{self.values[0]!r} AND {self.values[1]!r}"
+            )
+        if self.op is PredOp.IN:
+            inner = ", ".join(repr(v) for v in self.values)
+            return f"{self.alias}.{self.column} IN ({inner})"
+        return f"{self.alias}.{self.column} {self.op.value} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """Equi-join predicate ``left_alias.left_col = right_alias.right_col``."""
+
+    left_alias: str
+    left_column: str
+    right_alias: str
+    right_column: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "left_alias", self.left_alias.lower())
+        object.__setattr__(self, "left_column", self.left_column.lower())
+        object.__setattr__(self, "right_alias", self.right_alias.lower())
+        object.__setattr__(self, "right_column", self.right_column.lower())
+
+    def aliases(self) -> FrozenSet[str]:
+        return frozenset((self.left_alias, self.right_alias))
+
+    def side_for(self, alias: str) -> Tuple[str, str]:
+        """(column on ``alias`` side, the other alias)."""
+        alias = alias.lower()
+        if alias == self.left_alias:
+            return self.left_column, self.right_alias
+        if alias == self.right_alias:
+            return self.right_column, self.left_alias
+        raise PlanningError(f"alias {alias!r} is not part of {self}")
+
+    def column_for(self, alias: str) -> str:
+        return self.side_for(alias)[0]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.left_alias}.{self.left_column} = "
+            f"{self.right_alias}.{self.right_column}"
+        )
+
+
+@dataclass(frozen=True)
+class PredicateGroup:
+    """A set of local predicates on the same quantifier."""
+
+    predicates: FrozenSet[LocalPredicate]
+
+    def __post_init__(self) -> None:
+        if not self.predicates:
+            raise PlanningError("a predicate group cannot be empty")
+        aliases = {p.alias for p in self.predicates}
+        if len(aliases) != 1:
+            raise PlanningError(
+                f"predicate group spans multiple quantifiers: {sorted(aliases)}"
+            )
+
+    @staticmethod
+    def of(*predicates: LocalPredicate) -> "PredicateGroup":
+        return PredicateGroup(frozenset(predicates))
+
+    @staticmethod
+    def from_iterable(predicates: Iterable[LocalPredicate]) -> "PredicateGroup":
+        return PredicateGroup(frozenset(predicates))
+
+    @property
+    def alias(self) -> str:
+        return next(iter(self.predicates)).alias
+
+    @property
+    def size(self) -> int:
+        return len(self.predicates)
+
+    def columns(self) -> Tuple[str, ...]:
+        """Canonical (sorted, deduplicated) column group."""
+        return tuple(sorted({p.column for p in self.predicates}))
+
+    def sorted_predicates(self) -> List[LocalPredicate]:
+        return sorted(
+            self.predicates, key=lambda p: (p.column, p.op.value, str(p.values))
+        )
+
+    def contains(self, other: "PredicateGroup") -> bool:
+        return other.predicates <= self.predicates
+
+    def __str__(self) -> str:
+        return " AND ".join(str(p) for p in self.sorted_predicates())
+
+    def __iter__(self):
+        return iter(self.sorted_predicates())

@@ -1,0 +1,135 @@
+"""Mapping predicates to numeric regions of the physical value space.
+
+Selectivity statistics (histograms, QSS archive entries) live on the
+columns' physical domains: INT values, FLOAT values, or dictionary codes
+for strings. This module converts predicates and predicate groups into
+half-open :class:`~repro.histograms.intervals.Interval` / ``Region``
+objects on that space.
+
+Not every predicate is representable as one interval (``<>``, multi-value
+``IN``); those return ``None`` and the selectivity layer handles them by
+complement/sum instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..histograms import Interval, Region
+from ..storage import Table
+from ..types import DataType, Value
+from .predicate import LocalPredicate, PredOp, PredicateGroup
+
+EMPTY = Interval(0.0, 0.0)
+
+
+def physical_value(table: Table, column: str, value: Value) -> Optional[float]:
+    """Physical form of a literal; None when a string is unknown.
+
+    An unknown string means no stored row can match an equality against it.
+    """
+    col = table.column(column)
+    phys = col.lookup_value(value)
+    if phys is None:
+        return None
+    return float(phys)
+
+
+def _is_integral(table: Table, column: str) -> bool:
+    return table.schema.column(column).dtype is not DataType.FLOAT
+
+
+def _point_interval(value: float, integral: bool) -> Interval:
+    if integral:
+        return Interval(value, value + 1.0)
+    return Interval(value, float(np.nextafter(value, np.inf)))
+
+
+def predicate_interval(
+    table: Table, predicate: LocalPredicate
+) -> Optional[Interval]:
+    """Half-open interval for a predicate, or None if not representable."""
+    integral = _is_integral(table, predicate.column)
+    op = predicate.op
+    if op is PredOp.EQ:
+        phys = physical_value(table, predicate.column, predicate.value)
+        if phys is None:
+            return EMPTY
+        return _point_interval(phys, integral)
+    if op is PredOp.IN:
+        if len(predicate.values) == 1:
+            phys = physical_value(table, predicate.column, predicate.values[0])
+            if phys is None:
+                return EMPTY
+            return _point_interval(phys, integral)
+        return None
+    if op is PredOp.NE:
+        return None
+    if op is PredOp.BETWEEN:
+        lo = physical_value(table, predicate.column, predicate.values[0])
+        hi = physical_value(table, predicate.column, predicate.values[1])
+        if lo is None or hi is None:
+            return None  # string BETWEEN with unknown bound: give up on regions
+        if integral:
+            return Interval(lo, hi + 1.0)
+        return Interval(lo, float(np.nextafter(hi, np.inf)))
+    phys = physical_value(table, predicate.column, predicate.value)
+    if phys is None:
+        return None
+    if op is PredOp.LT:
+        return Interval(-math.inf, phys)
+    if op is PredOp.LE:
+        if integral:
+            return Interval(-math.inf, phys + 1.0)
+        return Interval(-math.inf, float(np.nextafter(phys, np.inf)))
+    if op is PredOp.GT:
+        if integral:
+            return Interval(phys + 1.0, math.inf)
+        return Interval(float(np.nextafter(phys, np.inf)), math.inf)
+    if op is PredOp.GE:
+        return Interval(phys, math.inf)
+    raise AssertionError(f"unhandled predicate op {op}")
+
+
+def group_region(
+    table: Table, group: PredicateGroup
+) -> Optional[Tuple[Tuple[str, ...], Region]]:
+    """``(canonical columns, region)`` for a group, or None.
+
+    Multiple predicates on the same column intersect; a group containing
+    any non-interval predicate is not region-representable.
+    """
+    per_column: Dict[str, Interval] = {}
+    for predicate in group.predicates:
+        interval = predicate_interval(table, predicate)
+        if interval is None:
+            return None
+        current = per_column.get(predicate.column)
+        per_column[predicate.column] = (
+            interval if current is None else current.intersect(interval)
+        )
+    columns = tuple(sorted(per_column))
+    region = Region(tuple(per_column[c] for c in columns))
+    return columns, region
+
+
+def region_for_columns(
+    table: Table, group: PredicateGroup, columns: Tuple[str, ...]
+) -> Optional[Region]:
+    """Region of ``group`` expressed over a fixed column order.
+
+    Columns without a predicate in the group contribute an unbounded
+    interval (useful for matching a group against an existing
+    multi-dimensional histogram on a superset of its columns).
+    """
+    result = group_region(table, group)
+    if result is None:
+        return None
+    have, region = result
+    if not set(have) <= set(columns):
+        return None
+    mapping = dict(zip(have, region.intervals))
+    return Region(tuple(mapping.get(c, Interval()) for c in columns))

@@ -1,0 +1,54 @@
+"""Canonical keys for residual (non-histogram-able) predicates.
+
+Lives in the predicates package so both the optimizer (lookup) and the
+JITS residual store (record) can share it without an import cycle.
+"""
+
+from __future__ import annotations
+
+from ..sql import ast
+
+
+def residual_key(expr: ast.BoolExpr, alias: str) -> str:
+    """Canonical text of a residual predicate, alias-independent.
+
+    The same logical predicate written against different table aliases
+    must share one entry, so the quantifier name is replaced by a
+    placeholder before rendering.
+    """
+    return _render(expr, alias.lower())
+
+
+def _render(node, alias: str) -> str:
+    if isinstance(node, ast.ColumnRef):
+        qualifier = (node.qualifier or "").lower()
+        shown = "$T" if qualifier == alias else qualifier
+        return f"{shown}.{node.name.lower()}"
+    if isinstance(node, ast.Literal):
+        return str(node)
+    if isinstance(node, ast.BinaryArith):
+        return f"({_render(node.left, alias)} {node.op} {_render(node.right, alias)})"
+    if isinstance(node, ast.UnaryArith):
+        return f"(-{_render(node.operand, alias)})"
+    if isinstance(node, ast.Comparison):
+        return (
+            f"{_render(node.left, alias)} {node.op.value} "
+            f"{_render(node.right, alias)}"
+        )
+    if isinstance(node, ast.BetweenExpr):
+        word = "NOT BETWEEN" if node.negated else "BETWEEN"
+        return (
+            f"{_render(node.operand, alias)} {word} "
+            f"{_render(node.low, alias)} AND {_render(node.high, alias)}"
+        )
+    if isinstance(node, ast.InListExpr):
+        word = "NOT IN" if node.negated else "IN"
+        inner = ", ".join(str(i) for i in node.items)
+        return f"{_render(node.operand, alias)} {word} ({inner})"
+    if isinstance(node, ast.AndExpr):
+        return " AND ".join(f"({_render(o, alias)})" for o in node.operands)
+    if isinstance(node, ast.OrExpr):
+        return " OR ".join(f"({_render(o, alias)})" for o in node.operands)
+    if isinstance(node, ast.NotExpr):
+        return f"NOT ({_render(node.operand, alias)})"
+    return repr(node)

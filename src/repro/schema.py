@@ -1,0 +1,102 @@
+"""Logical schema objects: column and table definitions.
+
+These are shared by the storage engine (physical layout), the catalog
+(statistics are keyed by schema objects) and the binder (name resolution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .errors import CatalogError
+from .types import DataType
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """Definition of one column: a name and a logical type."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise CatalogError(f"invalid column name {self.name!r}")
+
+
+@dataclass
+class ForeignKey:
+    """A foreign-key relationship ``column -> ref_table.ref_column``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+@dataclass
+class TableSchema:
+    """Definition of a table: ordered columns plus key metadata."""
+
+    name: str
+    columns: List[ColumnDef]
+    primary_key: Optional[str] = None
+    foreign_keys: List[ForeignKey] = field(default_factory=list)
+    _by_name: Dict[str, ColumnDef] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise CatalogError(f"table {self.name!r} must have columns")
+        self._by_name = {}
+        for col in self.columns:
+            key = col.name.lower()
+            if key in self._by_name:
+                raise CatalogError(
+                    f"duplicate column {col.name!r} in table {self.name!r}"
+                )
+            self._by_name[key] = col
+        if self.primary_key is not None and not self.has_column(self.primary_key):
+            raise CatalogError(
+                f"primary key {self.primary_key!r} is not a column of {self.name!r}"
+            )
+        for fk in self.foreign_keys:
+            if not self.has_column(fk.column):
+                raise CatalogError(
+                    f"foreign key column {fk.column!r} is not in {self.name!r}"
+                )
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    def column(self, name: str) -> ColumnDef:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column_index(self, name: str) -> int:
+        key = name.lower()
+        for i, col in enumerate(self.columns):
+            if col.name.lower() == key:
+                return i
+        raise CatalogError(f"table {self.name!r} has no column {name!r}")
+
+
+def make_schema(
+    name: str,
+    columns: Sequence[Tuple[str, DataType]],
+    primary_key: Optional[str] = None,
+    foreign_keys: Sequence[ForeignKey] = (),
+) -> TableSchema:
+    """Convenience constructor from ``(name, dtype)`` pairs."""
+    return TableSchema(
+        name=name,
+        columns=[ColumnDef(n, t) for n, t in columns],
+        primary_key=primary_key,
+        foreign_keys=list(foreign_keys),
+    )

@@ -1,0 +1,24 @@
+"""SQL front end: lexer, parser, rewrite and the simplified QGM."""
+
+from . import ast
+from .lexer import Token, TokenType, tokenize
+from .parser import parse, parse_select
+from .qgm import OutputColumn, Quantifier, QueryBlock, build_query_graph
+from .rewrite import fold_bool, fold_expr, is_mergeable, rewrite_select
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse",
+    "parse_select",
+    "build_query_graph",
+    "QueryBlock",
+    "Quantifier",
+    "OutputColumn",
+    "rewrite_select",
+    "fold_expr",
+    "fold_bool",
+    "is_mergeable",
+]

@@ -1,0 +1,347 @@
+"""Abstract syntax tree for the supported SQL dialect.
+
+The dialect covers what the paper's workloads need: SELECT-PROJECT-JOIN
+blocks with conjunctive predicates, BETWEEN/IN, aggregates with GROUP BY,
+ORDER BY/LIMIT, derived tables (sub-selects in FROM — these become separate
+query blocks, matching the paper's per-block analysis), and the DML needed
+to simulate an operational database (INSERT/UPDATE/DELETE) plus DDL.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..types import DataType, Value
+
+
+# ----------------------------------------------------------------------
+# Scalar expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for scalar expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Value
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly-qualified column reference."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinaryArith(Expr):
+    op: str  # + - * /
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryArith(Expr):
+    op: str  # -
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+class AggFunc(enum.Enum):
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    func: AggFunc
+    argument: Optional[Expr]  # None for COUNT(*)
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        arg = "*" if self.argument is None else str(self.argument)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.func.value.upper()}({prefix}{arg})"
+
+
+# ----------------------------------------------------------------------
+# Boolean expressions
+# ----------------------------------------------------------------------
+class BoolExpr:
+    """Base class for boolean expressions."""
+
+
+class CompareOp(enum.Enum):
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def flipped(self) -> "CompareOp":
+        flip = {
+            CompareOp.LT: CompareOp.GT,
+            CompareOp.LE: CompareOp.GE,
+            CompareOp.GT: CompareOp.LT,
+            CompareOp.GE: CompareOp.LE,
+        }
+        return flip.get(self, self)
+
+
+@dataclass(frozen=True)
+class Comparison(BoolExpr):
+    op: CompareOp
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.value} {self.right}"
+
+
+@dataclass(frozen=True)
+class BetweenExpr(BoolExpr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        word = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"{self.operand} {word} {self.low} AND {self.high}"
+
+
+@dataclass(frozen=True)
+class InListExpr(BoolExpr):
+    operand: Expr
+    items: Tuple[Literal, ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        word = "NOT IN" if self.negated else "IN"
+        inner = ", ".join(str(i) for i in self.items)
+        return f"{self.operand} {word} ({inner})"
+
+
+@dataclass(frozen=True)
+class AndExpr(BoolExpr):
+    operands: Tuple[BoolExpr, ...]
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({o})" for o in self.operands)
+
+
+@dataclass(frozen=True)
+class OrExpr(BoolExpr):
+    operands: Tuple[BoolExpr, ...]
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({o})" for o in self.operands)
+
+
+@dataclass(frozen=True)
+class NotExpr(BoolExpr):
+    operand: BoolExpr
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+# ----------------------------------------------------------------------
+# FROM items and statements
+# ----------------------------------------------------------------------
+@dataclass
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return (self.alias or self.name).lower()
+
+
+@dataclass
+class DerivedTable:
+    select: "SelectStatement"
+    alias: str
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias.lower()
+
+
+FromItem = Union[TableRef, DerivedTable]
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+    def output_name(self, position: int) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        return f"col{position}"
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+class Statement:
+    """Base class for all statements."""
+
+
+@dataclass
+class SelectStatement(Statement):
+    items: List[SelectItem]
+    from_items: List[FromItem]
+    star: bool = False
+    where: Optional[BoolExpr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[BoolExpr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass
+class InsertStatement(Statement):
+    table: str
+    columns: Optional[List[str]]
+    rows: List[List[Literal]]
+
+
+@dataclass
+class UpdateStatement(Statement):
+    table: str
+    assignments: List[Tuple[str, Expr]]
+    where: Optional[BoolExpr] = None
+
+
+@dataclass
+class DeleteStatement(Statement):
+    table: str
+    where: Optional[BoolExpr] = None
+
+
+@dataclass
+class ColumnSpec:
+    name: str
+    dtype: DataType
+
+
+@dataclass
+class CreateTableStatement(Statement):
+    table: str
+    columns: List[ColumnSpec]
+    primary_key: Optional[str] = None
+
+
+@dataclass
+class DropTableStatement(Statement):
+    table: str
+
+
+@dataclass
+class CreateIndexStatement(Statement):
+    table: str
+    column: str
+    kind: str = "hash"  # "hash" | "sorted"
+
+
+def conjuncts(expr: Optional[BoolExpr]) -> List[BoolExpr]:
+    """Flatten nested ANDs into a list of conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, AndExpr):
+        out: List[BoolExpr] = []
+        for op in expr.operands:
+            out.extend(conjuncts(op))
+        return out
+    return [expr]
+
+
+def make_and(parts: Sequence[BoolExpr]) -> Optional[BoolExpr]:
+    """Combine conjuncts back into a single expression (None for empty)."""
+    parts = list(parts)
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return AndExpr(tuple(parts))
+
+
+def column_refs(expr: Union[Expr, BoolExpr, None]) -> List[ColumnRef]:
+    """All column references appearing anywhere in an expression."""
+    refs: List[ColumnRef] = []
+    _collect_refs(expr, refs)
+    return refs
+
+
+def _collect_refs(node, refs: List[ColumnRef]) -> None:
+    if node is None or isinstance(node, Literal):
+        return
+    if isinstance(node, ColumnRef):
+        refs.append(node)
+    elif isinstance(node, BinaryArith):
+        _collect_refs(node.left, refs)
+        _collect_refs(node.right, refs)
+    elif isinstance(node, UnaryArith):
+        _collect_refs(node.operand, refs)
+    elif isinstance(node, Aggregate):
+        _collect_refs(node.argument, refs)
+    elif isinstance(node, Comparison):
+        _collect_refs(node.left, refs)
+        _collect_refs(node.right, refs)
+    elif isinstance(node, BetweenExpr):
+        _collect_refs(node.operand, refs)
+        _collect_refs(node.low, refs)
+        _collect_refs(node.high, refs)
+    elif isinstance(node, InListExpr):
+        _collect_refs(node.operand, refs)
+    elif isinstance(node, (AndExpr, OrExpr)):
+        for op in node.operands:
+            _collect_refs(op, refs)
+    elif isinstance(node, NotExpr):
+        _collect_refs(node.operand, refs)
+
+
+def contains_aggregate(expr: Union[Expr, BoolExpr, None]) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, Aggregate):
+        return True
+    if isinstance(expr, BinaryArith):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, UnaryArith):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, Comparison):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    return False

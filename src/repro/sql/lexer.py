@@ -1,0 +1,129 @@
+"""Hand-written SQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import SqlSyntaxError
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "having", "order",
+    "limit", "asc", "desc", "and", "or", "not", "between", "in", "as",
+    "insert", "into", "values", "update", "set", "delete", "create", "drop",
+    "table", "index", "on", "primary", "key", "int", "integer", "float",
+    "double", "string", "varchar", "text", "join", "inner", "is", "null",
+    "count", "sum", "avg", "min", "max", "hash", "sorted", "using",
+}
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.text == symbol
+
+
+_TWO_CHAR_SYMBOLS = ("<=", ">=", "<>", "!=")
+_ONE_CHAR_SYMBOLS = set("()*,.+-/=<>;")
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            text, i = _read_string(sql, i)
+            tokens.append(Token(TokenType.STRING, text, i))
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            start = i
+            i += 1
+            seen_dot = ch == "."
+            seen_exp = False
+            while i < n:
+                c = sql[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i + 1 < n and (
+                    sql[i + 1].isdigit() or sql[i + 1] in "+-"
+                ):
+                    seen_exp = True
+                    i += 2
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, sql[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        two = sql[i : i + 2]
+        if two in _TWO_CHAR_SYMBOLS:
+            text = "<>" if two == "!=" else two
+            tokens.append(Token(TokenType.SYMBOL, text, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_SYMBOLS:
+            tokens.append(Token(TokenType.SYMBOL, ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_string(sql: str, start: int):
+    """Read a single-quoted string with '' as the escape for a quote."""
+    i = start + 1
+    n = len(sql)
+    out = []
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", position=start)

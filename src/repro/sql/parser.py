@@ -1,0 +1,502 @@
+"""Recursive-descent parser for the supported SQL dialect."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import SqlSyntaxError
+from ..types import DataType
+from . import ast
+from .lexer import Token, TokenType, tokenize
+
+_TYPE_WORDS = {
+    "int": DataType.INT,
+    "integer": DataType.INT,
+    "float": DataType.FLOAT,
+    "double": DataType.FLOAT,
+    "string": DataType.STRING,
+    "varchar": DataType.STRING,
+    "text": DataType.STRING,
+}
+
+_AGG_WORDS = {
+    "count": ast.AggFunc.COUNT,
+    "sum": ast.AggFunc.SUM,
+    "avg": ast.AggFunc.AVG,
+    "min": ast.AggFunc.MIN,
+    "max": ast.AggFunc.MAX,
+}
+
+_COMPARE_OPS = {
+    "=": ast.CompareOp.EQ,
+    "<>": ast.CompareOp.NE,
+    "<": ast.CompareOp.LT,
+    "<=": ast.CompareOp.LE,
+    ">": ast.CompareOp.GT,
+    ">=": ast.CompareOp.GE,
+}
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse one SQL statement."""
+    return Parser(sql).parse_statement()
+
+
+def parse_select(sql: str) -> ast.SelectStatement:
+    stmt = parse(sql)
+    if not isinstance(stmt, ast.SelectStatement):
+        raise SqlSyntaxError("expected a SELECT statement")
+    return stmt
+
+
+class Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        token = self._peek()
+        where = f" near {token.text!r}" if token.text else " at end of input"
+        return SqlSyntaxError(message + where, position=token.position)
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise self._error(f"expected {word.upper()}")
+        return self._advance()
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._peek()
+        if not token.is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}")
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self._peek().is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            return self._advance().text
+        # Non-reserved keywords may still be identifiers in some contexts
+        # (e.g. a column named "key"); keep strict for clarity.
+        raise self._error("expected identifier")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.is_keyword("select"):
+            stmt: ast.Statement = self._parse_select()
+        elif token.is_keyword("insert"):
+            stmt = self._parse_insert()
+        elif token.is_keyword("update"):
+            stmt = self._parse_update()
+        elif token.is_keyword("delete"):
+            stmt = self._parse_delete()
+        elif token.is_keyword("create"):
+            stmt = self._parse_create()
+        elif token.is_keyword("drop"):
+            stmt = self._parse_drop()
+        else:
+            raise self._error("expected a statement")
+        self._accept_symbol(";")
+        if self._peek().type is not TokenType.EOF:
+            raise self._error("unexpected trailing input")
+        return stmt
+
+    def _parse_select(self) -> ast.SelectStatement:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        star = False
+        items: List[ast.SelectItem] = []
+        if self._accept_symbol("*"):
+            star = True
+        else:
+            items.append(self._parse_select_item())
+            while self._accept_symbol(","):
+                items.append(self._parse_select_item())
+        self._expect_keyword("from")
+        from_items = [self._parse_from_item()]
+        join_conds: List[ast.BoolExpr] = []
+        while True:
+            if self._accept_symbol(","):
+                from_items.append(self._parse_from_item())
+                continue
+            if self._peek().is_keyword("inner") or self._peek().is_keyword("join"):
+                self._accept_keyword("inner")
+                self._expect_keyword("join")
+                from_items.append(self._parse_from_item())
+                self._expect_keyword("on")
+                join_conds.append(self._parse_bool_expr())
+                continue
+            break
+        where = None
+        if self._accept_keyword("where"):
+            where = self._parse_bool_expr()
+        # Explicit JOIN ... ON conditions are folded into WHERE; the
+        # rewrite stage classifies them as join predicates.
+        all_conds = join_conds + ([where] if where is not None else [])
+        where = ast.make_and(all_conds) if all_conds else None
+        group_by: List[ast.Expr] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._parse_expr())
+            while self._accept_symbol(","):
+                group_by.append(self._parse_expr())
+        having = None
+        if self._accept_keyword("having"):
+            having = self._parse_bool_expr()
+        order_by: List[ast.OrderItem] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self._accept_symbol(","):
+                order_by.append(self._parse_order_item())
+        limit = None
+        if self._accept_keyword("limit"):
+            token = self._peek()
+            if token.type is not TokenType.NUMBER:
+                raise self._error("expected LIMIT count")
+            self._advance()
+            limit = int(float(token.text))
+        return ast.SelectStatement(
+            items=items,
+            from_items=from_items,
+            star=star,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().text
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self._parse_expr()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return ast.OrderItem(expr=expr, descending=descending)
+
+    def _parse_from_item(self) -> ast.FromItem:
+        if self._accept_symbol("("):
+            select = self._parse_select()
+            self._expect_symbol(")")
+            self._accept_keyword("as")
+            alias = self._expect_ident()
+            return ast.DerivedTable(select=select, alias=alias)
+        name = self._expect_ident()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().text
+        return ast.TableRef(name=name, alias=alias)
+
+    def _parse_insert(self) -> ast.InsertStatement:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_ident()
+        columns = None
+        if self._accept_symbol("("):
+            columns = [self._expect_ident()]
+            while self._accept_symbol(","):
+                columns.append(self._expect_ident())
+            self._expect_symbol(")")
+        self._expect_keyword("values")
+        rows = [self._parse_value_row()]
+        while self._accept_symbol(","):
+            rows.append(self._parse_value_row())
+        return ast.InsertStatement(table=table, columns=columns, rows=rows)
+
+    def _parse_value_row(self) -> List[ast.Literal]:
+        self._expect_symbol("(")
+        row = [self._parse_literal()]
+        while self._accept_symbol(","):
+            row.append(self._parse_literal())
+        self._expect_symbol(")")
+        return row
+
+    def _parse_update(self) -> ast.UpdateStatement:
+        self._expect_keyword("update")
+        table = self._expect_ident()
+        self._expect_keyword("set")
+        assignments: List[Tuple[str, ast.Expr]] = []
+        while True:
+            column = self._expect_ident()
+            self._expect_symbol("=")
+            assignments.append((column, self._parse_expr()))
+            if not self._accept_symbol(","):
+                break
+        where = None
+        if self._accept_keyword("where"):
+            where = self._parse_bool_expr()
+        return ast.UpdateStatement(table=table, assignments=assignments, where=where)
+
+    def _parse_delete(self) -> ast.DeleteStatement:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_ident()
+        where = None
+        if self._accept_keyword("where"):
+            where = self._parse_bool_expr()
+        return ast.DeleteStatement(table=table, where=where)
+
+    def _parse_create(self) -> ast.Statement:
+        self._expect_keyword("create")
+        if self._accept_keyword("table"):
+            return self._parse_create_table()
+        if self._accept_keyword("index"):
+            return self._parse_create_index("hash")
+        if self._accept_keyword("hash"):
+            self._expect_keyword("index")
+            return self._parse_create_index("hash")
+        if self._accept_keyword("sorted"):
+            self._expect_keyword("index")
+            return self._parse_create_index("sorted")
+        raise self._error("expected TABLE or INDEX")
+
+    def _parse_create_table(self) -> ast.CreateTableStatement:
+        table = self._expect_ident()
+        self._expect_symbol("(")
+        columns: List[ast.ColumnSpec] = []
+        primary_key = None
+        while True:
+            if self._accept_keyword("primary"):
+                self._expect_keyword("key")
+                self._expect_symbol("(")
+                primary_key = self._expect_ident()
+                self._expect_symbol(")")
+            else:
+                name = self._expect_ident()
+                token = self._peek()
+                if token.type is not TokenType.KEYWORD or token.text not in _TYPE_WORDS:
+                    raise self._error("expected a column type")
+                self._advance()
+                dtype = _TYPE_WORDS[token.text]
+                if token.text == "varchar" and self._accept_symbol("("):
+                    if self._peek().type is TokenType.NUMBER:
+                        self._advance()
+                    self._expect_symbol(")")
+                if self._accept_keyword("primary"):
+                    self._expect_keyword("key")
+                    primary_key = name
+                columns.append(ast.ColumnSpec(name=name, dtype=dtype))
+            if not self._accept_symbol(","):
+                break
+        self._expect_symbol(")")
+        return ast.CreateTableStatement(
+            table=table, columns=columns, primary_key=primary_key
+        )
+
+    def _parse_create_index(self, kind: str) -> ast.CreateIndexStatement:
+        self._expect_ident()  # index name, accepted and ignored
+        self._expect_keyword("on")
+        table = self._expect_ident()
+        self._expect_symbol("(")
+        column = self._expect_ident()
+        self._expect_symbol(")")
+        if self._accept_keyword("using"):
+            if self._accept_keyword("hash"):
+                kind = "hash"
+            elif self._accept_keyword("sorted"):
+                kind = "sorted"
+            else:
+                raise self._error("expected HASH or SORTED")
+        return ast.CreateIndexStatement(table=table, column=column, kind=kind)
+
+    def _parse_drop(self) -> ast.DropTableStatement:
+        self._expect_keyword("drop")
+        self._expect_keyword("table")
+        return ast.DropTableStatement(table=self._expect_ident())
+
+    # ------------------------------------------------------------------
+    # Boolean expressions (precedence: OR < AND < NOT < predicate)
+    # ------------------------------------------------------------------
+    def _parse_bool_expr(self) -> ast.BoolExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.BoolExpr:
+        parts = [self._parse_and()]
+        while self._accept_keyword("or"):
+            parts.append(self._parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.OrExpr(tuple(parts))
+
+    def _parse_and(self) -> ast.BoolExpr:
+        parts = [self._parse_not()]
+        while self._accept_keyword("and"):
+            parts.append(self._parse_not())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.AndExpr(tuple(parts))
+
+    def _parse_not(self) -> ast.BoolExpr:
+        if self._accept_keyword("not"):
+            return ast.NotExpr(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.BoolExpr:
+        # Parenthesized boolean vs parenthesized arithmetic: try boolean
+        # first and fall back (the grammar keeps this unambiguous enough).
+        if self._peek().is_symbol("("):
+            saved = self.pos
+            self._advance()
+            try:
+                inner = self._parse_bool_expr()
+                self._expect_symbol(")")
+                return inner
+            except SqlSyntaxError:
+                self.pos = saved
+        left = self._parse_expr()
+        token = self._peek()
+        if token.type is TokenType.SYMBOL and token.text in _COMPARE_OPS:
+            self._advance()
+            right = self._parse_expr()
+            return ast.Comparison(op=_COMPARE_OPS[token.text], left=left, right=right)
+        negated = False
+        if self._accept_keyword("not"):
+            negated = True
+        if self._accept_keyword("between"):
+            low = self._parse_expr()
+            self._expect_keyword("and")
+            high = self._parse_expr()
+            return ast.BetweenExpr(operand=left, low=low, high=high, negated=negated)
+        if self._accept_keyword("in"):
+            self._expect_symbol("(")
+            literals = [self._parse_literal()]
+            while self._accept_symbol(","):
+                literals.append(self._parse_literal())
+            self._expect_symbol(")")
+            return ast.InListExpr(
+                operand=left, items=tuple(literals), negated=negated
+            )
+        raise self._error("expected a comparison, BETWEEN or IN")
+
+    # ------------------------------------------------------------------
+    # Scalar expressions (precedence: +- < */ < unary < atom)
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> ast.Expr:
+        left = self._parse_term()
+        while True:
+            token = self._peek()
+            if token.is_symbol("+") or token.is_symbol("-"):
+                self._advance()
+                right = self._parse_term()
+                left = ast.BinaryArith(op=token.text, left=left, right=right)
+            else:
+                return left
+
+    def _parse_term(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.is_symbol("*") or token.is_symbol("/"):
+                self._advance()
+                right = self._parse_unary()
+                left = ast.BinaryArith(op=token.text, left=left, right=right)
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._accept_symbol("-"):
+            return ast.UnaryArith(op="-", operand=self._parse_unary())
+        if self._accept_symbol("+"):
+            return self._parse_unary()
+        return self._parse_atom()
+
+    def _parse_atom(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.text
+            if "." in text or "e" in text or "E" in text:
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.text)
+        if token.type is TokenType.KEYWORD and token.text in _AGG_WORDS:
+            return self._parse_aggregate()
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._accept_symbol("."):
+                column = self._expect_ident()
+                return ast.ColumnRef(name=column, qualifier=token.text)
+            return ast.ColumnRef(name=token.text)
+        if token.is_symbol("("):
+            self._advance()
+            inner = self._parse_expr()
+            self._expect_symbol(")")
+            return inner
+        raise self._error("expected an expression")
+
+    def _parse_aggregate(self) -> ast.Aggregate:
+        token = self._advance()
+        func = _AGG_WORDS[token.text]
+        self._expect_symbol("(")
+        if func is ast.AggFunc.COUNT and self._accept_symbol("*"):
+            self._expect_symbol(")")
+            return ast.Aggregate(func=func, argument=None)
+        distinct = self._accept_keyword("distinct")
+        argument = self._parse_expr()
+        self._expect_symbol(")")
+        return ast.Aggregate(func=func, argument=argument, distinct=distinct)
+
+    def _parse_literal(self) -> ast.Literal:
+        token = self._peek()
+        negative = False
+        if token.is_symbol("-"):
+            self._advance()
+            negative = True
+            token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.text
+            value = (
+                float(text) if ("." in text or "e" in text or "E" in text) else int(text)
+            )
+            return ast.Literal(-value if negative else value)
+        if negative:
+            raise self._error("expected a number after '-'")
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.text)
+        raise self._error("expected a literal")

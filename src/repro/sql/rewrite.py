@@ -1,0 +1,218 @@
+"""Query rewrite: constant folding and derived-table (view) merging.
+
+The paper's query analysis runs on "the query after rewrite, so the query
+blocks are finalized" (Section 3.2). Our rewrite performs the two
+transformations that matter for block structure:
+
+* **constant folding** — literal-only arithmetic becomes a literal, so the
+  predicate classifier sees constants;
+* **view merging** — a derived table that is a plain select-project (no
+  aggregation, DISTINCT, ORDER BY or LIMIT) is merged into its parent
+  block, exactly like Starburst/QGM merges SELECT boxes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..errors import BindingError
+from . import ast
+
+
+# ----------------------------------------------------------------------
+# Constant folding
+# ----------------------------------------------------------------------
+def fold_expr(expr: ast.Expr) -> ast.Expr:
+    """Fold literal-only arithmetic into literals."""
+    if isinstance(expr, ast.BinaryArith):
+        left = fold_expr(expr.left)
+        right = fold_expr(expr.right)
+        if isinstance(left, ast.Literal) and isinstance(right, ast.Literal):
+            return _apply_arith(expr.op, left, right)
+        return ast.BinaryArith(op=expr.op, left=left, right=right)
+    if isinstance(expr, ast.UnaryArith):
+        operand = fold_expr(expr.operand)
+        if isinstance(operand, ast.Literal) and isinstance(
+            operand.value, (int, float)
+        ):
+            return ast.Literal(-operand.value)
+        return ast.UnaryArith(op=expr.op, operand=operand)
+    if isinstance(expr, ast.Aggregate) and expr.argument is not None:
+        return ast.Aggregate(
+            func=expr.func, argument=fold_expr(expr.argument), distinct=expr.distinct
+        )
+    return expr
+
+
+def _apply_arith(op: str, left: ast.Literal, right: ast.Literal) -> ast.Literal:
+    lv, rv = left.value, right.value
+    if not isinstance(lv, (int, float)) or not isinstance(rv, (int, float)):
+        raise BindingError(f"arithmetic on non-numeric literals: {lv!r} {op} {rv!r}")
+    if op == "+":
+        return ast.Literal(lv + rv)
+    if op == "-":
+        return ast.Literal(lv - rv)
+    if op == "*":
+        return ast.Literal(lv * rv)
+    if op == "/":
+        if rv == 0:
+            raise BindingError("division by zero in constant expression")
+        result = lv / rv
+        if isinstance(lv, int) and isinstance(rv, int) and lv % rv == 0:
+            return ast.Literal(lv // rv)
+        return ast.Literal(result)
+    raise AssertionError(f"unknown arithmetic op {op}")
+
+
+def fold_bool(expr: Optional[ast.BoolExpr]) -> Optional[ast.BoolExpr]:
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Comparison):
+        return ast.Comparison(
+            op=expr.op, left=fold_expr(expr.left), right=fold_expr(expr.right)
+        )
+    if isinstance(expr, ast.BetweenExpr):
+        return ast.BetweenExpr(
+            operand=fold_expr(expr.operand),
+            low=fold_expr(expr.low),
+            high=fold_expr(expr.high),
+            negated=expr.negated,
+        )
+    if isinstance(expr, ast.InListExpr):
+        return ast.InListExpr(
+            operand=fold_expr(expr.operand), items=expr.items, negated=expr.negated
+        )
+    if isinstance(expr, ast.AndExpr):
+        return ast.AndExpr(tuple(fold_bool(o) for o in expr.operands))
+    if isinstance(expr, ast.OrExpr):
+        return ast.OrExpr(tuple(fold_bool(o) for o in expr.operands))
+    if isinstance(expr, ast.NotExpr):
+        return ast.NotExpr(fold_bool(expr.operand))
+    return expr
+
+
+# ----------------------------------------------------------------------
+# View merging
+# ----------------------------------------------------------------------
+def is_mergeable(select: ast.SelectStatement) -> bool:
+    """Can this derived table be merged into its parent block?"""
+    if select.group_by or select.having or select.order_by:
+        return False
+    if select.distinct or select.limit is not None:
+        return False
+    if select.star:
+        return True
+    for item in select.items:
+        if ast.contains_aggregate(item.expr):
+            return False
+        if not isinstance(item.expr, (ast.ColumnRef, ast.Literal)):
+            # Merging computed projections would need expression
+            # substitution into parent predicates; stay conservative.
+            return False
+    return True
+
+
+def rewrite_select(select: ast.SelectStatement) -> ast.SelectStatement:
+    """Fold constants and merge mergeable derived tables, recursively."""
+    select.where = fold_bool(select.where)
+    select.having = fold_bool(select.having)
+    select.items = [
+        ast.SelectItem(expr=fold_expr(i.expr), alias=i.alias) for i in select.items
+    ]
+    new_from: List[ast.FromItem] = []
+    extra_conjuncts: List[ast.BoolExpr] = []
+    renames: Dict[str, ast.ColumnRef] = {}
+    for item in select.from_items:
+        if isinstance(item, ast.DerivedTable):
+            child = rewrite_select(item.select)
+            if is_mergeable(child) and not child.star:
+                # Hoist child quantifiers and predicates into this block.
+                for sub in child.from_items:
+                    new_from.append(sub)
+                if child.where is not None:
+                    extra_conjuncts.extend(ast.conjuncts(child.where))
+                for position, child_item in enumerate(child.items):
+                    name = child_item.output_name(position).lower()
+                    if isinstance(child_item.expr, ast.ColumnRef):
+                        renames[f"{item.alias.lower()}.{name}"] = child_item.expr
+                continue
+            new_from.append(ast.DerivedTable(select=child, alias=item.alias))
+        else:
+            new_from.append(item)
+    select.from_items = new_from
+    if extra_conjuncts:
+        existing = ast.conjuncts(select.where)
+        select.where = ast.make_and(existing + extra_conjuncts)
+    if renames:
+        select.where = _rename_bool(select.where, renames)
+        select.having = _rename_bool(select.having, renames)
+        select.items = [
+            ast.SelectItem(expr=_rename_expr(i.expr, renames), alias=i.alias)
+            for i in select.items
+        ]
+        select.group_by = [_rename_expr(g, renames) for g in select.group_by]
+        select.order_by = [
+            ast.OrderItem(expr=_rename_expr(o.expr, renames), descending=o.descending)
+            for o in select.order_by
+        ]
+    return select
+
+
+def _rename_expr(
+    expr: Optional[ast.Expr], renames: Dict[str, ast.ColumnRef]
+) -> Optional[ast.Expr]:
+    if expr is None:
+        return None
+    if isinstance(expr, ast.ColumnRef):
+        if expr.qualifier is not None:
+            key = f"{expr.qualifier.lower()}.{expr.name.lower()}"
+            return renames.get(key, expr)
+        return expr
+    if isinstance(expr, ast.BinaryArith):
+        return ast.BinaryArith(
+            op=expr.op,
+            left=_rename_expr(expr.left, renames),
+            right=_rename_expr(expr.right, renames),
+        )
+    if isinstance(expr, ast.UnaryArith):
+        return ast.UnaryArith(op=expr.op, operand=_rename_expr(expr.operand, renames))
+    if isinstance(expr, ast.Aggregate):
+        return ast.Aggregate(
+            func=expr.func,
+            argument=_rename_expr(expr.argument, renames),
+            distinct=expr.distinct,
+        )
+    return expr
+
+
+def _rename_bool(
+    expr: Optional[ast.BoolExpr], renames: Dict[str, ast.ColumnRef]
+) -> Optional[ast.BoolExpr]:
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Comparison):
+        return ast.Comparison(
+            op=expr.op,
+            left=_rename_expr(expr.left, renames),
+            right=_rename_expr(expr.right, renames),
+        )
+    if isinstance(expr, ast.BetweenExpr):
+        return ast.BetweenExpr(
+            operand=_rename_expr(expr.operand, renames),
+            low=_rename_expr(expr.low, renames),
+            high=_rename_expr(expr.high, renames),
+            negated=expr.negated,
+        )
+    if isinstance(expr, ast.InListExpr):
+        return ast.InListExpr(
+            operand=_rename_expr(expr.operand, renames),
+            items=expr.items,
+            negated=expr.negated,
+        )
+    if isinstance(expr, ast.AndExpr):
+        return ast.AndExpr(tuple(_rename_bool(o, renames) for o in expr.operands))
+    if isinstance(expr, ast.OrExpr):
+        return ast.OrExpr(tuple(_rename_bool(o, renames) for o in expr.operands))
+    if isinstance(expr, ast.NotExpr):
+        return ast.NotExpr(_rename_bool(expr.operand, renames))
+    return expr

@@ -1,0 +1,33 @@
+"""Columnar in-memory storage engine.
+
+Public surface: :class:`Database`, :class:`Table`, index classes and the
+sampling helpers. Everything above this layer (catalog, optimizer, executor)
+talks to tables through these objects.
+"""
+
+from .column import Column
+from .database import Database
+from .dictionary import MISSING_CODE, StringDictionary
+from .index import HashIndex, IndexSet, SortedIndex
+from .sampling import (
+    DEFAULT_SAMPLE_SIZE,
+    SampleView,
+    bernoulli_sample,
+    fixed_size_sample,
+)
+from .table import Table
+
+__all__ = [
+    "Column",
+    "Database",
+    "StringDictionary",
+    "MISSING_CODE",
+    "HashIndex",
+    "SortedIndex",
+    "IndexSet",
+    "Table",
+    "SampleView",
+    "fixed_size_sample",
+    "bernoulli_sample",
+    "DEFAULT_SAMPLE_SIZE",
+]

@@ -1,0 +1,136 @@
+"""Physical column storage.
+
+A :class:`Column` is a growable numpy array. INT and STRING columns are
+``int64`` (strings hold dictionary codes); FLOAT columns are ``float64``.
+Amortized O(1) appends are implemented with capacity doubling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import StorageError
+from ..types import DataType, Value
+from .dictionary import StringDictionary
+
+_INITIAL_CAPACITY = 16
+
+
+def _physical_dtype(dtype: DataType) -> np.dtype:
+    if dtype is DataType.FLOAT:
+        return np.dtype(np.float64)
+    return np.dtype(np.int64)
+
+
+class Column:
+    """One growable typed column."""
+
+    def __init__(self, name: str, dtype: DataType):
+        self.name = name
+        self.dtype = dtype
+        self._buf = np.empty(_INITIAL_CAPACITY, dtype=_physical_dtype(dtype))
+        self._size = 0
+        self.dictionary: Optional[StringDictionary] = (
+            StringDictionary() if dtype is DataType.STRING else None
+        )
+        # Bumped on every mutation of THIS column; indexes key their cache
+        # invalidation off it so updates to other columns don't force
+        # rebuilds.
+        self.version = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def data(self) -> np.ndarray:
+        """A view of the live physical values (codes for strings)."""
+        return self._buf[: self._size]
+
+    def _reserve(self, extra: int) -> None:
+        need = self._size + extra
+        if need <= len(self._buf):
+            return
+        capacity = max(len(self._buf), _INITIAL_CAPACITY)
+        while capacity < need:
+            capacity *= 2
+        buf = np.empty(capacity, dtype=self._buf.dtype)
+        buf[: self._size] = self._buf[: self._size]
+        self._buf = buf
+
+    def encode_value(self, value: Value) -> Union[int, float]:
+        """Validate and convert a logical value to its physical form."""
+        value = self.dtype.validate(value)
+        if self.dictionary is not None:
+            return self.dictionary.encode(value)  # type: ignore[arg-type]
+        return value  # type: ignore[return-value]
+
+    def lookup_value(self, value: Value) -> Union[int, float, None]:
+        """Physical form of ``value`` without mutating the dictionary.
+
+        Returns ``None`` when a string value is not present in the
+        dictionary (the matching predicate is then unsatisfiable).
+        """
+        value = self.dtype.validate(value)
+        if self.dictionary is not None:
+            code = self.dictionary.find_code(value)  # type: ignore[arg-type]
+            return code
+        return value  # type: ignore[return-value]
+
+    def decode_value(self, physical: Union[int, float]) -> Value:
+        if self.dictionary is not None:
+            return self.dictionary.decode(int(physical))
+        if self.dtype is DataType.INT:
+            return int(physical)
+        return float(physical)
+
+    def append(self, value: Value) -> None:
+        self._reserve(1)
+        self._buf[self._size] = self.encode_value(value)
+        self._size += 1
+        self.version += 1
+
+    def extend(self, values: Sequence[Value]) -> None:
+        self._reserve(len(values))
+        for value in values:
+            self._buf[self._size] = self.encode_value(value)
+            self._size += 1
+        self.version += 1
+
+    def extend_physical(self, physical: np.ndarray) -> None:
+        """Bulk-append already-encoded physical values (fast path)."""
+        if physical.dtype != self._buf.dtype:
+            physical = physical.astype(self._buf.dtype)
+        self._reserve(len(physical))
+        self._buf[self._size : self._size + len(physical)] = physical
+        self._size += len(physical)
+        self.version += 1
+
+    def set_at(self, rows: np.ndarray, value: Value) -> None:
+        """Overwrite the given row positions with one logical value."""
+        self._buf[: self._size][rows] = self.encode_value(value)
+        self.version += 1
+
+    def set_physical(self, rows: np.ndarray, values: np.ndarray) -> None:
+        """Overwrite row positions with per-row physical values."""
+        self._buf[: self._size][rows] = values
+        self.version += 1
+
+    def delete_rows(self, keep_mask: np.ndarray) -> None:
+        """Compact the column down to the rows where ``keep_mask`` is True."""
+        if len(keep_mask) != self._size:
+            raise StorageError("delete mask length mismatch")
+        kept = self._buf[: self._size][keep_mask]
+        self._buf = kept.copy()
+        self._size = len(kept)
+        self.version += 1
+
+    def logical_values(self, rows: Optional[np.ndarray] = None) -> List[Value]:
+        """Decode rows back to Python values (for result fetch)."""
+        phys = self.data if rows is None else self.data[rows]
+        if self.dictionary is not None:
+            return self.dictionary.decode_many(phys)
+        if self.dtype is DataType.INT:
+            return [int(v) for v in phys]
+        return [float(v) for v in phys]

@@ -1,0 +1,82 @@
+"""The database: a named set of tables plus their indexes.
+
+This is the engine's physical root object. The system catalog
+(:mod:`repro.catalog`) holds *statistics about* these tables; the database
+holds the tables themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import CatalogError
+from ..schema import TableSchema
+from .index import IndexSet
+from .table import Table
+
+
+class Database:
+    """Named tables and their index sets."""
+
+    def __init__(self, name: str = "repro"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self._indexes: Dict[str, IndexSet] = {}
+
+    def create_table(self, schema: TableSchema) -> Table:
+        key = schema.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[key] = table
+        self._indexes[key] = IndexSet(table)
+        # Primary keys get a hash index automatically: that is what makes
+        # PK-FK joins cheap, as in any real system.
+        if schema.primary_key is not None:
+            self._indexes[key].create_hash(schema.primary_key)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+        del self._indexes[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def indexes(self, name: str) -> IndexSet:
+        try:
+            return self._indexes[name.lower()]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def table_names(self) -> List[str]:
+        return [t.schema.name for t in self._tables.values()]
+
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    def total_rows(self) -> int:
+        return sum(t.row_count for t in self._tables.values())
+
+    def find_index_for_equality(self, table: str, column: str):
+        """Hash index on (table, column) if one exists."""
+        return self.indexes(table).hash_on(column)
+
+    def find_index_for_range(self, table: str, column: str):
+        """Sorted index on (table, column) if one exists."""
+        return self.indexes(table).sorted_on(column)
+
+    def create_hash_index(self, table: str, column: str):
+        return self.indexes(table).create_hash(column)
+
+    def create_sorted_index(self, table: str, column: str):
+        return self.indexes(table).create_sorted(column)

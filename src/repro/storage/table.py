@@ -1,0 +1,173 @@
+"""In-memory columnar table with UDI (update/delete/insert) accounting.
+
+The UDI counter is the data-activity signal used by the JITS sensitivity
+analysis (paper Section 3.3.1): the counter grows monotonically with every
+modified row; statistics consumers snapshot it at collection time and later
+compare ``table.udi_total`` against their snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import StorageError
+from ..schema import TableSchema
+from ..types import Value
+from .column import Column
+
+
+class Table:
+    """A named collection of equal-length columns."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.columns: Dict[str, Column] = {
+            c.name.lower(): Column(c.name, c.dtype) for c in schema.columns
+        }
+        # Monotone counters; never reset.
+        self.udi_total = 0  # rows touched by any INSERT/UPDATE/DELETE
+        self.version = 0  # bumped on any mutation (index/cache invalidation)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def row_count(self) -> int:
+        first = next(iter(self.columns.values()))
+        return len(first)
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name.lower()]
+        except KeyError:
+            raise StorageError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def column_data(self, name: str) -> np.ndarray:
+        """Physical (encoded) values of a column as a numpy view."""
+        return self.column(name).data
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert_row(self, values: Mapping[str, Value]) -> None:
+        self.insert_rows([values])
+
+    def insert_rows(self, rows: Sequence[Mapping[str, Value]]) -> None:
+        """Insert dict-shaped rows; every column must be present."""
+        if not rows:
+            return
+        names = self.schema.column_names()
+        for row in rows:
+            if len(row) != len(names):
+                raise StorageError(
+                    f"row has {len(row)} values, table {self.name!r} "
+                    f"has {len(names)} columns"
+                )
+        for name in names:
+            col = self.column(name)
+            try:
+                col.extend([_row_get(row, name) for row in rows])
+            except KeyError:
+                raise StorageError(
+                    f"row is missing column {name!r} of table {self.name!r}"
+                ) from None
+        self.udi_total += len(rows)
+        self.version += 1
+
+    def insert_columns(self, data: Mapping[str, Sequence[Value]]) -> None:
+        """Bulk insert from column-oriented data (used by generators)."""
+        names = {n.lower() for n in data}
+        expected = {n.lower() for n in self.schema.column_names()}
+        if names != expected:
+            raise StorageError(
+                f"column set mismatch for {self.name!r}: "
+                f"got {sorted(names)}, expected {sorted(expected)}"
+            )
+        lengths = {len(v) for v in data.values()}
+        if len(lengths) > 1:
+            raise StorageError("insert_columns requires equal-length columns")
+        n = lengths.pop() if lengths else 0
+        if n == 0:
+            return
+        for name, values in data.items():
+            col = self.column(name)
+            if isinstance(values, np.ndarray) and col.dictionary is None:
+                col.extend_physical(np.asarray(values))
+            else:
+                col.extend(list(values))
+        self.udi_total += n
+        self.version += 1
+
+    def update_rows(self, rows: np.ndarray, assignments: Mapping[str, Value]) -> None:
+        """Set ``column = value`` for each row position in ``rows``."""
+        if len(rows) == 0:
+            return
+        for name, value in assignments.items():
+            self.column(name).set_at(rows, value)
+        self.udi_total += len(rows)
+        self.version += 1
+
+    def apply_update(
+        self, rows: np.ndarray, physical: Mapping[str, np.ndarray]
+    ) -> None:
+        """Set per-row *physical* values (used by UPDATE ... SET expr).
+
+        Callers are responsible for encoding string values through the
+        column's own dictionary; the engine's expression evaluator does.
+        """
+        if len(rows) == 0:
+            return
+        for name, values in physical.items():
+            col = self.column(name)
+            if len(values) != len(rows):
+                raise StorageError("update value/row count mismatch")
+            col.set_physical(rows, values)
+        self.udi_total += len(rows)
+        self.version += 1
+
+    def delete_rows(self, rows: np.ndarray) -> int:
+        """Delete the given row positions; returns the number deleted."""
+        n = self.row_count
+        if len(rows) == 0:
+            return 0
+        keep = np.ones(n, dtype=bool)
+        keep[rows] = False
+        deleted = int(n - keep.sum())
+        for col in self.columns.values():
+            col.delete_rows(keep)
+        self.udi_total += deleted
+        self.version += 1
+        return deleted
+
+    # ------------------------------------------------------------------
+    # Read helpers
+    # ------------------------------------------------------------------
+    def fetch_rows(
+        self, rows: Optional[np.ndarray], columns: Iterable[str]
+    ) -> List[tuple]:
+        """Decode the requested rows/columns back to Python tuples."""
+        decoded = [self.column(c).logical_values(rows) for c in columns]
+        return list(zip(*decoded)) if decoded else []
+
+    def udi_since(self, snapshot: int) -> int:
+        """Rows modified since a ``udi_total`` snapshot."""
+        return self.udi_total - snapshot
+
+
+def _row_get(row: Mapping[str, Value], name: str) -> Value:
+    """Case-insensitive dict access for row mappings."""
+    if name in row:
+        return row[name]
+    lowered = name.lower()
+    for key, value in row.items():
+        if key.lower() == lowered:
+            return value
+    raise KeyError(name)

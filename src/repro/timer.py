@@ -1,0 +1,62 @@
+"""Phase timers used to report per-query compilation / execution times.
+
+The paper reports wall-clock seconds split into compilation, execution and
+fetch (Table 3). :class:`PhaseTimer` accumulates named phases;
+:class:`Stopwatch` is the context-manager primitive underneath.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+from contextlib import contextmanager
+
+
+@dataclass
+class Stopwatch:
+    """A running or stopped wall-clock interval."""
+
+    started_at: float = 0.0
+    elapsed: float = 0.0
+    running: bool = False
+
+    def start(self) -> None:
+        if self.running:
+            raise RuntimeError("stopwatch already running")
+        self.started_at = time.perf_counter()
+        self.running = True
+
+    def stop(self) -> float:
+        if not self.running:
+            raise RuntimeError("stopwatch not running")
+        self.elapsed += time.perf_counter() - self.started_at
+        self.running = False
+        return self.elapsed
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates elapsed wall-clock time per named phase."""
+
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[name] = self.phases.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def get(self, name: str) -> float:
+        return self.phases.get(name, 0.0)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())

@@ -1,0 +1,63 @@
+"""Logical data types shared by the storage engine, catalog and optimizer.
+
+The engine stores every column as a numpy array of a *physical* type:
+
+* ``INT``    -> ``int64``
+* ``FLOAT``  -> ``float64``
+* ``STRING`` -> ``int64`` dictionary codes (see
+  :class:`repro.storage.dictionary.StringDictionary`)
+
+Mapping categorical data to numeric codes is exactly the "mapping function"
+the paper relies on so that histograms can interpolate over any column
+(Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+Value = Union[int, float, str]
+
+
+class DataType(enum.Enum):
+    """Logical column type."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INT, DataType.FLOAT)
+
+    def validate(self, value: Value) -> Value:
+        """Coerce ``value`` to this logical type, raising ``TypeError``.
+
+        Booleans are rejected explicitly: in Python ``bool`` is a subclass
+        of ``int`` and silently accepting them leads to confusing tables.
+        """
+        if isinstance(value, bool):
+            raise TypeError(f"boolean value {value!r} is not a valid {self.value}")
+        if self is DataType.INT:
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            raise TypeError(f"{value!r} is not a valid INT")
+        if self is DataType.FLOAT:
+            if isinstance(value, (int, float)):
+                return float(value)
+            raise TypeError(f"{value!r} is not a valid FLOAT")
+        if isinstance(value, str):
+            return value
+        raise TypeError(f"{value!r} is not a valid STRING")
+
+
+def comparable(dtype: DataType, value: Value) -> bool:
+    """Whether ``value`` can be compared against a column of type ``dtype``."""
+    if isinstance(value, bool):
+        return False
+    if dtype.is_numeric:
+        return isinstance(value, (int, float))
+    return isinstance(value, str)

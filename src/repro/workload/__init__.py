@@ -1,0 +1,57 @@
+"""Workload substrate: data generator, query generator, runner, reports."""
+
+from .cargen import (
+    DEFAULT_SCALE,
+    PAPER_SIZES,
+    GeneratorProfile,
+    build_car_database,
+    scaled_sizes,
+)
+from .queries import (
+    DEFAULT_STATEMENTS,
+    GeneratedWorkload,
+    WorkloadGenerator,
+    WorkloadOptions,
+    generate_workload,
+)
+from .report import (
+    BoxStats,
+    ScatterSplit,
+    ascii_box_plot,
+    format_table,
+    summarize_settings,
+)
+from .runner import (
+    QueryRecord,
+    Setting,
+    WorkloadRunReport,
+    make_engine_for_setting,
+    run_all_settings,
+    run_setting,
+    run_workload,
+)
+
+__all__ = [
+    "build_car_database",
+    "scaled_sizes",
+    "GeneratorProfile",
+    "PAPER_SIZES",
+    "DEFAULT_SCALE",
+    "generate_workload",
+    "WorkloadGenerator",
+    "WorkloadOptions",
+    "GeneratedWorkload",
+    "DEFAULT_STATEMENTS",
+    "Setting",
+    "QueryRecord",
+    "WorkloadRunReport",
+    "make_engine_for_setting",
+    "run_workload",
+    "run_setting",
+    "run_all_settings",
+    "BoxStats",
+    "ScatterSplit",
+    "format_table",
+    "ascii_box_plot",
+    "summarize_settings",
+]

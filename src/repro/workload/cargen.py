@@ -1,0 +1,292 @@
+"""Synthetic car-insurance database (paper Section 4, Table 2).
+
+Four relations — CAR, OWNER, DEMOGRAPHICS, ACCIDENTS — with the paper's
+primary-key-to-foreign-key relationships and, crucially, *correlated
+attributes* (Make <-> Model, City <-> Country, salary <-> city, price <->
+make/year): the correlations are what break the independence assumption
+and create the estimation errors JITS fixes.
+
+Table sizes follow Table 2 scaled by ``scale`` (the paper ran on DB2 with
+millions of rows; the pure-Python engine runs the same shapes at a smaller
+scale — see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..rng import make_rng
+from ..schema import ForeignKey, make_schema
+from ..storage import Database
+from ..types import DataType
+
+# Paper Table 2 row counts.
+PAPER_SIZES = {
+    "car": 1_430_798,
+    "owner": 1_000_000,
+    "demographics": 1_000_000,
+    "accidents": 4_289_980,
+}
+
+DEFAULT_SCALE = 0.01
+
+MAKES_MODELS: Dict[str, List[str]] = {
+    "Toyota": ["Camry", "Corolla", "RAV4", "Prius", "Sienna"],
+    "Honda": ["Civic", "Accord", "CRV", "Odyssey"],
+    "Ford": ["F150", "Focus", "Escape", "Mustang"],
+    "Chevrolet": ["Silverado", "Malibu", "Impala"],
+    "BMW": ["328i", "535i", "X5"],
+    "Mercedes": ["C300", "E350"],
+    "Volkswagen": ["Jetta", "Golf", "Passat"],
+    "Nissan": ["Altima", "Sentra", "Rogue"],
+    "Hyundai": ["Elantra", "Sonata"],
+    "Mazda": ["Mazda3", "CX5"],
+}
+
+# City -> (country, salary multiplier): city functionally determines the
+# country and biases salary — two of the correlations the paper relies on.
+CITIES: Dict[str, Tuple[str, float]] = {
+    "Ottawa": ("CA", 1.00),
+    "Toronto": ("CA", 1.25),
+    "Waterloo": ("CA", 1.10),
+    "Montreal": ("CA", 0.95),
+    "Vancouver": ("CA", 1.20),
+    "NewYork": ("US", 1.45),
+    "Boston": ("US", 1.35),
+    "Chicago": ("US", 1.15),
+    "Austin": ("US", 1.05),
+    "Seattle": ("US", 1.30),
+}
+
+# Make -> price multiplier (luxury correlation).
+PRICE_FACTOR = {
+    "Toyota": 1.0, "Honda": 1.0, "Ford": 0.9, "Chevrolet": 0.9,
+    "BMW": 2.2, "Mercedes": 2.4, "Volkswagen": 1.1, "Nissan": 0.95,
+    "Hyundai": 0.8, "Mazda": 0.85,
+}
+
+EDUCATION = ["highschool", "college", "bachelor", "master", "phd"]
+GENDERS = ["F", "M"]
+COLORS = ["white", "black", "silver", "blue", "red", "green"]
+YEAR_LOW, YEAR_HIGH = 1995, 2007  # paper era
+
+
+@dataclass
+class GeneratorProfile:
+    """Metadata the workload generator needs to produce correlated values."""
+
+    scale: float
+    sizes: Dict[str, int]
+    makes: List[str] = field(default_factory=lambda: list(MAKES_MODELS))
+    models_by_make: Dict[str, List[str]] = field(
+        default_factory=lambda: {k: list(v) for k, v in MAKES_MODELS.items()}
+    )
+    cities: List[str] = field(default_factory=lambda: list(CITIES))
+    country_of_city: Dict[str, str] = field(
+        default_factory=lambda: {c: CITIES[c][0] for c in CITIES}
+    )
+    year_range: Tuple[int, int] = (YEAR_LOW, YEAR_HIGH)
+    salary_range: Tuple[float, float] = (1_000.0, 250_000.0)
+    price_range: Tuple[float, float] = (500.0, 120_000.0)
+    damage_range: Tuple[float, float] = (100.0, 50_000.0)
+
+
+def scaled_sizes(scale: float) -> Dict[str, int]:
+    return {
+        name: max(20, int(round(count * scale)))
+        for name, count in PAPER_SIZES.items()
+    }
+
+
+def build_car_database(
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+    with_indexes: bool = True,
+) -> Tuple[Database, GeneratorProfile]:
+    """Generate the 4-table database; returns (database, profile)."""
+    rng = make_rng(seed)
+    sizes = scaled_sizes(scale)
+    database = Database("cardb")
+    _create_schemas(database)
+
+    _fill_owner(database, sizes["owner"], rng)
+    _fill_demographics(database, sizes["demographics"], sizes["owner"], rng)
+    _fill_car(database, sizes["car"], sizes["owner"], rng)
+    _fill_accidents(database, sizes["accidents"], sizes["car"], rng)
+
+    if with_indexes:
+        # FK hash indexes and range indexes an operational DBA would build.
+        database.create_hash_index("car", "ownerid")
+        database.create_hash_index("demographics", "ownerid")
+        database.create_hash_index("accidents", "carid")
+        database.create_sorted_index("car", "price")
+        database.create_sorted_index("car", "year")
+        database.create_sorted_index("demographics", "salary")
+        database.create_sorted_index("accidents", "damage")
+
+    return database, GeneratorProfile(scale=scale, sizes=sizes)
+
+
+def _create_schemas(database: Database) -> None:
+    database.create_table(
+        make_schema(
+            "owner",
+            [
+                ("id", DataType.INT),
+                ("name", DataType.STRING),
+                ("age", DataType.INT),
+                ("gender", DataType.STRING),
+            ],
+            primary_key="id",
+        )
+    )
+    database.create_table(
+        make_schema(
+            "demographics",
+            [
+                ("id", DataType.INT),
+                ("ownerid", DataType.INT),
+                ("city", DataType.STRING),
+                ("country", DataType.STRING),
+                ("salary", DataType.FLOAT),
+                ("education", DataType.STRING),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("ownerid", "owner", "id")],
+        )
+    )
+    database.create_table(
+        make_schema(
+            "car",
+            [
+                ("id", DataType.INT),
+                ("ownerid", DataType.INT),
+                ("make", DataType.STRING),
+                ("model", DataType.STRING),
+                ("year", DataType.INT),
+                ("price", DataType.FLOAT),
+                ("color", DataType.STRING),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("ownerid", "owner", "id")],
+        )
+    )
+    database.create_table(
+        make_schema(
+            "accidents",
+            [
+                ("id", DataType.INT),
+                ("carid", DataType.INT),
+                ("driver", DataType.STRING),
+                ("damage", DataType.FLOAT),
+                ("year", DataType.INT),
+                ("severity", DataType.INT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("carid", "car", "id")],
+        )
+    )
+
+
+def _zipf_choice(rng: np.random.Generator, options: int, n: int) -> np.ndarray:
+    """Skewed categorical choice (rank-1/k weights) — realistic popularity."""
+    weights = 1.0 / np.arange(1, options + 1)
+    weights /= weights.sum()
+    return rng.choice(options, size=n, p=weights)
+
+
+def _fill_owner(database: Database, n: int, rng: np.random.Generator) -> None:
+    ages = np.clip(rng.normal(42, 14, n), 16, 95).astype(np.int64)
+    database.table("owner").insert_columns(
+        {
+            "id": np.arange(n, dtype=np.int64),
+            "name": [f"owner_{i}" for i in range(n)],
+            "age": ages,
+            "gender": [GENDERS[int(g)] for g in rng.integers(0, 2, n)],
+        }
+    )
+
+
+def _fill_demographics(
+    database: Database, n: int, n_owners: int, rng: np.random.Generator
+) -> None:
+    city_names = list(CITIES)
+    city_idx = _zipf_choice(rng, len(city_names), n)
+    cities = [city_names[i] for i in city_idx]
+    countries = [CITIES[c][0] for c in cities]
+    base_salary = rng.lognormal(mean=10.6, sigma=0.5, size=n)
+    multipliers = np.array([CITIES[c][1] for c in cities])
+    salary = np.clip(base_salary * multipliers, 1_000.0, 250_000.0)
+    database.table("demographics").insert_columns(
+        {
+            "id": np.arange(n, dtype=np.int64),
+            "ownerid": rng.permutation(n_owners)[:n]
+            if n <= n_owners
+            else rng.integers(0, n_owners, n),
+            "city": cities,
+            "country": countries,
+            "salary": salary,
+            "education": [
+                EDUCATION[int(e)] for e in _zipf_choice(rng, len(EDUCATION), n)
+            ],
+        }
+    )
+
+
+def _fill_car(
+    database: Database, n: int, n_owners: int, rng: np.random.Generator
+) -> None:
+    makes = list(MAKES_MODELS)
+    make_idx = _zipf_choice(rng, len(makes), n)
+    make_values = [makes[i] for i in make_idx]
+    model_values = []
+    for make in make_values:
+        models = MAKES_MODELS[make]
+        weights = 1.0 / np.arange(1, len(models) + 1)
+        weights /= weights.sum()
+        model_values.append(models[int(rng.choice(len(models), p=weights))])
+    years = rng.integers(YEAR_LOW, YEAR_HIGH + 1, n)
+    age_factor = 1.0 - (YEAR_HIGH - years) * 0.06
+    price_factor = np.array([PRICE_FACTOR[m] for m in make_values])
+    prices = np.clip(
+        rng.lognormal(mean=9.8, sigma=0.45, size=n) * age_factor * price_factor,
+        500.0,
+        120_000.0,
+    )
+    database.table("car").insert_columns(
+        {
+            "id": np.arange(n, dtype=np.int64),
+            "ownerid": rng.integers(0, n_owners, n),
+            "make": make_values,
+            "model": model_values,
+            "year": years,
+            "price": prices,
+            "color": [COLORS[int(c)] for c in _zipf_choice(rng, len(COLORS), n)],
+        }
+    )
+
+
+def _fill_accidents(
+    database: Database, n: int, n_cars: int, rng: np.random.Generator
+) -> None:
+    severity = np.clip(rng.poisson(1.6, n) + 1, 1, 5).astype(np.int64)
+    # Damage grows with severity: a cross-table-free correlation for
+    # single-table multi-predicate queries.
+    damage = np.clip(
+        rng.lognormal(mean=7.2, sigma=0.7, size=n) * (severity**1.4),
+        100.0,
+        50_000.0,
+    )
+    database.table("accidents").insert_columns(
+        {
+            "id": np.arange(n, dtype=np.int64),
+            "carid": rng.integers(0, n_cars, n),
+            "driver": [f"driver_{int(d)}" for d in rng.integers(0, max(10, n // 4), n)],
+            "damage": damage,
+            "year": rng.integers(YEAR_LOW, YEAR_HIGH + 1, n),
+            "severity": severity,
+        }
+    )

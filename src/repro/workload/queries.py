@@ -1,0 +1,289 @@
+"""Workload generation (paper Section 4.2).
+
+Produces a mixed OLAP/operational workload over the car database: single-
+and multi-table decision-support queries with *correlated* predicate pairs
+(Make/Model, City/Country, severity/damage) plus interleaved INSERT /
+UPDATE / DELETE statements "to simulate a real-world operational database".
+
+The default statement count is 840, matching the paper's workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..rng import make_rng
+from .cargen import GeneratorProfile
+
+DEFAULT_STATEMENTS = 840
+DEFAULT_DML_FRACTION = 0.2
+
+
+@dataclass
+class WorkloadOptions:
+    n_statements: int = DEFAULT_STATEMENTS
+    dml_fraction: float = DEFAULT_DML_FRACTION
+    seed: int = 7
+    # Fraction of make/model (and city/country) pairs drawn *consistently*
+    # with the data's correlation; the rest are deliberately mismatched
+    # (actual selectivity ~ 0 — the other way independence assumptions fail).
+    consistent_pair_fraction: float = 0.85
+
+
+@dataclass
+class GeneratedWorkload:
+    statements: List[str]
+    kinds: List[str]  # "select" | "insert" | "update" | "delete"
+
+    def selects(self) -> List[str]:
+        return [s for s, k in zip(self.statements, self.kinds) if k == "select"]
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+class WorkloadGenerator:
+    """Seeded generator of correlated-predicate workloads."""
+
+    def __init__(self, profile: GeneratorProfile, options: Optional[WorkloadOptions] = None):
+        self.profile = profile
+        self.options = options or WorkloadOptions()
+        self.rng = make_rng(self.options.seed)
+        self._next_accident_id = profile.sizes["accidents"]
+        self._next_car_id = profile.sizes["car"]
+
+    # ------------------------------------------------------------------
+    # Parameter sampling
+    # ------------------------------------------------------------------
+    def _make_model(self) -> Tuple[str, str]:
+        profile = self.profile
+        make = profile.makes[int(self.rng.integers(0, len(profile.makes)))]
+        if self.rng.random() < self.options.consistent_pair_fraction:
+            models = profile.models_by_make[make]
+            model = models[int(self.rng.integers(0, len(models)))]
+        else:
+            other = profile.makes[int(self.rng.integers(0, len(profile.makes)))]
+            models = profile.models_by_make[other]
+            model = models[int(self.rng.integers(0, len(models)))]
+        return make, model
+
+    def _city_country(self) -> Tuple[str, str]:
+        profile = self.profile
+        city = profile.cities[int(self.rng.integers(0, len(profile.cities)))]
+        if self.rng.random() < self.options.consistent_pair_fraction:
+            country = profile.country_of_city[city]
+        else:
+            country = "US" if profile.country_of_city[city] == "CA" else "CA"
+        return city, country
+
+    def _salary_floor(self) -> int:
+        return int(self.rng.choice([5_000, 20_000, 40_000, 60_000, 90_000]))
+
+    def _year_floor(self) -> int:
+        low, high = self.profile.year_range
+        return int(self.rng.integers(low, high))
+
+    def _price_floor(self) -> int:
+        return int(self.rng.choice([2_000, 5_000, 10_000, 20_000, 40_000]))
+
+    def _severity(self) -> int:
+        return int(self.rng.integers(1, 6))
+
+    def _damage_range(self) -> Tuple[int, int]:
+        low = int(self.rng.choice([500, 1_000, 5_000, 10_000]))
+        return low, low * int(self.rng.choice([2, 4, 8]))
+
+    # ------------------------------------------------------------------
+    # Query templates
+    # ------------------------------------------------------------------
+    # DSS-style mix: multi-table joins dominate (the paper positions JITS
+    # for "complex, long-running queries such as those used in OLAP and
+    # Decision Support Systems", Section 3.5).
+    _TEMPLATE_WEIGHTS = (1, 2, 4, 1, 1, 3, 3, 3, 1)
+
+    def _select_statement(self) -> str:
+        weights = np.asarray(self._TEMPLATE_WEIGHTS, dtype=np.float64)
+        template = int(self.rng.choice(len(weights), p=weights / weights.sum()))
+        if template == 0:
+            make, model = self._make_model()
+            year = self._year_floor()
+            return (
+                f"SELECT id, price FROM car "
+                f"WHERE make = '{make}' AND model = '{model}' AND year > {year}"
+            )
+        if template == 1:
+            make, model = self._make_model()
+            return (
+                f"SELECT o.name, c.price FROM car c, owner o "
+                f"WHERE c.ownerid = o.id AND c.make = '{make}' "
+                f"AND c.model = '{model}' AND c.price > {self._price_floor()}"
+            )
+        if template == 2:
+            # The paper's Section 4.1 query shape: 4-table join with
+            # correlated predicates on two tables.
+            make, model = self._make_model()
+            city, country = self._city_country()
+            return (
+                f"SELECT o.name, a.driver, a.damage "
+                f"FROM car c, accidents a, demographics d, owner o "
+                f"WHERE d.ownerid = o.id AND a.carid = c.id "
+                f"AND c.ownerid = o.id AND c.make = '{make}' "
+                f"AND c.model = '{model}' AND d.city = '{city}' "
+                f"AND d.country = '{country}' AND d.salary > {self._salary_floor()}"
+            )
+        if template == 3:
+            city, country = self._city_country()
+            lo = self._salary_floor()
+            return (
+                f"SELECT d.city, COUNT(*) AS n, AVG(d.salary) AS avg_salary "
+                f"FROM demographics d "
+                f"WHERE d.country = '{country}' AND d.salary > {lo} "
+                f"GROUP BY d.city ORDER BY n DESC"
+            )
+        if template == 4:
+            severity = self._severity()
+            lo, hi = self._damage_range()
+            return (
+                f"SELECT a.id, a.damage FROM accidents a "
+                f"WHERE a.severity = {severity} "
+                f"AND a.damage BETWEEN {lo} AND {hi}"
+            )
+        if template == 5:
+            severity = self._severity()
+            lo, hi = self._damage_range()
+            return (
+                f"SELECT c.make, COUNT(*) AS n FROM car c, accidents a "
+                f"WHERE a.carid = c.id AND a.severity >= {severity} "
+                f"AND a.damage > {lo} GROUP BY c.make ORDER BY n DESC LIMIT 5"
+            )
+        if template == 6:
+            make, model = self._make_model()
+            severity = self._severity()
+            return (
+                f"SELECT o.name, a.damage FROM car c, accidents a, owner o "
+                f"WHERE a.carid = c.id AND c.ownerid = o.id "
+                f"AND c.make = '{make}' AND c.model = '{model}' "
+                f"AND a.severity >= {severity} ORDER BY a.damage DESC LIMIT 10"
+            )
+        if template == 7:
+            city, country = self._city_country()
+            make, _ = self._make_model()
+            return (
+                f"SELECT d.city, c.make, COUNT(*) AS n "
+                f"FROM car c, owner o, demographics d "
+                f"WHERE c.ownerid = o.id AND d.ownerid = o.id "
+                f"AND d.city = '{city}' AND d.country = '{country}' "
+                f"AND c.make = '{make}' GROUP BY d.city, c.make"
+            )
+        threshold = int(self.rng.choice([50, 100, 200]))
+        return (
+            f"SELECT v.make, v.n FROM "
+            f"(SELECT make AS make, COUNT(*) AS n FROM car GROUP BY make) AS v "
+            f"WHERE v.n > {threshold} ORDER BY v.n DESC"
+        )
+
+    # ------------------------------------------------------------------
+    # DML templates (data churn)
+    # ------------------------------------------------------------------
+    def _dml_statement(self) -> Tuple[str, str]:
+        """Data churn. Deliberately *directional* (prices inflate, salaries
+        rise, skewed batches of new rows arrive) so statistics collected at
+        the start of the workload drift out of date, as in Section 4.2."""
+        choice = int(self.rng.integers(0, 6))
+        if choice == 0:
+            make, _ = self._make_model()
+            factor = float(self.rng.choice([1.05, 1.09, 1.13]))
+            return (
+                f"UPDATE car SET price = price * {factor} WHERE make = '{make}'",
+                "update",
+            )
+        if choice == 1:
+            city, _ = self._city_country()
+            bump = int(self.rng.choice([1500, 3000, 6000]))
+            return (
+                f"UPDATE demographics SET salary = salary + {bump} "
+                f"WHERE city = '{city}'",
+                "update",
+            )
+        if choice == 2:
+            severity = self._severity()
+            return (
+                f"UPDATE accidents SET damage = damage * 1.15 "
+                f"WHERE severity = {severity}",
+                "update",
+            )
+        if choice == 3:
+            # A skewed batch of new accidents: severe and expensive, so the
+            # severity/damage joint distribution shifts over the workload.
+            rows = []
+            n_cars = self.profile.sizes["car"]
+            low, high = self.profile.year_range
+            for _ in range(100):
+                rid = self._next_accident_id
+                self._next_accident_id += 1
+                carid = int(self.rng.integers(0, n_cars))
+                severity = int(self.rng.integers(3, 6))
+                damage = round(float(self.rng.uniform(8_000, 50_000)), 2)
+                year = int(self.rng.integers(low, high + 1))
+                rows.append(
+                    f"({rid}, {carid}, 'driver_{rid % 997}', {damage}, "
+                    f"{year}, {severity})"
+                )
+            return (
+                "INSERT INTO accidents (id, carid, driver, damage, year, "
+                "severity) VALUES " + ", ".join(rows),
+                "insert",
+            )
+        if choice == 4:
+            # A fleet purchase: one hot (make, model) pair floods in, so
+            # equality selectivities on CAR drift.
+            make = self.profile.makes[int(self.rng.integers(0, 3))]
+            models = self.profile.models_by_make[make]
+            model = models[0]
+            n_owners = self.profile.sizes["owner"]
+            low, high = self.profile.year_range
+            rows = []
+            for _ in range(60):
+                rid = self._next_car_id
+                self._next_car_id += 1
+                ownerid = int(self.rng.integers(0, n_owners))
+                year = int(self.rng.integers(high - 2, high + 1))
+                price = round(float(self.rng.uniform(18_000, 45_000)), 2)
+                rows.append(
+                    f"({rid}, {ownerid}, '{make}', '{model}', {year}, "
+                    f"{price}, 'white')"
+                )
+            return (
+                "INSERT INTO car (id, ownerid, make, model, year, price, "
+                "color) VALUES " + ", ".join(rows),
+                "insert",
+            )
+        start = int(self.rng.integers(0, max(1, self._next_accident_id - 400)))
+        return (
+            f"DELETE FROM accidents WHERE id BETWEEN {start} AND {start + 150}",
+            "delete",
+        )
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def generate(self) -> GeneratedWorkload:
+        statements: List[str] = []
+        kinds: List[str] = []
+        for _ in range(self.options.n_statements):
+            if self.rng.random() < self.options.dml_fraction:
+                sql, kind = self._dml_statement()
+            else:
+                sql, kind = self._select_statement(), "select"
+            statements.append(sql)
+            kinds.append(kind)
+        return GeneratedWorkload(statements=statements, kinds=kinds)
+
+
+def generate_workload(
+    profile: GeneratorProfile, options: Optional[WorkloadOptions] = None
+) -> GeneratedWorkload:
+    return WorkloadGenerator(profile, options).generate()

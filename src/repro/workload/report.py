@@ -1,0 +1,148 @@
+"""Reporting helpers: box-plot statistics, scatter splits, ASCII tables.
+
+These render the same artifacts the paper's figures show — five-number
+summaries (Figure 3), improvement/degradation splits of per-query scatter
+plots (Figures 4/5), and per-phase averages for the s_max sweep (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class BoxStats:
+    """Five-number summary (what a box plot depicts)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "BoxStats":
+        if not values:
+            return BoxStats(0.0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(list(values), dtype=np.float64)
+        return BoxStats(
+            minimum=float(arr.min()),
+            q1=float(np.quantile(arr, 0.25)),
+            median=float(np.quantile(arr, 0.5)),
+            q3=float(np.quantile(arr, 0.75)),
+            maximum=float(arr.max()),
+        )
+
+    def row(self, unit: float = 1000.0) -> Tuple[float, float, float, float, float]:
+        """(min, q1, median, q3, max) scaled (default: to milliseconds)."""
+        return (
+            self.minimum * unit,
+            self.q1 * unit,
+            self.median * unit,
+            self.q3 * unit,
+            self.maximum * unit,
+        )
+
+
+@dataclass
+class ScatterSplit:
+    """Improvement/degradation split of paired per-query times."""
+
+    improved: int
+    degraded: int
+    unchanged: int
+    mean_ratio: float  # geometric mean of candidate/baseline
+    total_candidate: float
+    total_baseline: float
+
+    @staticmethod
+    def of(
+        candidate: Sequence[float],
+        baseline: Sequence[float],
+        tolerance: float = 0.05,
+    ) -> "ScatterSplit":
+        if len(candidate) != len(baseline):
+            raise ValueError("paired series must have equal length")
+        cand = np.asarray(list(candidate), dtype=np.float64)
+        base = np.asarray(list(baseline), dtype=np.float64)
+        ratio = cand / np.maximum(base, 1e-12)
+        improved = int((ratio < 1.0 - tolerance).sum())
+        degraded = int((ratio > 1.0 + tolerance).sum())
+        unchanged = len(ratio) - improved - degraded
+        return ScatterSplit(
+            improved=improved,
+            degraded=degraded,
+            unchanged=unchanged,
+            mean_ratio=float(np.exp(np.mean(np.log(np.maximum(ratio, 1e-12))))),
+            total_candidate=float(cand.sum()),
+            total_baseline=float(base.sum()),
+        )
+
+    @property
+    def improvement_fraction(self) -> float:
+        total = self.improved + self.degraded + self.unchanged
+        return self.improved / total if total else 0.0
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width ASCII table."""
+    text_rows = [
+        [f"{v:.2f}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(values: Sequence[str]) -> str:
+        return "  ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in text_rows)
+    return "\n".join(lines)
+
+
+def ascii_box_plot(labels: Sequence[str], stats: Sequence[BoxStats], width: int = 60) -> str:
+    """Rough ASCII rendition of Figure 3's box plot."""
+    top = max((s.maximum for s in stats), default=1.0) or 1.0
+
+    def pos(value: float) -> int:
+        return min(width - 1, int(round(value / top * (width - 1))))
+
+    lines = []
+    for label, s in zip(labels, stats):
+        row = [" "] * width
+        for i in range(pos(s.minimum), pos(s.maximum) + 1):
+            row[i] = "-"
+        for i in range(pos(s.q1), pos(s.q3) + 1):
+            row[i] = "="
+        row[pos(s.median)] = "|"
+        lines.append(f"{label:>10} {''.join(row)}")
+    lines.append(f"{'':>10} 0{' ' * (width - 8)}{top * 1000:.0f}ms")
+    return "\n".join(lines)
+
+
+def summarize_settings(
+    reports: Dict, unit: float = 1000.0
+) -> str:
+    """Figure 3 style table over WorkloadRunReport values keyed by setting."""
+    headers = ["setting", "min", "q1", "median", "q3", "max", "mean", "total"]
+    rows = []
+    for setting, report in reports.items():
+        totals = report.select_totals()
+        box = BoxStats.of(totals)
+        name = getattr(setting, "value", str(setting))
+        rows.append(
+            [
+                name,
+                *(round(v, 2) for v in box.row(unit)),
+                round(float(np.mean(totals)) * unit, 2) if totals else 0.0,
+                round(report.elapsed * unit, 1),
+            ]
+        )
+    return format_table(headers, rows)

@@ -1,0 +1,118 @@
+"""RUNSTATS collection tool."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import (
+    SystemCatalog,
+    collect_group_statistics,
+    collect_workload_statistics,
+    column_domain,
+    run_runstats,
+)
+from repro.histograms import Interval, Region
+from repro.predicates import LocalPredicate, PredOp, count_matches
+
+
+def test_basic_statistics(mini_db):
+    catalog = SystemCatalog()
+    stats = run_runstats(mini_db, catalog, "car", now=3)
+    assert stats.cardinality == mini_db.table("car").row_count
+    assert stats.collected_at == 3
+    assert stats.udi_snapshot == mini_db.table("car").udi_total
+    assert catalog.table_stats("car") is stats
+
+
+def test_distribution_statistics_per_column(mini_db):
+    catalog = SystemCatalog()
+    run_runstats(mini_db, catalog, "car", now=1)
+    for column in mini_db.table("car").schema.column_names():
+        cs = catalog.column_stats("car", column)
+        assert cs is not None
+        assert cs.histogram is not None
+        assert cs.n_distinct >= 1
+
+
+def test_without_distribution(mini_db):
+    catalog = SystemCatalog()
+    run_runstats(mini_db, catalog, "car", with_distribution=False)
+    assert catalog.table_stats("car") is not None
+    assert catalog.column_stats("car", "make") is None
+
+
+def test_column_subset(mini_db):
+    catalog = SystemCatalog()
+    run_runstats(mini_db, catalog, "car", columns=["make"])
+    assert catalog.column_stats("car", "make") is not None
+    assert catalog.column_stats("car", "price") is None
+
+
+def test_ndv_exact_on_full_scan(mini_db):
+    catalog = SystemCatalog()
+    run_runstats(mini_db, catalog, "car")
+    cs = catalog.column_stats("car", "make")
+    assert cs.n_distinct == 3.0  # conftest uses 3 makes
+
+
+def test_sampled_runstats_scales_up(mini_db):
+    catalog = SystemCatalog()
+    run_runstats(
+        mini_db, catalog, "car", sample_size=100,
+        rng=np.random.default_rng(0),
+    )
+    cs = catalog.column_stats("car", "price")
+    # Histogram mass scaled to ~full cardinality.
+    assert cs.histogram.total == pytest.approx(
+        mini_db.table("car").row_count, rel=0.01
+    )
+    # Selectivity estimates remain sane.
+    sel = cs.selectivity_interval(Interval(0, 1e9))
+    assert sel == pytest.approx(1.0, abs=0.01)
+
+
+def test_column_domain_int_and_float(mini_db):
+    year_domain = column_domain(mini_db.table("car"), "year")
+    years = mini_db.table("car").column_data("year")
+    assert year_domain.low == years.min()
+    assert year_domain.high == years.max() + 1  # integral
+
+    price_domain = column_domain(mini_db.table("car"), "price")
+    prices = mini_db.table("car").column_data("price")
+    assert price_domain.high > prices.max()
+    assert price_domain.high == pytest.approx(prices.max(), rel=1e-9)
+
+
+def test_group_statistics_accuracy(mini_db):
+    catalog = SystemCatalog()
+    stats = collect_group_statistics(mini_db, catalog, "car", ["make", "model"])
+    table = mini_db.table("car")
+    make_code = table.column("make").lookup_value("Toyota")
+    model_code = table.column("model").lookup_value("Camry")
+    region = Region.of(
+        Interval(make_code, make_code + 1), Interval(model_code, model_code + 1)
+    )
+    actual = count_matches(
+        table,
+        [
+            LocalPredicate("c", "make", PredOp.EQ, ("Toyota",)),
+            LocalPredicate("c", "model", PredOp.EQ, ("Camry",)),
+        ],
+    ) / table.row_count
+    assert stats.selectivity(region) == pytest.approx(actual, abs=0.02)
+
+
+def test_collect_workload_statistics_dedupes(mini_db):
+    catalog = SystemCatalog()
+    built = collect_workload_statistics(
+        mini_db,
+        catalog,
+        [
+            ("car", ("make", "model")),
+            ("CAR", ("model", "make")),  # duplicate, different order/case
+            ("car", ("make",)),  # single column skipped
+            ("owner", ("city", "salary")),
+        ],
+    )
+    assert built == 2
+    assert catalog.group_stats("car", ["make", "model"]) is not None
+    assert catalog.group_stats("owner", ["city", "salary"]) is not None

@@ -1,0 +1,131 @@
+"""Catalog statistics objects and their estimators."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import (
+    ROWS_PER_PAGE,
+    ColumnStatistics,
+    SystemCatalog,
+    TableStatistics,
+    canonical_group,
+    top_frequent_values,
+)
+from repro.errors import CatalogError
+from repro.histograms import EquiDepthHistogram, Interval
+from repro.types import DataType
+
+
+def make_stats(values, dtype=DataType.INT, n_frequent=3, n_buckets=8):
+    data = np.asarray(values, dtype=np.float64)
+    return ColumnStatistics(
+        column="c",
+        dtype=dtype,
+        n_distinct=float(len(np.unique(data))),
+        min_value=float(data.min()),
+        max_value=float(data.max()),
+        row_count=float(len(data)),
+        frequent_values=top_frequent_values(data, n_frequent),
+        histogram=EquiDepthHistogram.build(
+            data, n_buckets=n_buckets, integral=dtype is not DataType.FLOAT
+        ),
+    )
+
+
+def test_selectivity_eq_frequent_value():
+    stats = make_stats([1] * 70 + [2] * 20 + list(range(3, 13)))
+    assert stats.selectivity_eq(1.0) == pytest.approx(0.7)
+    assert stats.selectivity_eq(2.0) == pytest.approx(0.2)
+
+
+def test_selectivity_eq_rare_value_uses_remainder():
+    stats = make_stats([1] * 70 + [2] * 20 + list(range(3, 13)))
+    # 10 rare rows over 9 rare distinct values (one of 3..12 made top-3).
+    sel = stats.selectivity_eq(5.0)
+    assert 0.005 < sel < 0.03
+
+
+def test_selectivity_eq_out_of_range_zero():
+    stats = make_stats([1, 2, 3])
+    assert stats.selectivity_eq(99.0) == 0.0
+    assert stats.selectivity_eq(-1.0) == 0.0
+
+
+def test_selectivity_eq_empty_column():
+    stats = ColumnStatistics(
+        column="c", dtype=DataType.INT, n_distinct=0, min_value=0,
+        max_value=0, row_count=0,
+    )
+    assert stats.selectivity_eq(1.0) == 0.0
+
+
+def test_selectivity_interval_with_histogram():
+    stats = make_stats(list(range(100)))
+    sel = stats.selectivity_interval(Interval(0, 50))
+    assert sel == pytest.approx(0.5, abs=0.05)
+
+
+def test_selectivity_interval_without_histogram_uniform():
+    stats = ColumnStatistics(
+        column="c", dtype=DataType.FLOAT, n_distinct=100, min_value=0.0,
+        max_value=100.0, row_count=1000,
+    )
+    assert stats.selectivity_interval(Interval(0, 25)) == pytest.approx(
+        0.25, abs=0.01
+    )
+    assert stats.selectivity_interval(Interval(200, 300)) == 0.0
+
+
+def test_boundary_list_fallback():
+    stats = ColumnStatistics(
+        column="c", dtype=DataType.INT, n_distinct=2, min_value=1.0,
+        max_value=9.0, row_count=10,
+    )
+    assert stats.boundary_list() == [1.0, 9.0]
+
+
+def test_frequent_mass():
+    stats = make_stats([1] * 5 + [2] * 3 + [3])
+    assert stats.frequent_mass == pytest.approx(9.0)
+
+
+def test_table_statistics_pages():
+    stats = TableStatistics(table="t", cardinality=1234.0)
+    assert stats.n_pages == pytest.approx(1234.0 / ROWS_PER_PAGE)
+    assert TableStatistics(table="t", cardinality=1.0).n_pages == 1.0
+
+
+def test_top_frequent_values_ordering():
+    values = np.array([5.0] * 10 + [7.0] * 3 + [9.0])
+    top = top_frequent_values(values, 2)
+    assert top == [(5.0, 10.0), (7.0, 3.0)]
+    assert top_frequent_values(values, 0) == []
+    assert top_frequent_values(np.array([]), 3) == []
+
+
+def test_catalog_group_requires_two_columns(mini_db):
+    from repro.catalog import ColumnGroupStatistics
+    from repro.histograms import AdaptiveGridHistogram, Region
+
+    catalog = SystemCatalog()
+    hist = AdaptiveGridHistogram(
+        Region.of(Interval(0, 1)), total=1.0
+    )
+    with pytest.raises(CatalogError):
+        catalog.set_group_stats(
+            ColumnGroupStatistics(table="t", columns=("a",), histogram=hist)
+        )
+
+
+def test_canonical_group():
+    assert canonical_group(["B", "a", "C"]) == ("a", "b", "c")
+
+
+def test_catalog_clear_and_has(mini_catalog):
+    assert mini_catalog.has_any_stats("car")
+    assert mini_catalog.columns_with_stats("car")
+    mini_catalog.clear_table("car")
+    assert not mini_catalog.has_any_stats("car")
+    assert mini_catalog.column_stats("car", "make") is None
+    mini_catalog.clear()
+    assert not mini_catalog.has_any_stats("owner")

@@ -1,0 +1,88 @@
+"""Full-pipeline consistency: JITS must never change query answers.
+
+Unlike tests/executor/test_consistency.py (which drives the optimizer and
+executor directly), these go through ``Engine.execute`` with JITS enabled,
+so sampling, archive reuse, migration and feedback are all in the loop
+while results are compared against the naive reference executor.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Engine, EngineConfig
+from repro.executor import run_reference
+from repro.sql import build_query_graph, parse_select
+from tests.conftest import MAKES_MODELS, build_mini_db
+
+_ENGINE = None
+
+
+def get_engine() -> Engine:
+    global _ENGINE
+    if _ENGINE is None:
+        db = build_mini_db(n_owners=80, n_cars=240, seed=13)
+        _ENGINE = Engine(
+            db, EngineConfig.with_jits(s_max=0.3, sample_size=120,
+                                       migration_interval=5)
+        )
+    return _ENGINE
+
+
+MAKES = list(MAKES_MODELS)
+MODELS = [m for models in MAKES_MODELS.values() for m in models]
+
+
+@st.composite
+def car_query(draw):
+    parts = []
+    if draw(st.booleans()):
+        parts.append(f"make = '{draw(st.sampled_from(MAKES))}'")
+    if draw(st.booleans()):
+        parts.append(f"model = '{draw(st.sampled_from(MODELS))}'")
+    if draw(st.booleans()):
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "<>"]))
+        year = draw(st.integers(min_value=1994, max_value=2008))
+        parts.append(f"year {op} {year}")
+    if draw(st.booleans()):
+        lo = draw(st.integers(min_value=0, max_value=50_000))
+        parts.append(f"price > {lo}")
+    where = f" WHERE {' AND '.join(parts)}" if parts else ""
+    if draw(st.booleans()):
+        return f"SELECT id, make FROM car{where}"
+    return (
+        "SELECT o.name, c.id FROM car c, owner o "
+        f"WHERE c.ownerid = o.id{' AND ' + ' AND '.join(parts) if parts else ''}"
+    )
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(car_query())
+def test_engine_with_jits_matches_reference(sql):
+    engine = get_engine()
+    result = engine.execute(sql)
+    block = build_query_graph(parse_select(sql), engine.database)
+    want = run_reference(block, engine.database)
+    assert sorted(result.rows) == sorted(want), engine.explain(sql)
+
+
+def test_engine_consistency_after_churn():
+    """Same guarantee while the data is mutating under JITS."""
+    engine = get_engine()
+    sql = (
+        "SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry' "
+        "AND price > 10000"
+    )
+    for round_no in range(4):
+        engine.execute(
+            f"UPDATE car SET price = price * 1.1 WHERE year > {1998 + round_no}"
+        )
+        result = engine.execute(sql)
+        block = build_query_graph(parse_select(sql), engine.database)
+        assert sorted(result.rows) == sorted(
+            run_reference(block, engine.database)
+        )

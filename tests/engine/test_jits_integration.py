@@ -1,0 +1,95 @@
+"""Integration: JITS inside the engine — the Table 3 scenario in miniature."""
+
+import pytest
+
+from repro import Engine, EngineConfig
+from tests.conftest import build_mini_db
+
+QUERY = (
+    "SELECT o.name, c.price FROM car c, owner o "
+    "WHERE c.ownerid = o.id AND c.make = 'Toyota' AND c.model = 'Camry' "
+    "AND o.salary > 5000"
+)
+
+
+def fresh_engine(jits: bool, **kwargs) -> Engine:
+    db = build_mini_db(n_owners=400, n_cars=1600, seed=3)
+    if jits:
+        config = EngineConfig.with_jits(sample_size=500, **kwargs)
+    else:
+        config = EngineConfig.traditional()
+    return Engine(db, config)
+
+
+def test_results_identical_with_and_without_jits():
+    plain = fresh_engine(jits=False).execute(QUERY)
+    jits = fresh_engine(jits=True, always_collect=True).execute(QUERY)
+    assert sorted(plain.rows) == sorted(jits.rows)
+
+
+def test_jits_improves_cardinality_estimates():
+    """Case 1-a vs 1-b of Table 3: with no initial statistics, JITS turns
+    a wildly wrong root estimate into a good one."""
+    plain = fresh_engine(jits=False).execute(QUERY)
+    jits = fresh_engine(jits=True, always_collect=True).execute(QUERY)
+    actual = len(plain.rows)
+
+    def root_error(result):
+        est = result.plan.est_rows
+        return max(est, actual + 1e-9) / max(min(est, actual), 1e-9)
+
+    assert root_error(jits) < root_error(plain)
+
+
+def test_jits_reduces_modeled_execution_cost():
+    plain = fresh_engine(jits=False).execute(QUERY)
+    jits = fresh_engine(jits=True, always_collect=True).execute(QUERY)
+    assert jits.modeled_execution_cost() <= plain.modeled_execution_cost()
+
+
+def test_jits_compile_overhead_exists():
+    plain = fresh_engine(jits=False).execute(QUERY)
+    jits = fresh_engine(jits=True, always_collect=True).execute(QUERY)
+    assert jits.compile_time > plain.compile_time
+
+
+def test_archive_reused_on_second_query():
+    engine = fresh_engine(jits=True, s_max=0.3)
+    engine.execute(QUERY)
+    first_archive = len(engine.jits.archive)
+    result = engine.execute(QUERY)
+    # No new sampling needed once the archive answers accurately, or at
+    # worst the same tables resampled; the archive persists either way.
+    assert len(engine.jits.archive) >= first_archive
+    assert engine.jits.archive.has("car", ("make", "model"))
+
+
+def test_collection_rate_decays_over_repeats():
+    engine = fresh_engine(jits=True, s_max=0.4)
+    collections = []
+    for _ in range(6):
+        result = engine.execute(QUERY)
+        collections.append(len(result.jits_report.tables_collected))
+    assert collections[0] > 0
+    assert collections[-1] == 0  # stabilized
+
+
+def test_data_churn_retriggers_collection():
+    engine = fresh_engine(jits=True, s_max=0.4)
+    for _ in range(4):
+        engine.execute(QUERY)
+    assert len(engine.execute(QUERY).jits_report.tables_collected) == 0
+    # Touch most of CAR: UDI explodes, s2 forces a recollection.
+    engine.execute("UPDATE car SET price = price * 2")
+    report = engine.execute(QUERY).jits_report
+    assert "car" in report.tables_collected
+
+
+def test_migration_publishes_catalog_stats():
+    engine = fresh_engine(jits=True, s_max=0.0)
+    engine.config.jits.migration_interval = 2
+    engine.jits.config.migration_interval = 2
+    for _ in range(4):
+        engine.execute(QUERY)
+    assert engine.jits.total_migrations > 0
+    assert engine.catalog.column_stats("car", "make") is not None

@@ -1,0 +1,161 @@
+"""Aggregation machinery in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.executor import Batch, ColumnVector, aggregate_batch, collect_aggregates
+from repro.executor.aggregate import compute_aggregate, group_ids
+from repro.sql import ast
+from repro.storage import StringDictionary
+from repro.types import DataType
+
+
+def batch():
+    d = StringDictionary(["x", "y"])
+    return Batch(
+        {
+            ("t", "g"): ColumnVector(np.array([0, 1, 0, 1, 0]), DataType.STRING, d),
+            ("t", "v"): ColumnVector(
+                np.array([1.0, 2.0, 3.0, 4.0, 5.0]), DataType.FLOAT
+            ),
+            ("t", "k"): ColumnVector(np.array([1, 1, 2, 2, 2]), DataType.INT),
+        },
+        5,
+    )
+
+
+def gcol():
+    return ast.ColumnRef(name="g", qualifier="t")
+
+
+def vcol():
+    return ast.ColumnRef(name="v", qualifier="t")
+
+
+def test_group_ids_single_key():
+    gids, n, reps = group_ids(batch(), (gcol(),))
+    assert n == 2
+    assert len(reps) == 2
+    assert gids.tolist() == [gids[0], gids[1], gids[0], gids[1], gids[0]]
+
+
+def test_group_ids_composite_key():
+    keys = (gcol(), ast.ColumnRef(name="k", qualifier="t"))
+    _, n, _ = group_ids(batch(), keys)
+    assert n == 4  # (x,1), (y,1), (x,2), (y,2)
+
+
+def test_group_ids_no_keys():
+    gids, n, _ = group_ids(batch(), ())
+    assert n == 1
+    assert gids.tolist() == [0] * 5
+
+
+def test_count_star():
+    gids, n, _ = group_ids(batch(), (gcol(),))
+    agg = ast.Aggregate(ast.AggFunc.COUNT, None)
+    out = compute_aggregate(agg, batch(), gids, n)
+    assert sorted(out.values.tolist()) == [2, 3]
+
+
+def test_sum_avg():
+    gids, n, _ = group_ids(batch(), (gcol(),))
+    total = compute_aggregate(
+        ast.Aggregate(ast.AggFunc.SUM, vcol()), batch(), gids, n
+    )
+    avg = compute_aggregate(
+        ast.Aggregate(ast.AggFunc.AVG, vcol()), batch(), gids, n
+    )
+    assert sorted(total.values.tolist()) == [6.0, 9.0]
+    assert sorted(avg.values.tolist()) == [3.0, 3.0]
+
+
+def test_min_max_numeric():
+    gids, n, _ = group_ids(batch(), (gcol(),))
+    lo = compute_aggregate(
+        ast.Aggregate(ast.AggFunc.MIN, vcol()), batch(), gids, n
+    )
+    hi = compute_aggregate(
+        ast.Aggregate(ast.AggFunc.MAX, vcol()), batch(), gids, n
+    )
+    assert sorted(lo.values.tolist()) == [1.0, 2.0]
+    assert sorted(hi.values.tolist()) == [4.0, 5.0]
+
+
+def test_min_max_string():
+    gids, n, _ = group_ids(batch(), ())
+    g = ast.ColumnRef(name="g", qualifier="t")
+    lo = compute_aggregate(ast.Aggregate(ast.AggFunc.MIN, g), batch(), gids, n)
+    hi = compute_aggregate(ast.Aggregate(ast.AggFunc.MAX, g), batch(), gids, n)
+    assert lo.decode() == ["x"]
+    assert hi.decode() == ["y"]
+
+
+def test_count_distinct():
+    gids, n, _ = group_ids(batch(), ())
+    k = ast.ColumnRef(name="k", qualifier="t")
+    out = compute_aggregate(
+        ast.Aggregate(ast.AggFunc.COUNT, k, distinct=True), batch(), gids, n
+    )
+    assert out.values.tolist() == [2]
+
+
+def test_sum_distinct():
+    gids, n, _ = group_ids(batch(), ())
+    k = ast.ColumnRef(name="k", qualifier="t")
+    out = compute_aggregate(
+        ast.Aggregate(ast.AggFunc.SUM, k, distinct=True), batch(), gids, n
+    )
+    assert out.values.tolist() == [3]
+
+
+def test_sum_over_strings_rejected():
+    from repro.errors import ExecutionError
+
+    gids, n, _ = group_ids(batch(), ())
+    with pytest.raises(ExecutionError):
+        compute_aggregate(
+            ast.Aggregate(ast.AggFunc.SUM, gcol()), batch(), gids, n
+        )
+
+
+def test_collect_aggregates_dedupes():
+    count = ast.Aggregate(ast.AggFunc.COUNT, None)
+    expr1 = ast.BinaryArith("+", count, ast.Literal(1))
+    expr2 = ast.Comparison(ast.CompareOp.GT, count, ast.Literal(2))
+    found = collect_aggregates([expr1, expr2])
+    assert found == [count]
+
+
+def test_aggregate_batch_with_having():
+    items = (
+        ast.SelectItem(expr=gcol(), alias="g"),
+        ast.SelectItem(expr=ast.Aggregate(ast.AggFunc.COUNT, None), alias="n"),
+    )
+    having = ast.Comparison(
+        ast.CompareOp.GT, ast.Aggregate(ast.AggFunc.COUNT, None), ast.Literal(2)
+    )
+    out = aggregate_batch(batch(), (gcol(),), items, ("g", "n"), having)
+    assert len(out) == 1
+    assert out.column("", "g").decode() == ["x"]
+    assert out.column("", "n").values.tolist() == [3]
+
+
+def test_aggregate_batch_global_empty_input():
+    empty = Batch(
+        {("t", "v"): ColumnVector(np.array([], dtype=np.float64), DataType.FLOAT)},
+        0,
+    )
+    items = (
+        ast.SelectItem(expr=ast.Aggregate(ast.AggFunc.COUNT, None), alias="n"),
+        ast.SelectItem(
+            expr=ast.Aggregate(
+                ast.AggFunc.SUM, ast.ColumnRef(name="v", qualifier="t")
+            ),
+            alias="s",
+        ),
+    )
+    out = aggregate_batch(empty, (), items, ("n", "s"), None)
+    assert len(out) == 1
+    assert out.column("", "n").values.tolist() == [0]
+    assert out.column("", "s").values.tolist() == [0]

@@ -1,0 +1,140 @@
+"""Randomized end-to-end consistency: optimized executor == reference.
+
+Hypothesis generates small random queries over a compact database; whatever
+plan the optimizer picks (with or without statistics), the result set must
+match the row-at-a-time reference executor.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, DataType, make_schema
+from repro.catalog import SystemCatalog, run_runstats
+from repro.executor import PlanExecutor, run_reference
+from repro.optimizer import Optimizer, StatsContext
+from repro.sql import build_query_graph, parse_select
+
+_DB = None
+_CATALOG = None
+
+
+def get_db():
+    global _DB, _CATALOG
+    if _DB is None:
+        db = Database()
+        db.create_table(
+            make_schema(
+                "r",
+                [("id", DataType.INT), ("k", DataType.INT), ("s", DataType.STRING)],
+                primary_key="id",
+            )
+        )
+        db.create_table(
+            make_schema(
+                "l",
+                [("id", DataType.INT), ("rid", DataType.INT), ("v", DataType.FLOAT)],
+                primary_key="id",
+            )
+        )
+        rng = np.random.default_rng(11)
+        n_r, n_l = 40, 80
+        db.table("r").insert_columns(
+            {
+                "id": np.arange(n_r),
+                "k": rng.integers(0, 6, n_r),
+                "s": [["aa", "bb", "cc"][int(i)] for i in rng.integers(0, 3, n_r)],
+            }
+        )
+        db.table("l").insert_columns(
+            {
+                "id": np.arange(n_l),
+                "rid": rng.integers(0, n_r, n_l),
+                "v": np.round(rng.uniform(0, 10, n_l), 2),
+            }
+        )
+        db.create_hash_index("l", "rid")
+        catalog = SystemCatalog()
+        for name in db.table_names():
+            run_runstats(db, catalog, name, now=1)
+        _DB, _CATALOG = db, catalog
+    return _DB, _CATALOG
+
+
+comparison_ops = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+
+
+@st.composite
+def single_table_query(draw):
+    parts = []
+    n = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(n):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 0:
+            op = draw(comparison_ops)
+            value = draw(st.integers(min_value=-1, max_value=7))
+            parts.append(f"k {op} {value}")
+        elif kind == 1:
+            value = draw(st.sampled_from(["aa", "bb", "cc", "zz"]))
+            op = draw(st.sampled_from(["=", "<>"]))
+            parts.append(f"s {op} '{value}'")
+        elif kind == 2:
+            lo = draw(st.integers(min_value=-1, max_value=6))
+            hi = draw(st.integers(min_value=lo, max_value=8))
+            parts.append(f"k BETWEEN {lo} AND {hi}")
+        else:
+            items = draw(
+                st.lists(
+                    st.sampled_from(["aa", "bb", "zz"]), min_size=1, max_size=3
+                )
+            )
+            quoted = ", ".join(f"'{i}'" for i in items)
+            parts.append(f"s IN ({quoted})")
+    where = f" WHERE {' AND '.join(parts)}" if parts else ""
+    return f"SELECT id, k, s FROM r{where}"
+
+
+@st.composite
+def join_query(draw):
+    op = draw(comparison_ops)
+    value = draw(st.integers(min_value=0, max_value=6))
+    extra = draw(st.booleans())
+    where = f"l.rid = r.id AND r.k {op} {value}"
+    if extra:
+        bound = draw(st.floats(min_value=0, max_value=10))
+        where += f" AND l.v <= {bound:.2f}"
+    return f"SELECT r.id, l.id, l.v FROM r, l WHERE {where}"
+
+
+def assert_consistent(sql, with_stats):
+    db, catalog = get_db()
+    block = build_query_graph(parse_select(sql), db)
+    ctx = StatsContext(db, catalog if with_stats else SystemCatalog())
+    optimized = Optimizer(ctx).optimize(block)
+    got = sorted(PlanExecutor(db).execute(optimized).rows())
+    want = sorted(run_reference(block, db))
+    assert got == want, f"mismatch for {sql}\n{optimized.explain()}"
+
+
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(single_table_query(), st.booleans())
+def test_single_table_queries_consistent(sql, with_stats):
+    assert_consistent(sql, with_stats)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(join_query(), st.booleans())
+def test_join_queries_consistent(sql, with_stats):
+    assert_consistent(sql, with_stats)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.sampled_from(["k", "s"]),
+    st.sampled_from(["COUNT(*)", "SUM(k)", "AVG(k)", "MIN(k)", "MAX(k)"]),
+    st.booleans(),
+)
+def test_aggregate_queries_consistent(key, agg, with_stats):
+    sql = f"SELECT {key}, {agg} FROM r GROUP BY {key}"
+    assert_consistent(sql, with_stats)

@@ -1,0 +1,141 @@
+"""Expression evaluation over batches."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.executor import Batch, ColumnVector, eval_bool, eval_expr
+from repro.sql import ast
+from repro.storage import StringDictionary
+from repro.types import DataType
+
+
+def sample_batch():
+    d1 = StringDictionary(["red", "blue"])
+    d2 = StringDictionary(["blue", "green", "red"])
+    return Batch(
+        {
+            ("t", "x"): ColumnVector(np.array([1, 2, 3]), DataType.INT),
+            ("t", "y"): ColumnVector(np.array([1.5, 0.5, 3.0]), DataType.FLOAT),
+            ("t", "c1"): ColumnVector(np.array([0, 1, 0]), DataType.STRING, d1),
+            ("u", "c2"): ColumnVector(np.array([2, 0, 1]), DataType.STRING, d2),
+        },
+        3,
+    )
+
+
+def col(alias, name):
+    return ast.ColumnRef(name=name, qualifier=alias)
+
+
+def test_literal_broadcast():
+    out = eval_expr(ast.Literal(7), sample_batch())
+    assert out.values.tolist() == [7, 7, 7]
+
+
+def test_column_lookup():
+    out = eval_expr(col("t", "x"), sample_batch())
+    assert out.values.tolist() == [1, 2, 3]
+
+
+def test_arithmetic():
+    expr = ast.BinaryArith(
+        "+", col("t", "x"), ast.BinaryArith("*", col("t", "y"), ast.Literal(2))
+    )
+    out = eval_expr(expr, sample_batch())
+    assert out.values.tolist() == [4.0, 3.0, 9.0]
+    assert out.dtype is DataType.FLOAT
+
+
+def test_int_arithmetic_stays_int():
+    expr = ast.BinaryArith("-", col("t", "x"), ast.Literal(1))
+    out = eval_expr(expr, sample_batch())
+    assert out.dtype is DataType.INT
+
+
+def test_division_always_float():
+    expr = ast.BinaryArith("/", col("t", "x"), ast.Literal(2))
+    out = eval_expr(expr, sample_batch())
+    assert out.dtype is DataType.FLOAT
+    assert out.values.tolist() == [0.5, 1.0, 1.5]
+
+
+def test_unary_minus():
+    out = eval_expr(ast.UnaryArith("-", col("t", "x")), sample_batch())
+    assert out.values.tolist() == [-1, -2, -3]
+
+
+def test_string_arithmetic_rejected():
+    with pytest.raises(ExecutionError):
+        eval_expr(ast.BinaryArith("+", col("t", "c1"), ast.Literal(1)), sample_batch())
+
+
+def test_aggregate_without_resolver_rejected():
+    agg = ast.Aggregate(ast.AggFunc.COUNT, None)
+    with pytest.raises(ExecutionError):
+        eval_expr(agg, sample_batch())
+
+
+def test_numeric_comparisons():
+    expr = ast.Comparison(ast.CompareOp.GT, col("t", "x"), ast.Literal(1))
+    assert eval_bool(expr, sample_batch()).tolist() == [False, True, True]
+    expr = ast.Comparison(ast.CompareOp.LE, col("t", "y"), col("t", "x"))
+    assert eval_bool(expr, sample_batch()).tolist() == [False, True, True]
+
+
+def test_string_literal_comparison():
+    expr = ast.Comparison(ast.CompareOp.EQ, col("t", "c1"), ast.Literal("red"))
+    assert eval_bool(expr, sample_batch()).tolist() == [True, False, True]
+
+
+def test_string_missing_literal_matches_nothing():
+    expr = ast.Comparison(ast.CompareOp.EQ, col("t", "c1"), ast.Literal("mauve"))
+    assert eval_bool(expr, sample_batch()).tolist() == [False, False, False]
+
+
+def test_cross_dictionary_equality():
+    # c1 = [red, blue, red]; c2 = [red, blue, green] in their own dicts.
+    expr = ast.Comparison(ast.CompareOp.EQ, col("t", "c1"), col("u", "c2"))
+    assert eval_bool(expr, sample_batch()).tolist() == [True, True, False]
+
+
+def test_string_numeric_comparison_rejected():
+    expr = ast.Comparison(ast.CompareOp.EQ, col("t", "c1"), col("t", "x"))
+    with pytest.raises(ExecutionError):
+        eval_bool(expr, sample_batch())
+
+
+def test_string_order_comparison_rejected():
+    expr = ast.Comparison(ast.CompareOp.LT, col("t", "c1"), ast.Literal("z"))
+    with pytest.raises(ExecutionError):
+        eval_bool(expr, sample_batch())
+
+
+def test_between():
+    expr = ast.BetweenExpr(col("t", "x"), ast.Literal(2), ast.Literal(3))
+    assert eval_bool(expr, sample_batch()).tolist() == [False, True, True]
+    negated = ast.BetweenExpr(
+        col("t", "x"), ast.Literal(2), ast.Literal(3), negated=True
+    )
+    assert eval_bool(negated, sample_batch()).tolist() == [True, False, False]
+
+
+def test_in_list_strings():
+    expr = ast.InListExpr(
+        col("t", "c1"), (ast.Literal("blue"), ast.Literal("mauve"))
+    )
+    assert eval_bool(expr, sample_batch()).tolist() == [False, True, False]
+
+
+def test_boolean_connectives():
+    gt1 = ast.Comparison(ast.CompareOp.GT, col("t", "x"), ast.Literal(1))
+    lt3 = ast.Comparison(ast.CompareOp.LT, col("t", "x"), ast.Literal(3))
+    assert eval_bool(ast.AndExpr((gt1, lt3)), sample_batch()).tolist() == [
+        False, True, False,
+    ]
+    assert eval_bool(ast.OrExpr((gt1, lt3)), sample_batch()).tolist() == [
+        True, True, True,
+    ]
+    assert eval_bool(ast.NotExpr(gt1), sample_batch()).tolist() == [
+        True, False, False,
+    ]

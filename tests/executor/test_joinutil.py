@@ -1,0 +1,100 @@
+"""Equi-join matching: dense and sorted paths vs brute force."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executor import equi_join_indices
+from repro.executor.joinutil import _dense_join, _sorted_join
+
+
+def brute(left, right):
+    return sorted(
+        (i, j)
+        for i, lv in enumerate(left)
+        for j, rv in enumerate(right)
+        if lv == rv
+    )
+
+
+def as_pairs(li, ri):
+    return sorted(zip(li.tolist(), ri.tolist()))
+
+
+def test_basic_duplicates():
+    left = np.array([3, 1, 2, 2, 9])
+    right = np.array([2, 2, 3, 5])
+    li, ri = equi_join_indices(left, right)
+    assert as_pairs(li, ri) == brute(left, right)
+
+
+def test_empty_sides():
+    empty = np.array([], dtype=np.int64)
+    li, ri = equi_join_indices(empty, np.array([1, 2]))
+    assert len(li) == 0
+    li, ri = equi_join_indices(np.array([1, 2]), empty)
+    assert len(ri) == 0
+
+
+def test_no_matches():
+    li, ri = equi_join_indices(np.array([1, 2]), np.array([3, 4]))
+    assert len(li) == 0 and len(ri) == 0
+
+
+def test_float_keys_use_sorted_path():
+    left = np.array([1.5, 2.5, 1.5])
+    right = np.array([1.5, 3.5])
+    li, ri = equi_join_indices(left, right)
+    assert as_pairs(li, ri) == brute(left, right)
+
+
+def test_sparse_int_keys_use_sorted_path():
+    left = np.array([10**15, 5])
+    right = np.array([10**15, 10**15])
+    li, ri = equi_join_indices(left, right)
+    assert as_pairs(li, ri) == brute(left, right)
+
+
+def test_negative_keys():
+    left = np.array([-5, -1, 0, -5])
+    right = np.array([-5, 0])
+    li, ri = equi_join_indices(left, right)
+    assert as_pairs(li, ri) == brute(left, right)
+
+
+def test_dense_and_sorted_agree():
+    rng = np.random.default_rng(0)
+    left = rng.integers(0, 50, 300)
+    right = rng.integers(0, 50, 200)
+    dense = as_pairs(*_dense_join(left, right, int(right.min()),
+                                  int(right.max() - right.min() + 1)))
+    sorted_ = as_pairs(*_sorted_join(left, right))
+    assert dense == sorted_
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-30, max_value=30), max_size=40),
+    st.lists(st.integers(min_value=-30, max_value=30), max_size=40),
+)
+def test_matches_brute_force(left_list, right_list):
+    left = np.asarray(left_list, dtype=np.int64)
+    right = np.asarray(right_list, dtype=np.int64)
+    li, ri = equi_join_indices(left, right)
+    assert as_pairs(li, ri) == brute(left_list, right_list)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-10, max_value=10, allow_nan=False), max_size=30
+    ),
+    st.lists(
+        st.floats(min_value=-10, max_value=10, allow_nan=False), max_size=30
+    ),
+)
+def test_float_matches_brute_force(left_list, right_list):
+    left = np.asarray(left_list)
+    right = np.asarray(right_list)
+    li, ri = equi_join_indices(left, right)
+    assert as_pairs(li, ri) == brute(left_list, right_list)

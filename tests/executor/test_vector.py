@@ -1,0 +1,100 @@
+"""Column vectors, batches and dictionary translation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.executor import Batch, ColumnVector, batch_from_table, translate_codes
+from repro.storage import StringDictionary
+from repro.types import DataType
+
+
+def vec(values, dtype=DataType.INT, dictionary=None):
+    return ColumnVector(np.asarray(values), dtype, dictionary)
+
+
+def test_string_vector_requires_dictionary():
+    with pytest.raises(ExecutionError):
+        ColumnVector(np.array([0]), DataType.STRING)
+
+
+def test_take_and_mask():
+    v = vec([10, 20, 30])
+    assert v.take(np.array([2, 0])).values.tolist() == [30, 10]
+    assert v.mask(np.array([True, False, True])).values.tolist() == [10, 30]
+
+
+def test_decode_types():
+    assert vec([1, 2]).decode() == [1, 2]
+    assert vec([1.5], DataType.FLOAT).decode() == [1.5]
+    d = StringDictionary(["a", "b"])
+    assert vec([1, 0], DataType.STRING, d).decode() == ["b", "a"]
+
+
+def test_sort_ranks_for_strings():
+    d = StringDictionary(["zebra", "apple"])  # codes 0, 1
+    v = vec([0, 1], DataType.STRING, d)
+    ranks = v.sort_ranks()
+    assert ranks[0] > ranks[1]  # zebra sorts after apple
+
+
+def test_batch_length_validation():
+    with pytest.raises(ExecutionError):
+        Batch({("t", "a"): vec([1, 2])}, 3)
+
+
+def test_batch_column_access_case_insensitive():
+    b = Batch({("t", "a"): vec([1])}, 1)
+    assert b.column("T", "A").values.tolist() == [1]
+    assert b.has_column("t", "a")
+    with pytest.raises(ExecutionError):
+        b.column("t", "zz")
+
+
+def test_batch_merge_disjoint():
+    left = Batch({("l", "a"): vec([1, 2])}, 2)
+    right = Batch({("r", "b"): vec([3, 4])}, 2)
+    merged = Batch.merge(left, right)
+    assert set(merged.columns) == {("l", "a"), ("r", "b")}
+
+
+def test_batch_merge_conflict():
+    left = Batch({("t", "a"): vec([1])}, 1)
+    with pytest.raises(ExecutionError):
+        Batch.merge(left, left)
+
+
+def test_batch_merge_length_mismatch():
+    left = Batch({("l", "a"): vec([1])}, 1)
+    right = Batch({("r", "b"): vec([1, 2])}, 2)
+    with pytest.raises(ExecutionError):
+        Batch.merge(left, right)
+
+
+def test_batch_from_table_subset(mini_db):
+    batch = batch_from_table(
+        mini_db.table("car"), "c", np.array([0, 1]), ["make", "price"]
+    )
+    assert len(batch) == 2
+    assert batch.has_column("c", "make")
+    assert not batch.has_column("c", "year")
+
+
+def test_translate_codes():
+    src = StringDictionary(["a", "b", "c"])
+    dst = StringDictionary(["c", "a"])
+    out = translate_codes(src, dst, np.array([0, 1, 2]))
+    assert out.tolist() == [1, -1, 0]
+
+
+def test_translate_same_dictionary_is_identity():
+    d = StringDictionary(["x"])
+    codes = np.array([0])
+    assert translate_codes(d, d, codes) is codes
+
+
+def test_translate_empty():
+    src = StringDictionary(["a"])
+    dst = StringDictionary(["b"])
+    out = translate_codes(src, dst, np.array([], dtype=np.int64))
+    assert len(out) == 0

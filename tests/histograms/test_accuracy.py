@@ -1,0 +1,102 @@
+"""Section 3.3.2 accuracy metric."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.histograms import (
+    Interval,
+    Region,
+    boundary_accuracy,
+    interval_accuracy,
+    region_accuracy,
+)
+
+
+def test_value_on_boundary_is_exact():
+    boundaries = [0.0, 10.0, 20.0, 30.0]
+    for b in boundaries:
+        assert boundary_accuracy(boundaries, b) == pytest.approx(1.0)
+
+
+def test_mid_bucket_least_accurate():
+    boundaries = [0.0, 10.0]
+    # The paper's formula: u = (min/max ratio) * bucket_share.
+    # Mid-bucket: d1 = d2 -> ratio 1; single bucket -> share 1 -> acc 0.
+    assert boundary_accuracy(boundaries, 5.0) == pytest.approx(0.0)
+
+
+def test_accuracy_increases_toward_boundary():
+    boundaries = [0.0, 10.0, 20.0]
+    a_near = boundary_accuracy(boundaries, 1.0)
+    a_mid = boundary_accuracy(boundaries, 5.0)
+    assert a_near > a_mid
+
+
+def test_wide_bucket_less_accurate():
+    narrow = [0.0, 2.0, 100.0]
+    value = 1.0  # mid of the narrow bucket
+    wide_mid = 51.0  # mid of the wide bucket
+    assert boundary_accuracy(narrow, value) > boundary_accuracy(narrow, wide_mid)
+
+
+def test_paper_formula_example():
+    # b = [0, 10, 50]; value 2 in bucket [0,10): d1=2, d2=8,
+    # u = (2/8) * (10/50) = 0.05 -> accuracy 0.95.
+    assert boundary_accuracy([0.0, 10.0, 50.0], 2.0) == pytest.approx(0.95)
+
+
+def test_out_of_range_clipped():
+    boundaries = [0.0, 10.0]
+    assert boundary_accuracy(boundaries, -5.0) == pytest.approx(1.0)
+    assert boundary_accuracy(boundaries, 15.0) == pytest.approx(1.0)
+
+
+def test_degenerate_boundaries():
+    assert boundary_accuracy([], 1.0) == 0.0
+    assert boundary_accuracy([5.0], 1.0) == 0.0
+    assert boundary_accuracy([5.0, 5.0], 5.0) == 0.0
+
+
+def test_interval_accuracy_combines_endpoints():
+    boundaries = [0.0, 10.0, 20.0]
+    both = interval_accuracy(boundaries, Interval(10.0, 20.0))
+    assert both == pytest.approx(1.0)
+    one_off = interval_accuracy(boundaries, Interval(10.0, 15.0))
+    assert one_off < 1.0
+
+
+def test_interval_accuracy_unbounded_side_free():
+    boundaries = [0.0, 10.0, 20.0]
+    assert interval_accuracy(boundaries, Interval(high=10.0)) == pytest.approx(1.0)
+    assert interval_accuracy(boundaries, Interval()) == pytest.approx(1.0)
+
+
+def test_region_accuracy_product():
+    boundaries = [[0.0, 10.0, 20.0], [0.0, 100.0]]
+    region = Region.of(Interval(10.0, 20.0), Interval(50.0, 100.0))
+    per_dim1 = interval_accuracy(boundaries[0], region.intervals[0])
+    per_dim2 = interval_accuracy(boundaries[1], region.intervals[1])
+    assert region_accuracy(boundaries, region) == pytest.approx(
+        per_dim1 * per_dim2
+    )
+
+
+def test_region_accuracy_dim_mismatch():
+    with pytest.raises(ValueError):
+        region_accuracy([[0.0, 1.0]], Region.full(2))
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=1000, allow_nan=False),
+        min_size=2,
+        max_size=20,
+        unique=True,
+    ),
+    st.floats(min_value=0, max_value=1000, allow_nan=False),
+)
+def test_accuracy_bounded_property(raw_boundaries, value):
+    boundaries = sorted(raw_boundaries)
+    acc = boundary_accuracy(boundaries, value)
+    assert 0.0 <= acc <= 1.0

@@ -1,0 +1,123 @@
+"""Equi-depth histograms: construction invariants and estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StatisticsError
+from repro.histograms import EquiDepthHistogram, Interval
+
+
+def test_build_mass_equals_input():
+    data = np.random.default_rng(0).normal(0, 1, 5000)
+    h = EquiDepthHistogram.build(data, n_buckets=20)
+    assert h.total == pytest.approx(5000)
+
+
+def test_buckets_roughly_equal_depth():
+    data = np.random.default_rng(1).uniform(0, 1, 10_000)
+    h = EquiDepthHistogram.build(data, n_buckets=10)
+    assert h.n_buckets == 10
+    assert h.counts.min() > 800 and h.counts.max() < 1200
+
+
+def test_duplicate_heavy_data_collapses_buckets():
+    data = np.array([5.0] * 100 + [1.0, 9.0])
+    h = EquiDepthHistogram.build(data, n_buckets=10)
+    assert h.total == pytest.approx(102)
+    assert h.n_buckets <= 10
+
+
+def test_single_value_data():
+    h = EquiDepthHistogram.build(np.array([3.0, 3.0, 3.0]))
+    assert h.total == pytest.approx(3)
+    assert h.estimate_selectivity(Interval(2.9, 3.1)) == pytest.approx(1.0)
+
+
+def test_estimate_full_range():
+    data = np.random.default_rng(2).uniform(10, 20, 1000)
+    h = EquiDepthHistogram.build(data)
+    assert h.estimate_count(Interval(-1e9, 1e9)) == pytest.approx(1000, rel=1e-6)
+
+
+def test_estimate_half_range_uniform():
+    data = np.linspace(0, 100, 10_001)
+    h = EquiDepthHistogram.build(data, n_buckets=20)
+    sel = h.estimate_selectivity(Interval(0, 50))
+    assert abs(sel - 0.5) < 0.02
+
+
+def test_estimate_empty_interval():
+    h = EquiDepthHistogram.build(np.arange(100.0))
+    assert h.estimate_count(Interval(5, 5)) == 0.0
+    assert h.estimate_count(Interval(500, 600)) == 0.0
+
+
+def test_validation_errors():
+    with pytest.raises(StatisticsError):
+        EquiDepthHistogram(boundaries=np.array([0.0, 1.0]), counts=np.array([1.0, 2.0]))
+    with pytest.raises(StatisticsError):
+        EquiDepthHistogram(boundaries=np.array([1.0, 0.0]), counts=np.array([1.0]))
+    with pytest.raises(StatisticsError):
+        EquiDepthHistogram(boundaries=np.array([0.0, 1.0]), counts=np.array([-1.0]))
+    with pytest.raises(StatisticsError):
+        EquiDepthHistogram.build(np.array([]))
+    with pytest.raises(StatisticsError):
+        EquiDepthHistogram.build(np.array([1.0]), n_buckets=0)
+
+
+def test_scaled():
+    h = EquiDepthHistogram.build(np.arange(100.0), n_buckets=4)
+    doubled = h.scaled(2.0)
+    assert doubled.total == pytest.approx(2 * h.total)
+    with pytest.raises(StatisticsError):
+        h.scaled(-1.0)
+
+
+def test_bucket_of_clips():
+    h = EquiDepthHistogram.build(np.arange(100.0), n_buckets=4)
+    assert h.bucket_of(-50) == 0
+    assert h.bucket_of(1e9) == h.n_buckets - 1
+
+
+def test_densities_shape():
+    h = EquiDepthHistogram.build(np.arange(100.0), n_buckets=5)
+    assert len(h.densities()) == h.n_buckets
+    assert np.all(h.densities() >= 0)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        min_size=2,
+        max_size=300,
+    ),
+    st.integers(min_value=1, max_value=16),
+)
+def test_build_invariants(values, n_buckets):
+    data = np.asarray(values)
+    h = EquiDepthHistogram.build(data, n_buckets=n_buckets)
+    # Mass conservation.
+    assert h.total == pytest.approx(len(values))
+    # Boundaries strictly increasing.
+    assert np.all(np.diff(h.boundaries) > 0)
+    # Max value is covered by the nudged final boundary.
+    assert h.estimate_count(Interval(-1e18, 1e18)) == pytest.approx(
+        len(values), rel=1e-9
+    )
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=1000, allow_nan=False),
+        min_size=5,
+        max_size=200,
+    ),
+    st.floats(min_value=0, max_value=1000, allow_nan=False),
+    st.floats(min_value=0, max_value=1000, allow_nan=False),
+)
+def test_selectivity_bounded(values, a, b):
+    h = EquiDepthHistogram.build(np.asarray(values), n_buckets=8)
+    sel = h.estimate_selectivity(Interval(min(a, b), max(a, b)))
+    assert 0.0 <= sel <= 1.0

@@ -1,0 +1,90 @@
+"""Additional grid histogram behaviours: from_data options, calibrate flag,
+merging details, freshness."""
+
+import numpy as np
+import pytest
+
+from repro.histograms import AdaptiveGridHistogram, Interval, Region
+
+
+def test_calibrate_false_keeps_only_newest_fact():
+    domain = Region.of(Interval(0, 100))
+    naive = AdaptiveGridHistogram(domain, total=100, calibrate=False)
+    naive.observe(Region.of(Interval(0, 50)), 80, total=100, now=1)
+    naive.observe(Region.of(Interval(25, 75)), 10, now=2)
+    # The newest fact holds...
+    assert naive.estimate_count(Region.of(Interval(25, 75))) == pytest.approx(
+        10, rel=0.05
+    )
+    # ...but older knowledge (total = 100) has drifted.
+    calibrated = AdaptiveGridHistogram(domain, total=100, calibrate=True)
+    calibrated.observe(Region.of(Interval(0, 50)), 80, total=100, now=1)
+    calibrated.observe(Region.of(Interval(25, 75)), 10, now=2)
+    drift_naive = abs(naive.total_mass - 100)
+    drift_cal = abs(calibrated.total_mass - 100)
+    assert drift_cal <= drift_naive + 1e-6
+
+
+def test_from_data_integral_dims_point_queries():
+    codes = np.array([0, 0, 0, 1, 1, 2] * 50, dtype=np.float64)
+    values = np.linspace(0, 10, len(codes))
+    domain = Region.of(Interval(0, 3), Interval(0, 10.001))
+    hist = AdaptiveGridHistogram.from_data(
+        [codes, values], domain, bins_per_dim=4, integral_dims=[True, False]
+    )
+    # Point query on the largest code must not collapse to ~0.
+    sel = hist.estimate_selectivity(
+        Region.of(Interval(2, 3), Interval(float("-inf"), float("inf")))
+    )
+    assert sel == pytest.approx(50 / 300, rel=0.1)
+
+
+def test_from_data_empty_dim_guard():
+    data = np.full(10, 5.0)
+    hist = AdaptiveGridHistogram.from_data(
+        [data], Region.of(Interval(0, 10)), bins_per_dim=4
+    )
+    assert hist.total_mass == pytest.approx(10)
+
+
+def test_merge_combines_timestamps():
+    h = AdaptiveGridHistogram(
+        Region.of(Interval(0, 100)), total=100, max_boundaries_per_dim=3
+    )
+    h.observe(Region.of(Interval(10, 20)), 10, now=1)
+    h.observe(Region.of(Interval(50, 60)), 10, now=9)  # forces merges
+    assert len(h.boundaries[0]) - 1 <= 3
+    assert h.timestamps.max() == 9
+
+
+def test_touch_only_moves_forward():
+    h = AdaptiveGridHistogram(Region.of(Interval(0, 10)), total=10, now=5)
+    h.touch(3)
+    assert h.last_used == 5
+    h.touch(8)
+    assert h.last_used == 8
+
+
+def test_observe_empty_clip_is_noop():
+    h = AdaptiveGridHistogram(Region.of(Interval(0, 10)), total=10)
+    before = h.total_mass
+    # Region entirely outside the domain on the low side, unbounded below:
+    # clipping yields an empty region.
+    h.observe(Region.of(Interval(float("-inf"), -5)), 3, now=1)
+    assert h.total_mass == before
+    assert h.n_cells == 1
+
+
+def test_estimate_count_wrong_ndim():
+    from repro.errors import StatisticsError
+
+    h = AdaptiveGridHistogram(Region.of(Interval(0, 10)), total=10)
+    with pytest.raises(StatisticsError):
+        h.estimate_count(Region.full(2))
+
+
+def test_freshness_unhit_region_reports_oldest():
+    h = AdaptiveGridHistogram(Region.of(Interval(0, 100)), total=100, now=0)
+    h.observe(Region.of(Interval(0, 10)), 10, now=4)
+    assert h.freshness(Region.of(Interval(0, 10))) == 4
+    assert h.freshness(Region.of(Interval(50, 60))) == 0

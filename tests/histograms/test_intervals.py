@@ -1,0 +1,114 @@
+"""Interval and Region algebra."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.histograms import FULL, Interval, Region, hull
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def test_empty_and_width():
+    assert Interval(5, 5).is_empty
+    assert Interval(5, 4).is_empty
+    assert not Interval(4, 5).is_empty
+    assert Interval(4, 5).width == 1
+
+
+def test_contains_value_half_open():
+    iv = Interval(1, 3)
+    assert iv.contains_value(1)
+    assert iv.contains_value(2.999)
+    assert not iv.contains_value(3)
+    assert not iv.contains_value(0.999)
+
+
+def test_unbounded():
+    assert FULL.is_unbounded
+    assert FULL.contains_value(1e300)
+    assert FULL.width == math.inf
+
+
+def test_nan_rejected():
+    with pytest.raises(ValueError):
+        Interval(float("nan"), 1)
+
+
+def test_intersect():
+    assert Interval(0, 10).intersect(Interval(5, 20)) == Interval(5, 10)
+    assert Interval(0, 5).intersect(Interval(5, 10)).is_empty
+
+
+def test_overlap_fraction():
+    box = Interval(0, 10)
+    assert Interval(0, 5).overlap_fraction(box) == 0.5
+    assert Interval(-10, 20).overlap_fraction(box) == 1.0
+    assert Interval(20, 30).overlap_fraction(box) == 0.0
+
+
+def test_overlap_fraction_zero_width_box():
+    point = Interval(5, 5)
+    assert Interval(0, 10).overlap_fraction(point) == 1.0
+    assert Interval(6, 10).overlap_fraction(point) == 0.0
+
+
+def test_contains_interval():
+    assert Interval(0, 10).contains_interval(Interval(2, 3))
+    assert Interval(0, 10).contains_interval(Interval(5, 5))  # empty
+    assert not Interval(0, 10).contains_interval(Interval(5, 11))
+
+
+def test_region_intersect_and_contains():
+    a = Region.of(Interval(0, 10), Interval(0, 10))
+    b = Region.of(Interval(5, 20), Interval(-5, 5))
+    inter = a.intersect(b)
+    assert inter.intervals == (Interval(5, 10), Interval(0, 5))
+    assert a.contains(inter)
+    assert not b.contains(a)
+
+
+def test_region_dim_mismatch():
+    with pytest.raises(ValueError):
+        Region.of(Interval(0, 1)).intersect(Region.full(2))
+
+
+def test_region_empty():
+    assert Region.of(Interval(0, 1), Interval(3, 3)).is_empty
+    assert not Region.full(3).is_empty
+
+
+def test_volume_fraction():
+    within = Region.of(Interval(0, 10), Interval(0, 10))
+    quarter = Region.of(Interval(0, 5), Interval(0, 5))
+    assert quarter.volume_fraction(within) == 0.25
+
+
+def test_hull():
+    assert hull([Interval(0, 1), Interval(5, 9)]) == Interval(0, 9)
+    assert hull([Interval(3, 3)]) is None
+    assert hull([]) is None
+
+
+@given(finite, finite, finite, finite)
+def test_intersect_commutes_and_shrinks(a, b, c, d):
+    x = Interval(min(a, b), max(a, b))
+    y = Interval(min(c, d), max(c, d))
+    lhs = x.intersect(y)
+    rhs = y.intersect(x)
+    assert lhs == rhs
+    if not lhs.is_empty:
+        assert lhs.width <= min(x.width, y.width)
+        assert x.contains_interval(lhs) and y.contains_interval(lhs)
+
+
+@given(finite, finite, finite)
+def test_membership_respects_intersection(a, b, v):
+    x = Interval(min(a, b), max(a, b))
+    y = Interval(-100.0, 100.0)
+    inter = x.intersect(y)
+    assert inter.contains_value(v) == (x.contains_value(v) and y.contains_value(v))

@@ -1,0 +1,149 @@
+"""Iterative proportional fitting: constraint satisfaction, max entropy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StatisticsError
+from repro.histograms import (
+    CellConstraint,
+    iterative_scaling,
+    make_constraints,
+    max_abs_violation,
+    uniformity_deviation,
+)
+
+
+def test_single_constraint_exact():
+    counts = np.array([10.0, 10.0, 10.0, 10.0])
+    constraints = make_constraints([(np.array([0, 1]), 30.0)])
+    out, converged = iterative_scaling(counts, constraints)
+    assert converged
+    assert out[[0, 1]].sum() == pytest.approx(30.0)
+    # Untouched cells keep their mass.
+    assert out[2] == pytest.approx(10.0)
+
+
+def test_total_plus_partial_constraints():
+    counts = np.ones(4) * 25.0
+    constraints = make_constraints(
+        [(np.arange(4), 100.0), (np.array([0]), 50.0)]
+    )
+    out, converged = iterative_scaling(counts, constraints)
+    assert converged
+    assert out.sum() == pytest.approx(100.0, rel=1e-2)
+    assert out[0] == pytest.approx(50.0, rel=1e-2)
+    # Remaining mass spreads uniformly (max entropy).
+    assert np.allclose(out[1:], out[1], rtol=1e-6)
+
+
+def test_overlapping_constraints_consistent():
+    counts = np.ones(3)
+    constraints = make_constraints(
+        [
+            (np.array([0, 1, 2]), 100.0),
+            (np.array([0, 1]), 70.0),
+            (np.array([1, 2]), 80.0),
+        ]
+    )
+    out, _ = iterative_scaling(counts, constraints, max_iterations=200)
+    assert max_abs_violation(out, constraints) < 0.02
+    # Implies x0=20, x1=50, x2=30.
+    assert out[0] == pytest.approx(20.0, abs=1.5)
+    assert out[1] == pytest.approx(50.0, abs=1.5)
+
+
+def test_zero_target_clears_cells():
+    counts = np.array([5.0, 5.0])
+    constraints = make_constraints([(np.array([0]), 0.0)])
+    out, _ = iterative_scaling(counts, constraints)
+    assert out[0] == 0.0
+    assert out[1] == 5.0
+
+
+def test_mass_created_for_zero_cells():
+    counts = np.array([0.0, 0.0, 10.0])
+    constraints = make_constraints([(np.array([0, 1]), 8.0)])
+    out, converged = iterative_scaling(counts, constraints)
+    assert converged
+    assert out[[0, 1]].sum() == pytest.approx(8.0)
+    # Created mass is uniform (no information to prefer either cell).
+    assert out[0] == pytest.approx(out[1])
+
+
+def test_inconsistent_constraints_newest_wins():
+    counts = np.array([10.0, 10.0])
+    # Two contradictory facts about the same cells.
+    constraints = make_constraints(
+        [(np.array([0, 1]), 100.0), (np.array([0, 1]), 40.0)]
+    )
+    out, _ = iterative_scaling(counts, constraints)
+    assert out.sum() == pytest.approx(40.0)  # later sequence wins each sweep
+
+
+def test_no_constraints_is_identity():
+    counts = np.array([1.0, 2.0])
+    out, converged = iterative_scaling(counts, [])
+    assert converged
+    assert np.array_equal(out, counts)
+
+
+def test_input_not_mutated():
+    counts = np.array([1.0, 1.0])
+    iterative_scaling(counts, make_constraints([(np.array([0]), 5.0)]))
+    assert counts.tolist() == [1.0, 1.0]
+
+
+def test_validation():
+    with pytest.raises(StatisticsError):
+        CellConstraint(cells=np.array([0]), target=-1.0)
+    with pytest.raises(StatisticsError):
+        iterative_scaling(np.ones((2, 2)), [])
+    with pytest.raises(StatisticsError):
+        iterative_scaling(np.array([-1.0]), [])
+
+
+def test_uniformity_deviation_zero_for_uniform():
+    counts = np.array([10.0, 10.0, 10.0])
+    volumes = np.array([1.0, 1.0, 1.0])
+    assert uniformity_deviation(counts, volumes) == pytest.approx(0.0)
+
+
+def test_uniformity_deviation_accounts_for_volume():
+    # Density uniform although counts differ (volume-weighted).
+    counts = np.array([10.0, 20.0])
+    volumes = np.array([1.0, 2.0])
+    assert uniformity_deviation(counts, volumes) == pytest.approx(0.0)
+
+
+def test_uniformity_deviation_positive_for_skew():
+    counts = np.array([100.0, 1.0])
+    volumes = np.array([1.0, 1.0])
+    assert uniformity_deviation(counts, volumes) > 0.5
+
+
+def test_uniformity_shape_mismatch():
+    with pytest.raises(StatisticsError):
+        uniformity_deviation(np.ones(2), np.ones(3))
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=100), min_size=4, max_size=16),
+    st.data(),
+)
+def test_ipf_property(counts_list, data):
+    """Consistent disjoint constraints are satisfied and mass stays >= 0."""
+    counts = np.asarray(counts_list)
+    n = len(counts)
+    half = n // 2
+    t1 = data.draw(st.floats(min_value=0.5, max_value=500))
+    t2 = data.draw(st.floats(min_value=0.5, max_value=500))
+    constraints = make_constraints(
+        [(np.arange(half), t1), (np.arange(half, n), t2)]
+    )
+    out, converged = iterative_scaling(counts, constraints)
+    assert converged
+    assert np.all(out >= 0)
+    assert out[:half].sum() == pytest.approx(t1, rel=1e-2)
+    assert out[half:].sum() == pytest.approx(t2, rel=1e-2)

@@ -1,0 +1,103 @@
+"""Query analysis — paper Algorithm 1."""
+
+from repro.jits import analyze_query, enumerate_groups, merge_by_table
+from repro.jits.analysis import MAX_FULL_ENUMERATION
+from repro.predicates import LocalPredicate, PredOp
+from repro.sql import build_query_graph, parse_select
+
+
+def preds(n, alias="c"):
+    return [
+        LocalPredicate(alias, f"col{i}", PredOp.EQ, (i,)) for i in range(n)
+    ]
+
+
+def test_paper_example_three_predicates():
+    """make='Toyota' AND model='Corolla' AND year>2000: the first loop
+    iteration produces 3 singletons, the second 3 pairs, the last the full
+    triple — 7 groups."""
+    groups = enumerate_groups(preds(3))
+    by_size = {}
+    for g in groups:
+        by_size.setdefault(g.size, []).append(g)
+    assert len(by_size[1]) == 3
+    assert len(by_size[2]) == 3
+    assert len(by_size[3]) == 1
+    assert len(groups) == 7
+
+
+def test_enumeration_counts():
+    assert len(enumerate_groups(preds(1))) == 1
+    assert len(enumerate_groups(preds(2))) == 3
+    assert len(enumerate_groups(preds(4))) == 15
+    assert enumerate_groups([]) == []
+
+
+def test_enumeration_capped_for_many_predicates():
+    m = MAX_FULL_ENUMERATION + 3
+    groups = enumerate_groups(preds(m))
+    # singletons + pairs + the full group, not 2^m - 1.
+    assert len(groups) == m + m * (m - 1) // 2 + 1
+
+
+def test_duplicate_predicates_collapse():
+    p = LocalPredicate("c", "a", PredOp.EQ, (1,))
+    groups = enumerate_groups([p, p])
+    assert len(groups) == 1
+
+
+def test_analyze_query_per_block(mini_db):
+    block = build_query_graph(
+        parse_select(
+            "SELECT c.id FROM car c, owner o WHERE c.ownerid = o.id "
+            "AND c.make = 'Toyota' AND c.year > 2000 AND o.salary > 100"
+        ),
+        mini_db,
+    )
+    candidates = analyze_query(block)
+    by_table = {c.table: c for c in candidates}
+    assert set(by_table) == {"car", "owner"}
+    assert len(by_table["car"].groups) == 3  # 2 singletons + pair
+    assert len(by_table["owner"].groups) == 1
+    assert by_table["car"].full_group.size == 2
+
+
+def test_analyze_query_skips_predicate_free_tables(mini_db):
+    block = build_query_graph(
+        parse_select(
+            "SELECT c.id FROM car c, owner o WHERE c.ownerid = o.id "
+            "AND c.make = 'Honda'"
+        ),
+        mini_db,
+    )
+    candidates = analyze_query(block)
+    assert [c.table for c in candidates] == ["car"]
+
+
+def test_analyze_query_walks_child_blocks(mini_db):
+    block = build_query_graph(
+        parse_select(
+            "SELECT v.n FROM (SELECT city, COUNT(*) AS n FROM owner "
+            "WHERE salary > 10 GROUP BY city) v WHERE v.n > 1"
+        ),
+        mini_db,
+    )
+    candidates = analyze_query(block)
+    # The derived quantifier has no base table; the child block's owner
+    # predicate is analyzed.
+    assert [c.table for c in candidates] == ["owner"]
+
+
+def test_merge_by_table_deduplicates_self_joins(mini_db):
+    block = build_query_graph(
+        parse_select(
+            "SELECT a.id FROM car a, car b WHERE a.id = b.id "
+            "AND a.make = 'Ford' AND b.make = 'Ford'"
+        ),
+        mini_db,
+    )
+    merged = merge_by_table(analyze_query(block))
+    # Aliases differ so groups remain distinct per quantifier, but both
+    # fold into the same table bucket.
+    assert set(merged) == {"car"}
+    assert len(merged["car"]) == 2

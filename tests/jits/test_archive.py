@@ -1,0 +1,93 @@
+"""QSS archive: materialization, reuse, space budget, eviction."""
+
+import pytest
+
+from repro.histograms import Interval, Region
+from repro.jits import QSSArchive
+
+
+def obs_region(lo, hi):
+    return Region.of(Interval(float(lo), float(hi)))
+
+
+def test_observe_creates_and_lookup(mini_db):
+    archive = QSSArchive(mini_db)
+    assert archive.lookup("car", ["year"]) is None
+    archive.observe("car", ["year"], obs_region(2000, 2004), 100, 600, now=1)
+    hist = archive.lookup("car", ["year"])
+    assert hist is not None
+    assert hist.estimate_count(obs_region(2000, 2004)) == pytest.approx(
+        100, rel=0.02
+    )
+
+
+def test_keys_canonical(mini_db):
+    archive = QSSArchive(mini_db)
+    region = Region.of(Interval(0, 1), Interval(2000, 2005))
+    archive.observe("CAR", ["make", "year"], region, 10, 600, now=1)
+    assert archive.has("car", ["year", "make"])
+    assert archive.lookup("car", ("make", "year")) is not None
+
+
+def test_mark_used_updates_lru(mini_db):
+    archive = QSSArchive(mini_db)
+    archive.observe("car", ["year"], obs_region(2000, 2001), 5, 600, now=1)
+    archive.mark_used("car", ["year"], now=9)
+    assert archive.lookup("car", ["year"]).last_used == 9
+
+
+def test_space_budget_eviction(mini_db):
+    archive = QSSArchive(mini_db, cell_budget=4)
+    archive.observe("car", ["year"], obs_region(2000, 2002), 50, 600, now=1)
+    archive.observe("car", ["price"], obs_region(0, 100), 10, 600, now=2)
+    archive.observe("owner", ["salary"], obs_region(0, 1000), 20, 200, now=3)
+    assert archive.total_cells <= 4 or len(archive) == 1
+    assert archive.evictions >= 1
+    # The protected (just-observed) histogram survives.
+    assert archive.has("owner", ["salary"])
+
+
+def test_eviction_prefers_uniform_histograms(mini_db):
+    archive = QSSArchive(mini_db, cell_budget=10_000)
+    # A heavily skewed histogram (informative) and a uniform one (matching
+    # the optimizer's default assumption, so safe to drop).
+    archive.observe("car", ["year"], obs_region(1995, 1996), 590, 600, now=1)
+    archive.observe("car", ["price"], obs_region(0, 25000), 300, 600, now=2)
+    # Leave room for the incoming histogram but force exactly one eviction.
+    archive.cell_budget = archive.total_cells + 2
+    archive.observe("owner", ["salary"], obs_region(2000, 3000), 20, 200, now=3)
+    assert archive.has("car", ["year"])  # skewed one survives
+    assert not archive.has("car", ["price"])  # uniform one evicted
+    assert archive.evictions == 1
+
+
+def test_drop_table(mini_db):
+    archive = QSSArchive(mini_db)
+    archive.observe("car", ["year"], obs_region(2000, 2001), 5, 600, now=1)
+    archive.observe("car", ["price"], obs_region(0, 10), 5, 600, now=1)
+    archive.observe("owner", ["salary"], obs_region(0, 10), 5, 200, now=1)
+    assert archive.drop_table("car") == 2
+    assert len(archive) == 1
+
+
+def test_drop_single(mini_db):
+    archive = QSSArchive(mini_db)
+    archive.observe("car", ["year"], obs_region(2000, 2001), 5, 600, now=1)
+    assert archive.drop("car", ["year"])
+    assert not archive.drop("car", ["year"])
+
+
+def test_multi_dim_histogram_domain_from_table(mini_db):
+    archive = QSSArchive(mini_db)
+    make_code = mini_db.table("car").column("make").lookup_value("Toyota")
+    region = Region.of(
+        Interval(float(make_code), float(make_code) + 1),
+        Interval(2000, 2005),
+    )
+    hist = archive.observe("car", ["make", "year"], region, 30, 600, now=1)
+    assert hist.ndim == 2
+    # Domain covers all observed data.
+    year_domain = hist.domain.intervals[1]
+    years = mini_db.table("car").column_data("year")
+    assert year_domain.low <= years.min()
+    assert year_domain.high > years.max()

@@ -1,0 +1,80 @@
+"""StatHistory (paper Table 1 as a data structure)."""
+
+import pytest
+
+from repro.jits import StatHistory, canonical_colgroup
+
+
+def test_canonical_colgroup():
+    assert canonical_colgroup(["B", "a"]) == ("a", "b")
+
+
+def test_record_creates_entry():
+    h = StatHistory()
+    entry = h.record("T1", ["a", "b", "c"], [["a", "b"], ["c"]], 0.4)
+    assert entry.table == "t1"
+    assert entry.colgrp == ("a", "b", "c")
+    assert entry.statlist == (("a", "b"), ("c",))
+    assert entry.count == 1
+    assert entry.errorfactor == pytest.approx(0.4)
+
+
+def test_repeat_increments_and_smooths():
+    h = StatHistory()
+    h.record("t", ["a"], [["a"]], 1.0)
+    entry = h.record("t", ["a"], [["a"]], 0.5)
+    assert entry.count == 2
+    assert entry.errorfactor == pytest.approx(0.75)  # EMA with alpha 0.5
+
+
+def test_different_statlists_separate_entries():
+    """Table 1 of the paper: the same colgrp appears with several
+    statlists, each with its own count and errorfactor."""
+    h = StatHistory()
+    h.record("t1", ["a", "b", "c"], [["a", "b"], ["c"]], 0.4)
+    h.record("t1", ["a", "b", "c"], [["a"], ["b", "c"]], 0.5)
+    h.record("t1", ["a", "b", "c"], [["a", "b", "c"]], 1.0)
+    h.record("t1", ["a", "b", "d"], [["a", "b"], ["d"]], 0.75)
+    assert len(h) == 4
+    assert len(h.entries_for_group("t1", ["a", "b", "c"])) == 3
+    assert len(h.entries_for_group("t1", ["c", "b", "a"])) == 3  # canonical
+
+
+def test_entries_using_stat():
+    """Alg. 4's lookup: history rows with the statistic in the statlist."""
+    h = StatHistory()
+    h.record("t1", ["a", "b", "c"], [["a", "b"], ["c"]], 0.4)
+    h.record("t1", ["a", "b", "c"], [["a"], ["b", "c"]], 0.5)
+    h.record("t1", ["a", "b", "d"], [["a", "b"], ["d"]], 0.75)
+    using_ab = h.entries_using_stat("t1", ["a", "b"])
+    assert len(using_ab) == 2  # first and third, per the paper's example
+    assert len(h.entries_using_stat("t1", ["b", "c"])) == 1
+    assert len(h.entries_using_stat("t1", ["zz"])) == 0
+
+
+def test_symmetric_accuracy():
+    h = StatHistory()
+    under = h.record("t", ["a"], [["a"]], 0.25)
+    assert under.symmetric_accuracy == pytest.approx(0.25)
+    h2 = StatHistory()
+    over = h2.record("t", ["b"], [["b"]], 4.0)
+    assert over.symmetric_accuracy == pytest.approx(0.25)
+    h3 = StatHistory()
+    exact = h3.record("t", ["c"], [["c"]], 1.0)
+    assert exact.symmetric_accuracy == pytest.approx(1.0)
+
+
+def test_total_count():
+    h = StatHistory()
+    h.record("t", ["a"], [["a"]], 1.0)
+    h.record("t", ["a"], [["a"]], 1.0)
+    h.record("t", ["b"], [["b"]], 1.0)
+    assert h.total_count() == 3
+
+
+def test_tables_isolated():
+    h = StatHistory()
+    h.record("t1", ["a"], [["a"]], 1.0)
+    h.record("t2", ["a"], [["a"]], 1.0)
+    assert len(h.entries_for_group("t1", ["a"])) == 1
+    assert len(h.entries_using_stat("t2", ["a"])) == 1

@@ -1,0 +1,87 @@
+"""Statistics migration: archive -> catalog."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import SystemCatalog, run_runstats
+from repro.histograms import Interval, Region
+from repro.jits import QSSArchive, migrate_archive_to_catalog
+
+
+def test_single_column_creates_column_stats(mini_db):
+    archive = QSSArchive(mini_db)
+    catalog = SystemCatalog()
+    archive.observe(
+        "car", ["year"], Region.of(Interval(2000, 2004)), 150,
+        mini_db.table("car").row_count, now=1,
+    )
+    migrated = migrate_archive_to_catalog(archive, catalog, mini_db, now=9)
+    assert migrated == 1
+    stats = catalog.column_stats("car", "year")
+    assert stats is not None
+    assert stats.collected_at == 9
+    assert stats.histogram is not None
+    assert stats.histogram.estimate_count(
+        Interval(2000, 2004)
+    ) == pytest.approx(150, rel=0.05)
+
+
+def test_single_column_updates_existing_stats(mini_db, mini_catalog):
+    archive = QSSArchive(mini_db)
+    before = mini_catalog.column_stats("car", "year")
+    ndv_before = before.n_distinct
+    archive.observe(
+        "car", ["year"], Region.of(Interval(2000, 2002)), 80,
+        mini_db.table("car").row_count, now=2,
+    )
+    migrate_archive_to_catalog(archive, mini_catalog, mini_db, now=5)
+    after = mini_catalog.column_stats("car", "year")
+    assert after.collected_at == 5
+    assert after.n_distinct == ndv_before  # NDV preserved, histogram replaced
+    assert after.histogram.boundary_list()[0] == pytest.approx(
+        archive.lookup("car", ["year"]).boundary_list(0)[0]
+    )
+
+
+def test_multi_column_publishes_group_stats(mini_db):
+    archive = QSSArchive(mini_db)
+    catalog = SystemCatalog()
+    code = mini_db.table("car").column("make").lookup_value("Toyota")
+    region = Region.of(
+        Interval(float(code), float(code) + 1), Interval(2000, 2003)
+    )
+    archive.observe(
+        "car", ["make", "year"], region, 42,
+        mini_db.table("car").row_count, now=1,
+    )
+    migrated = migrate_archive_to_catalog(archive, catalog, mini_db, now=3)
+    assert migrated == 1
+    group = catalog.group_stats("car", ["make", "year"])
+    assert group is not None
+    assert group.histogram.estimate_count(region) == pytest.approx(42, rel=0.05)
+
+
+def test_migrated_group_is_a_snapshot(mini_db):
+    """Later archive updates must not leak into the published catalog."""
+    archive = QSSArchive(mini_db)
+    catalog = SystemCatalog()
+    region = Region.of(Interval(0, 2), Interval(2000, 2003))
+    archive.observe(
+        "car", ["make", "year"], region, 42,
+        mini_db.table("car").row_count, now=1,
+    )
+    migrate_archive_to_catalog(archive, catalog, mini_db, now=2)
+    published = catalog.group_stats("car", ["make", "year"])
+    before = published.histogram.estimate_count(region)
+    archive.observe("car", ["make", "year"], region, 400, None, now=3)
+    after = published.histogram.estimate_count(region)
+    assert before == after
+
+
+def test_empty_archive_migrates_nothing(mini_db):
+    assert (
+        migrate_archive_to_catalog(
+            QSSArchive(mini_db), SystemCatalog(), mini_db, now=1
+        )
+        == 0
+    )

@@ -1,0 +1,120 @@
+"""Residual-predicate statistics (paper Section 3.4, footnote 1)."""
+
+import pytest
+
+from repro import Engine, EngineConfig
+from repro.jits import ResidualStatisticsStore, residual_key
+from repro.sql import ast, parse_select
+from repro.sql.qgm import build_query_graph
+
+
+def make_expr(db, sql):
+    block = build_query_graph(parse_select(sql), db)
+    alias = next(iter(block.scan_residuals))
+    return block.scan_residuals[alias][0], alias
+
+
+# ----------------------------------------------------------------------
+# Key normalization
+# ----------------------------------------------------------------------
+def test_key_is_alias_independent(mini_db):
+    expr1, alias1 = make_expr(
+        mini_db, "SELECT c.id FROM car c WHERE c.price > c.year * 10"
+    )
+    expr2, alias2 = make_expr(
+        mini_db, "SELECT x.id FROM car x WHERE x.price > x.year * 10"
+    )
+    assert alias1 != alias2
+    assert residual_key(expr1, alias1) == residual_key(expr2, alias2)
+
+
+def test_key_distinguishes_different_predicates(mini_db):
+    expr1, alias1 = make_expr(
+        mini_db, "SELECT id FROM car WHERE price > year * 10"
+    )
+    expr2, alias2 = make_expr(
+        mini_db, "SELECT id FROM car WHERE price > year * 20"
+    )
+    assert residual_key(expr1, alias1) != residual_key(expr2, alias2)
+
+
+def test_key_covers_or_and_not_in(mini_db):
+    expr, alias = make_expr(
+        mini_db,
+        "SELECT id FROM car WHERE make = 'Ford' OR year NOT IN (2000, 2001)",
+    )
+    key = residual_key(expr, alias)
+    assert "OR" in key and "NOT IN" in key
+
+
+# ----------------------------------------------------------------------
+# Store semantics
+# ----------------------------------------------------------------------
+def test_record_and_lookup():
+    store = ResidualStatisticsStore()
+    store.record("t", "k", 0.4, now=1)
+    assert store.lookup("T", "k", now=2) == pytest.approx(0.4)
+    assert store.lookup("t", "other", now=2) is None
+
+
+def test_record_overwrites():
+    store = ResidualStatisticsStore()
+    store.record("t", "k", 0.4, now=1)
+    store.record("t", "k", 0.6, now=5)
+    assert store.lookup("t", "k", now=6) == pytest.approx(0.6)
+    assert len(store) == 1
+
+
+def test_lru_eviction():
+    store = ResidualStatisticsStore(capacity=2)
+    store.record("t", "a", 0.1, now=1)
+    store.record("t", "b", 0.2, now=2)
+    store.lookup("t", "a", now=3)  # refresh a
+    store.record("t", "c", 0.3, now=4)  # evicts b (least recently used)
+    assert store.lookup("t", "b", now=5) is None
+    assert store.lookup("t", "a", now=5) is not None
+    assert store.evictions == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ResidualStatisticsStore(capacity=0)
+
+
+def test_drop_table():
+    store = ResidualStatisticsStore()
+    store.record("t", "a", 0.1, now=1)
+    store.record("u", "a", 0.2, now=1)
+    assert store.drop_table("t") == 1
+    assert store.lookup("t", "a", now=2) is None
+    assert store.lookup("u", "a", now=2) is not None
+
+
+# ----------------------------------------------------------------------
+# End to end through the engine
+# ----------------------------------------------------------------------
+def test_engine_collects_and_reuses_residual_selectivity(mini_db):
+    engine = Engine(
+        mini_db, EngineConfig.with_jits(always_collect=True, sample_size=10**6)
+    )
+    # OR-predicate is residual; a local predicate triggers collection.
+    sql = (
+        "SELECT id FROM car WHERE make = 'Toyota' "
+        "AND (year < 1998 OR year > 2005)"
+    )
+    first = engine.execute(sql)
+    assert len(engine.jits.residual_store) >= 1
+
+    # Second compile: the scan estimate now uses the observed residual
+    # selectivity instead of the 0.25 default.
+    second = engine.execute(sql)
+    scan = second.plan.walk()[-1]
+    actual_fraction = scan.actual_rows / mini_db.table("car").row_count
+    est_fraction = scan.est_rows / mini_db.table("car").row_count
+    assert est_fraction == pytest.approx(actual_fraction, rel=0.15)
+
+
+def test_residual_store_disabled_without_jits(mini_db):
+    engine = Engine(mini_db, EngineConfig.traditional())
+    engine.execute("SELECT id FROM car WHERE year < 1998 OR year > 2005")
+    assert len(engine.jits.residual_store) == 0

@@ -1,0 +1,45 @@
+"""QSSProfile and StatsContext."""
+
+import pytest
+
+from repro.catalog import SystemCatalog
+from repro.optimizer import QSSProfile, StatsContext
+from repro.predicates import LocalPredicate, PredOp, PredicateGroup
+from repro.storage import Database
+
+
+def group(column="make", value="Toyota"):
+    return PredicateGroup.of(LocalPredicate("c", column, PredOp.EQ, (value,)))
+
+
+def test_profile_record_and_lookup():
+    profile = QSSProfile()
+    g = group()
+    profile.record("CAR", g, 0.25)
+    assert profile.selectivity("car", g) == pytest.approx(0.25)
+    assert profile.selectivity("car", group(value="Honda")) is None
+    assert profile.selectivity("owner", g) is None
+    assert profile.n_groups == 1
+
+
+def test_profile_group_identity_by_value():
+    """Lookups work with an *equal* group built elsewhere, not the same
+    object — the optimizer rebuilds groups from the query block."""
+    profile = QSSProfile()
+    profile.record("car", group(), 0.4)
+    fresh = group()
+    assert profile.selectivity("car", fresh) == pytest.approx(0.4)
+
+
+def test_profile_cardinalities():
+    profile = QSSProfile(table_cardinalities={"car": 100.0})
+    assert profile.cardinality("CAR") == 100.0
+    assert profile.cardinality("owner") is None
+
+
+def test_context_defaults():
+    ctx = StatsContext(database=Database(), catalog=SystemCatalog())
+    assert ctx.profile is None
+    assert ctx.archive is None
+    assert ctx.residuals is None
+    assert ctx.now == 0

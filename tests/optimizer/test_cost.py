@@ -1,0 +1,56 @@
+"""Cost model ranking properties (what actually matters to plan choice)."""
+
+from repro.optimizer import cost
+
+
+def test_index_nl_beats_hash_for_tiny_outer():
+    hash_cost = cost.hash_join_cost(50_000, 10, 10)
+    inl_cost = cost.index_nl_join_cost(10, 10)
+    assert inl_cost < hash_cost
+
+
+def test_hash_beats_index_nl_for_large_outer():
+    hash_cost = cost.hash_join_cost(50_000, 50_000, 50_000)
+    inl_cost = cost.index_nl_join_cost(50_000, 50_000)
+    assert hash_cost < inl_cost
+
+
+def test_nested_loop_only_for_tiny_inputs():
+    assert cost.nested_loop_cost(5, 5, 5) < cost.hash_join_cost(5, 5, 5)
+    assert cost.nested_loop_cost(10_000, 10_000, 10) > cost.hash_join_cost(
+        10_000, 10_000, 10
+    )
+
+
+def test_index_scan_beats_seq_scan_when_selective():
+    seq = cost.seq_scan_cost(100_000, 1)
+    idx = cost.index_scan_cost(50, 0)
+    assert idx < seq
+
+
+def test_seq_scan_beats_index_scan_when_unselective():
+    seq = cost.seq_scan_cost(10_000, 1)
+    idx = cost.index_scan_cost(9_000, 0)
+    assert seq < idx
+
+
+def test_costs_monotone_in_rows():
+    assert cost.seq_scan_cost(2_000, 1) > cost.seq_scan_cost(1_000, 1)
+    assert cost.hash_join_cost(100, 2_000, 10) > cost.hash_join_cost(100, 1_000, 10)
+    assert cost.sort_cost(10_000) > cost.sort_cost(1_000)
+    assert cost.aggregate_cost(5_000, 10) > cost.aggregate_cost(500, 10)
+
+
+def test_all_costs_positive():
+    assert cost.seq_scan_cost(0, 0) > 0
+    assert cost.sort_cost(0) > 0
+    assert cost.sort_cost(1) > 0
+    assert cost.filter_cost(0, 0) > 0
+    assert cost.distinct_cost(0) > 0
+    assert cost.materialize_cost(0) > 0
+    assert cost.index_scan_cost(0, 0) > 0
+
+
+def test_pages():
+    assert cost.pages(0) == 1.0
+    assert cost.pages(1_000) == 10.0

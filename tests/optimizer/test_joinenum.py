@@ -1,0 +1,156 @@
+"""Dynamic-programming join enumeration."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.optimizer import (
+    BaseRelation,
+    HashJoin,
+    IndexNLJoin,
+    NestedLoopJoin,
+    SeqScan,
+    enumerate_joins,
+)
+from repro.predicates import JoinPredicate
+
+
+def rel(alias, rows, table=None, indexed=(), cost=10.0):
+    plan = SeqScan(
+        alias=alias,
+        table_name=table or alias,
+        est_rows=rows,
+        est_cost=cost,
+        base_rows=rows,
+    )
+    return BaseRelation(
+        alias=alias,
+        plan=plan,
+        filtered_rows=rows,
+        table_name=table or alias,
+        indexed_columns=tuple(indexed),
+    )
+
+
+def aliases_of(plan):
+    out = set()
+    for node in plan.walk():
+        if isinstance(node, SeqScan):
+            out.add(node.alias)
+        if isinstance(node, IndexNLJoin):
+            out.add(node.inner_alias)
+    return out
+
+
+def test_single_pair_hash_join():
+    relations = [rel("a", 10_000), rel("b", 10_000)]
+    joins = [JoinPredicate("a", "x", "b", "y")]
+    plan = enumerate_joins(relations, joins, [0.0001])
+    assert isinstance(plan, (HashJoin, NestedLoopJoin, IndexNLJoin))
+    assert aliases_of(plan) == {"a", "b"}
+
+
+def test_large_tables_prefer_hash():
+    relations = [rel("a", 50_000, indexed=("x",)), rel("b", 50_000, indexed=("y",))]
+    joins = [JoinPredicate("a", "x", "b", "y")]
+    plan = enumerate_joins(relations, joins, [1.0 / 50_000])
+    assert isinstance(plan, HashJoin)
+
+
+def test_tiny_outer_with_index_prefers_inl():
+    relations = [rel("a", 3), rel("b", 100_000, indexed=("y",))]
+    joins = [JoinPredicate("a", "x", "b", "y")]
+    plan = enumerate_joins(relations, joins, [1.0 / 100_000])
+    assert isinstance(plan, IndexNLJoin)
+    assert plan.inner_alias == "b"
+
+
+def test_no_index_no_inl():
+    relations = [rel("a", 3), rel("b", 100_000, indexed=())]
+    joins = [JoinPredicate("a", "x", "b", "y")]
+    plan = enumerate_joins(relations, joins, [1.0 / 100_000])
+    assert not isinstance(plan, IndexNLJoin)
+
+
+def test_join_order_filters_first():
+    """The selective relation should be joined early (smallest
+    intermediates)."""
+    relations = [
+        rel("big1", 80_000),
+        rel("big2", 80_000),
+        rel("tiny", 5, indexed=("k",)),
+    ]
+    joins = [
+        JoinPredicate("big1", "x", "big2", "y"),
+        JoinPredicate("big2", "z", "tiny", "k"),
+    ]
+    plan = enumerate_joins(relations, joins, [1 / 80_000, 1 / 80_000])
+    assert aliases_of(plan) == {"big1", "big2", "tiny"}
+    # The first join executed (deepest) must involve 'tiny'.
+    deepest = plan
+    while deepest.children():
+        joins_below = [
+            c for c in deepest.children() if not isinstance(c, SeqScan)
+        ]
+        if not joins_below:
+            break
+        deepest = joins_below[0]
+    assert "tiny" in aliases_of(deepest)
+
+
+def test_cross_product_when_disconnected():
+    relations = [rel("a", 10), rel("b", 10)]
+    plan = enumerate_joins(relations, [], [])
+    assert isinstance(plan, NestedLoopJoin)
+    assert plan.join_predicates == ()
+    assert plan.est_rows == pytest.approx(100)
+
+
+def test_cross_product_avoided_when_connected():
+    relations = [rel("a", 100), rel("b", 100), rel("c", 100)]
+    joins = [
+        JoinPredicate("a", "x", "b", "y"),
+        JoinPredicate("b", "z", "c", "w"),
+    ]
+    plan = enumerate_joins(relations, joins, [0.01, 0.01])
+    for node in plan.walk():
+        if isinstance(node, NestedLoopJoin):
+            assert node.join_predicates  # never a bare cross product
+
+
+def test_single_relation_passthrough():
+    r = rel("a", 5)
+    plan = enumerate_joins([r], [], [])
+    assert plan is r.plan
+
+
+def test_cardinality_uses_join_selectivities():
+    relations = [rel("a", 1_000), rel("b", 1_000)]
+    joins = [JoinPredicate("a", "x", "b", "y")]
+    plan = enumerate_joins(relations, joins, [0.001])
+    assert plan.est_rows == pytest.approx(1_000)
+
+
+def test_unknown_alias_in_predicate_rejected():
+    relations = [rel("a", 10), rel("b", 10)]
+    joins = [JoinPredicate("a", "x", "zz", "y")]
+    with pytest.raises(PlanningError):
+        enumerate_joins(relations, joins, [0.1])
+
+
+def test_duplicate_alias_rejected():
+    with pytest.raises(PlanningError):
+        enumerate_joins([rel("a", 1), rel("a", 2)], [], [])
+
+
+def test_empty_rejected():
+    with pytest.raises(PlanningError):
+        enumerate_joins([], [], [])
+
+
+def test_five_way_join_completes():
+    relations = [rel(f"t{i}", 1_000 * (i + 1)) for i in range(5)]
+    joins = [
+        JoinPredicate(f"t{i}", "x", f"t{i+1}", "y") for i in range(4)
+    ]
+    plan = enumerate_joins(relations, joins, [0.001] * 4)
+    assert aliases_of(plan) == {f"t{i}" for i in range(5)}

@@ -1,0 +1,162 @@
+"""Top-level plan generation."""
+
+import pytest
+
+from repro.catalog import SystemCatalog
+from repro.errors import PlanningError
+from repro.optimizer import (
+    Aggregate,
+    DerivedScan,
+    Distinct,
+    Filter,
+    IndexScan,
+    Limit,
+    Optimizer,
+    Project,
+    SeqScan,
+    Sort,
+    StatsContext,
+    actual_plan_cost,
+)
+from repro.sql import build_query_graph, parse_select
+
+
+def plan_for(sql, db, catalog=None):
+    ctx = StatsContext(db, catalog if catalog is not None else SystemCatalog())
+    block = build_query_graph(parse_select(sql), db)
+    return Optimizer(ctx).optimize(block)
+
+
+def node_types(root):
+    return [type(n).__name__ for n in root.walk()]
+
+
+def test_simple_scan_project(mini_db, mini_catalog):
+    opt = plan_for("SELECT id FROM owner", mini_db, mini_catalog)
+    assert isinstance(opt.root, Project)
+    assert isinstance(opt.root.child, SeqScan)
+    assert opt.root.est_rows == pytest.approx(
+        mini_db.table("owner").row_count
+    )
+
+
+def test_scan_estimates_recorded(mini_db, mini_catalog):
+    opt = plan_for(
+        "SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'",
+        mini_db,
+        mini_catalog,
+    )
+    estimate = opt.scan_estimates["car"]
+    assert estimate.group is not None and estimate.group.size == 2
+    assert estimate.estimate is not None
+    assert estimate.est_rows < estimate.base_rows
+
+
+def test_index_scan_chosen_for_selective_pk_equality(mini_db, mini_catalog):
+    opt = plan_for("SELECT make FROM car WHERE id = 5", mini_db, mini_catalog)
+    scan = opt.root.child
+    assert isinstance(scan, IndexScan)
+    assert scan.index_kind == "hash"
+    assert scan.index_column == "id"
+
+
+def test_sorted_index_for_selective_range(mini_db, mini_catalog):
+    opt = plan_for(
+        "SELECT id FROM car WHERE price > 49900", mini_db, mini_catalog
+    )
+    scan = opt.root.child
+    assert isinstance(scan, IndexScan)
+    assert scan.index_kind == "sorted"
+
+
+def test_seq_scan_for_unselective_range(mini_db, mini_catalog):
+    opt = plan_for(
+        "SELECT id FROM car WHERE price > 1", mini_db, mini_catalog
+    )
+    assert isinstance(opt.root.child, SeqScan)
+
+
+def test_aggregate_plan_shape(mini_db, mini_catalog):
+    opt = plan_for(
+        "SELECT city, COUNT(*) AS n FROM owner GROUP BY city "
+        "HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 2",
+        mini_db,
+        mini_catalog,
+    )
+    names = node_types(opt.root)
+    assert names[:3] == ["Limit", "Sort", "Aggregate"]
+
+
+def test_group_count_estimate_uses_ndv(mini_db, mini_catalog):
+    opt = plan_for(
+        "SELECT city, COUNT(*) FROM owner GROUP BY city", mini_db, mini_catalog
+    )
+    agg = opt.root
+    assert isinstance(agg, Aggregate)
+    assert agg.est_rows == pytest.approx(3.0)  # three cities
+
+
+def test_distinct_node(mini_db, mini_catalog):
+    opt = plan_for("SELECT DISTINCT make FROM car", mini_db, mini_catalog)
+    assert isinstance(opt.root, Distinct)
+
+
+def test_residual_filter_above_join(mini_db, mini_catalog):
+    opt = plan_for(
+        "SELECT c.id FROM car c, owner o WHERE c.ownerid = o.id "
+        "AND c.price > o.salary",
+        mini_db,
+        mini_catalog,
+    )
+    assert any(isinstance(n, Filter) for n in opt.root.walk())
+
+
+def test_derived_table_plan(mini_db, mini_catalog):
+    opt = plan_for(
+        "SELECT v.n FROM (SELECT city, COUNT(*) AS n FROM owner "
+        "GROUP BY city) v WHERE v.n > 1",
+        mini_db,
+        mini_catalog,
+    )
+    derived = [n for n in opt.root.walk() if isinstance(n, DerivedScan)]
+    assert len(derived) == 1
+    assert derived[0].predicates  # v.n > 1 applied on the derived scan
+    assert opt.child_queries
+
+
+def test_order_by_rewritten_to_outputs(mini_db, mini_catalog):
+    opt = plan_for(
+        "SELECT name, salary FROM owner ORDER BY salary DESC",
+        mini_db,
+        mini_catalog,
+    )
+    sort = opt.root
+    assert isinstance(sort, Sort)
+    assert str(sort.order_by[0].expr) == "salary"
+
+
+def test_order_by_non_output_rejected(mini_db, mini_catalog):
+    with pytest.raises(PlanningError):
+        plan_for("SELECT name FROM owner ORDER BY salary", mini_db, mini_catalog)
+
+
+def test_explain_renders(mini_db, mini_catalog):
+    opt = plan_for(
+        "SELECT c.id FROM car c, owner o WHERE c.ownerid = o.id",
+        mini_db,
+        mini_catalog,
+    )
+    text = opt.explain()
+    assert "rows=" in text and "cost=" in text
+
+
+def test_actual_plan_cost_requires_execution(mini_db, mini_catalog):
+    opt = plan_for("SELECT id FROM owner", mini_db, mini_catalog)
+    # Before execution all actuals are None -> cost collapses to overheads.
+    base = actual_plan_cost(opt.root)
+    assert base > 0
+
+    from repro.executor import PlanExecutor
+
+    PlanExecutor(mini_db).execute(opt)
+    assert actual_plan_cost(opt.root) > base

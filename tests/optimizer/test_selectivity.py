@@ -1,0 +1,185 @@
+"""Selectivity estimation: source layering, independence, defaults."""
+
+import pytest
+
+from repro.catalog import SystemCatalog, collect_group_statistics, run_runstats
+from repro.optimizer import (
+    SOURCE_CATALOG,
+    SOURCE_DEFAULT,
+    SOURCE_GROUP_STATS,
+    SOURCE_QSS_EXACT,
+    DEFAULT_TABLE_CARDINALITY,
+    QSSProfile,
+    StatsContext,
+    estimate_group_selectivity,
+    estimate_join_selectivity,
+    estimate_table_cardinality,
+)
+from repro.predicates import (
+    JoinPredicate,
+    LocalPredicate,
+    PredOp,
+    PredicateGroup,
+    count_matches,
+)
+
+
+def pred(column, op, *values, alias="c"):
+    return LocalPredicate(alias=alias, column=column, op=op, values=values)
+
+
+def ctx_for(db, catalog=None, profile=None, archive=None):
+    return StatsContext(
+        database=db,
+        catalog=catalog if catalog is not None else SystemCatalog(),
+        profile=profile,
+        archive=archive,
+    )
+
+
+def test_cardinality_sources(mini_db, mini_catalog):
+    card, source = estimate_table_cardinality(ctx_for(mini_db), "car")
+    assert card == DEFAULT_TABLE_CARDINALITY and source == SOURCE_DEFAULT
+    card, source = estimate_table_cardinality(
+        ctx_for(mini_db, mini_catalog), "car"
+    )
+    assert card == mini_db.table("car").row_count and source == SOURCE_CATALOG
+    profile = QSSProfile(table_cardinalities={"car": 42.0})
+    card, source = estimate_table_cardinality(
+        ctx_for(mini_db, mini_catalog, profile), "car"
+    )
+    assert card == 42.0 and source == SOURCE_QSS_EXACT
+
+
+def test_defaults_without_any_stats(mini_db):
+    table = mini_db.table("car")
+    group = PredicateGroup.of(pred("make", PredOp.EQ, "Toyota"))
+    est = estimate_group_selectivity(ctx_for(mini_db), table, group)
+    assert est.source == SOURCE_DEFAULT
+    assert est.selectivity == pytest.approx(0.1)
+
+
+def test_catalog_single_column_estimate(mini_db, mini_catalog):
+    table = mini_db.table("car")
+    group = PredicateGroup.of(pred("year", PredOp.GT, 2000))
+    est = estimate_group_selectivity(
+        ctx_for(mini_db, mini_catalog), table, group
+    )
+    actual = count_matches(table, group.predicates) / table.row_count
+    assert est.source == SOURCE_CATALOG
+    assert est.selectivity == pytest.approx(actual, abs=0.05)
+    assert est.statlist == (("year",),)
+
+
+def test_catalog_equality_uses_frequent_values(mini_db, mini_catalog):
+    table = mini_db.table("car")
+    group = PredicateGroup.of(pred("make", PredOp.EQ, "Toyota"))
+    est = estimate_group_selectivity(
+        ctx_for(mini_db, mini_catalog), table, group
+    )
+    actual = count_matches(table, group.predicates) / table.row_count
+    assert est.selectivity == pytest.approx(actual, abs=0.02)
+
+
+def test_independence_underestimates_correlated_pair(mini_db, mini_catalog):
+    """The paper's central failure mode: make/model are correlated, the
+    independence product is far below the truth."""
+    table = mini_db.table("car")
+    group = PredicateGroup.of(
+        pred("make", PredOp.EQ, "Toyota"), pred("model", PredOp.EQ, "Camry")
+    )
+    est = estimate_group_selectivity(
+        ctx_for(mini_db, mini_catalog), table, group
+    )
+    actual = count_matches(table, group.predicates) / table.row_count
+    assert est.source == SOURCE_CATALOG
+    assert len(est.statlist) == 2  # two single-column stats multiplied
+    assert est.selectivity < actual * 0.6  # badly under
+
+
+def test_group_stats_fix_correlation(mini_db, mini_catalog):
+    table = mini_db.table("car")
+    collect_group_statistics(mini_db, mini_catalog, "car", ["make", "model"])
+    group = PredicateGroup.of(
+        pred("make", PredOp.EQ, "Toyota"), pred("model", PredOp.EQ, "Camry")
+    )
+    est = estimate_group_selectivity(
+        ctx_for(mini_db, mini_catalog), table, group
+    )
+    actual = count_matches(table, group.predicates) / table.row_count
+    assert est.source == SOURCE_GROUP_STATS
+    assert est.statlist == (("make", "model"),)
+    assert est.selectivity == pytest.approx(actual, rel=0.5)
+    assert est.selectivity > actual * 0.6
+
+
+def test_qss_profile_beats_everything(mini_db, mini_catalog):
+    table = mini_db.table("car")
+    group = PredicateGroup.of(pred("make", PredOp.EQ, "Toyota"))
+    profile = QSSProfile()
+    profile.record("car", group, 0.123)
+    est = estimate_group_selectivity(
+        ctx_for(mini_db, mini_catalog, profile), table, group
+    )
+    assert est.source == SOURCE_QSS_EXACT
+    assert est.selectivity == pytest.approx(0.123)
+
+
+def test_contradictory_same_column_predicates_zero(mini_db, mini_catalog):
+    table = mini_db.table("car")
+    group = PredicateGroup.of(
+        pred("year", PredOp.GT, 2005), pred("year", PredOp.LT, 2000)
+    )
+    est = estimate_group_selectivity(
+        ctx_for(mini_db, mini_catalog), table, group
+    )
+    assert est.selectivity == 0.0
+
+
+def test_unknown_string_equality_zero(mini_db, mini_catalog):
+    table = mini_db.table("car")
+    group = PredicateGroup.of(pred("make", PredOp.EQ, "NotAMake"))
+    est = estimate_group_selectivity(
+        ctx_for(mini_db, mini_catalog), table, group
+    )
+    assert est.selectivity == pytest.approx(0.0)
+
+
+def test_join_selectivity_pk_fk(mini_db, mini_catalog):
+    join = JoinPredicate("c", "ownerid", "o", "id")
+    sel = estimate_join_selectivity(
+        ctx_for(mini_db, mini_catalog),
+        mini_db.table("car"),
+        mini_db.table("owner"),
+        join,
+    )
+    assert sel == pytest.approx(1.0 / mini_db.table("owner").row_count, rel=0.01)
+
+
+def test_join_selectivity_pk_without_stats(mini_db):
+    # Even with no stats, the schema knows the PK is unique.
+    join = JoinPredicate("c", "ownerid", "o", "id")
+    sel = estimate_join_selectivity(
+        ctx_for(mini_db), mini_db.table("car"), mini_db.table("owner"), join
+    )
+    assert sel == pytest.approx(1.0 / DEFAULT_TABLE_CARDINALITY)
+
+
+def test_join_selectivity_defaults_for_derived():
+    from repro.storage import Database
+
+    db = Database()
+    join = JoinPredicate("a", "x", "b", "y")
+    sel = estimate_join_selectivity(ctx_for(db), None, None, join)
+    assert sel == pytest.approx(0.1)
+
+
+def test_estimates_clamped(mini_db, mini_catalog):
+    table = mini_db.table("car")
+    group = PredicateGroup.of(
+        pred("make", PredOp.IN, "Toyota", "Honda", "Ford")
+    )
+    est = estimate_group_selectivity(
+        ctx_for(mini_db, mini_catalog), table, group
+    )
+    assert 0.0 <= est.clamped() <= 1.0

@@ -1,0 +1,148 @@
+"""Vectorized predicate evaluation vs a Python-level oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DataType, make_schema
+from repro.errors import ExecutionError
+from repro.predicates import (
+    LocalPredicate,
+    PredOp,
+    count_matches,
+    group_mask,
+    predicate_mask,
+)
+from repro.storage import Table
+
+
+def small_table():
+    t = Table(
+        make_schema(
+            "t",
+            [("x", DataType.INT), ("name", DataType.STRING), ("v", DataType.FLOAT)],
+        )
+    )
+    t.insert_columns(
+        {
+            "x": np.array([1, 2, 3, 4, 5]),
+            "name": ["a", "b", "a", "c", "b"],
+            "v": np.array([1.5, 2.5, 3.5, 4.5, 5.5]),
+        }
+    )
+    return t
+
+
+def p(column, op, *values):
+    return LocalPredicate(alias="t", column=column, op=op, values=values)
+
+
+def test_eq_int():
+    t = small_table()
+    assert predicate_mask(t, p("x", PredOp.EQ, 3)).tolist() == [
+        False, False, True, False, False,
+    ]
+
+
+def test_eq_string_and_missing():
+    t = small_table()
+    assert predicate_mask(t, p("name", PredOp.EQ, "a")).sum() == 2
+    assert predicate_mask(t, p("name", PredOp.EQ, "zzz")).sum() == 0
+    assert predicate_mask(t, p("name", PredOp.NE, "zzz")).sum() == 5
+
+
+def test_in_list_with_missing_members():
+    t = small_table()
+    mask = predicate_mask(t, p("name", PredOp.IN, "a", "ghost", "c"))
+    assert mask.tolist() == [True, False, True, True, False]
+
+
+def test_ranges():
+    t = small_table()
+    assert predicate_mask(t, p("x", PredOp.GT, 3)).sum() == 2
+    assert predicate_mask(t, p("x", PredOp.GE, 3)).sum() == 3
+    assert predicate_mask(t, p("x", PredOp.LT, 3)).sum() == 2
+    assert predicate_mask(t, p("x", PredOp.LE, 3)).sum() == 3
+    assert predicate_mask(t, p("v", PredOp.BETWEEN, 2.0, 4.0)).sum() == 2
+
+
+def test_range_on_string_rejected():
+    t = small_table()
+    with pytest.raises(ExecutionError):
+        predicate_mask(t, p("name", PredOp.GT, "a"))
+
+
+def test_rows_subset():
+    t = small_table()
+    rows = np.array([0, 2, 4])
+    mask = predicate_mask(t, p("x", PredOp.GT, 1), rows)
+    assert mask.tolist() == [False, True, True]
+
+
+def test_group_mask_conjunction():
+    t = small_table()
+    mask = group_mask(t, [p("x", PredOp.GT, 1), p("name", PredOp.EQ, "a")])
+    assert mask.tolist() == [False, False, True, False, False]
+
+
+def test_group_mask_empty_group_all_true():
+    t = small_table()
+    assert group_mask(t, []).all()
+
+
+def test_count_matches():
+    t = small_table()
+    assert count_matches(t, [p("x", PredOp.LE, 4)]) == 4
+
+
+_OPS = [PredOp.EQ, PredOp.NE, PredOp.LT, PredOp.LE, PredOp.GT, PredOp.GE]
+
+
+def _oracle(values, op, operand, hi=None):
+    out = []
+    for v in values:
+        if op is PredOp.EQ:
+            out.append(v == operand)
+        elif op is PredOp.NE:
+            out.append(v != operand)
+        elif op is PredOp.LT:
+            out.append(v < operand)
+        elif op is PredOp.LE:
+            out.append(v <= operand)
+        elif op is PredOp.GT:
+            out.append(v > operand)
+        elif op is PredOp.GE:
+            out.append(v >= operand)
+        elif op is PredOp.BETWEEN:
+            out.append(operand <= v <= hi)
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-20, max_value=20), min_size=1, max_size=50),
+    st.sampled_from(_OPS),
+    st.integers(min_value=-22, max_value=22),
+)
+def test_int_predicates_match_oracle(values, op, operand):
+    t = Table(make_schema("t", [("x", DataType.INT)]))
+    t.insert_columns({"x": np.asarray(values, dtype=np.int64)})
+    pred = LocalPredicate("t", "x", op, (operand,))
+    assert predicate_mask(t, pred).tolist() == _oracle(values, op, operand)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-20, max_value=20), min_size=1, max_size=50),
+    st.integers(min_value=-22, max_value=22),
+    st.integers(min_value=-22, max_value=22),
+)
+def test_between_matches_oracle(values, a, b):
+    lo, hi = min(a, b), max(a, b)
+    t = Table(make_schema("t", [("x", DataType.INT)]))
+    t.insert_columns({"x": np.asarray(values, dtype=np.int64)})
+    pred = LocalPredicate("t", "x", PredOp.BETWEEN, (lo, hi))
+    assert predicate_mask(t, pred).tolist() == _oracle(
+        values, PredOp.BETWEEN, lo, hi
+    )

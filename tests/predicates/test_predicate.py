@@ -1,0 +1,78 @@
+"""Predicate and group model."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.predicates import JoinPredicate, LocalPredicate, PredOp, PredicateGroup
+
+
+def pred(column="make", op=PredOp.EQ, values=("Toyota",), alias="c"):
+    return LocalPredicate(alias=alias, column=column, op=op, values=values)
+
+
+def test_names_lowercased():
+    p = LocalPredicate(alias="C", column="Make", op=PredOp.EQ, values=("x",))
+    assert p.alias == "c" and p.column == "make"
+
+
+def test_arity_validation():
+    with pytest.raises(PlanningError):
+        pred(op=PredOp.BETWEEN, values=(1,))
+    with pytest.raises(PlanningError):
+        pred(op=PredOp.IN, values=())
+    with pytest.raises(PlanningError):
+        pred(op=PredOp.EQ, values=(1, 2))
+
+
+def test_predicates_hashable_and_equal():
+    assert pred() == pred()
+    assert len({pred(), pred()}) == 1
+    assert pred() != pred(values=("Honda",))
+
+
+def test_str_forms():
+    assert "BETWEEN" in str(pred(op=PredOp.BETWEEN, values=(1, 2)))
+    assert "IN" in str(pred(op=PredOp.IN, values=(1, 2, 3)))
+    assert "=" in str(pred())
+
+
+def test_group_requires_single_alias():
+    with pytest.raises(PlanningError):
+        PredicateGroup.of(pred(alias="a"), pred(alias="b", column="x"))
+    with pytest.raises(PlanningError):
+        PredicateGroup(frozenset())
+
+
+def test_group_columns_canonical():
+    g = PredicateGroup.of(
+        pred(column="model"), pred(column="make"), pred(column="make", op=PredOp.NE)
+    )
+    assert g.columns() == ("make", "model")
+    assert g.size == 3
+
+
+def test_group_contains():
+    a, b = pred(column="make"), pred(column="model")
+    big = PredicateGroup.of(a, b)
+    small = PredicateGroup.of(a)
+    assert big.contains(small)
+    assert not small.contains(big)
+
+
+def test_group_equality_independent_of_order():
+    a, b = pred(column="make"), pred(column="model")
+    assert PredicateGroup.of(a, b) == PredicateGroup.of(b, a)
+
+
+def test_group_iteration_deterministic():
+    g = PredicateGroup.of(pred(column="z"), pred(column="a"), pred(column="m"))
+    assert [p.column for p in g] == ["a", "m", "z"]
+
+
+def test_join_predicate_sides():
+    j = JoinPredicate("C", "OwnerId", "O", "Id")
+    assert j.aliases() == frozenset({"c", "o"})
+    assert j.column_for("c") == "ownerid"
+    assert j.side_for("o") == ("id", "c")
+    with pytest.raises(PlanningError):
+        j.column_for("x")

@@ -1,0 +1,117 @@
+"""Predicate -> region mapping on the physical value space."""
+
+import math
+
+from repro.histograms import Interval
+from repro.predicates import (
+    LocalPredicate,
+    PredOp,
+    PredicateGroup,
+    group_region,
+    predicate_interval,
+    region_for_columns,
+)
+
+
+def car_pred(db, column, op, *values):
+    return (
+        db.table("car"),
+        LocalPredicate(alias="c", column=column, op=op, values=values),
+    )
+
+
+def test_eq_int_half_open(mini_db):
+    table, p = car_pred(mini_db, "year", PredOp.EQ, 2000)
+    assert predicate_interval(table, p) == Interval(2000.0, 2001.0)
+
+
+def test_eq_string_maps_to_code(mini_db):
+    table, p = car_pred(mini_db, "make", PredOp.EQ, "Toyota")
+    iv = predicate_interval(table, p)
+    code = table.column("make").lookup_value("Toyota")
+    assert iv == Interval(float(code), float(code) + 1.0)
+
+
+def test_eq_unknown_string_empty(mini_db):
+    table, p = car_pred(mini_db, "make", PredOp.EQ, "Lada")
+    assert predicate_interval(table, p).is_empty
+
+
+def test_range_int_adjustment(mini_db):
+    table, p = car_pred(mini_db, "year", PredOp.GT, 2000)
+    assert predicate_interval(table, p) == Interval(2001.0, math.inf)
+    table, p = car_pred(mini_db, "year", PredOp.GE, 2000)
+    assert predicate_interval(table, p) == Interval(2000.0, math.inf)
+    table, p = car_pred(mini_db, "year", PredOp.LE, 2000)
+    assert predicate_interval(table, p) == Interval(-math.inf, 2001.0)
+    table, p = car_pred(mini_db, "year", PredOp.LT, 2000)
+    assert predicate_interval(table, p) == Interval(-math.inf, 2000.0)
+
+
+def test_range_float_continuous(mini_db):
+    table, p = car_pred(mini_db, "price", PredOp.GT, 5000.0)
+    iv = predicate_interval(table, p)
+    assert iv.low > 5000.0  # nextafter
+    assert iv.high == math.inf
+
+
+def test_between_int_inclusive(mini_db):
+    table, p = car_pred(mini_db, "year", PredOp.BETWEEN, 2000, 2005)
+    assert predicate_interval(table, p) == Interval(2000.0, 2006.0)
+
+
+def test_ne_not_representable(mini_db):
+    table, p = car_pred(mini_db, "year", PredOp.NE, 2000)
+    assert predicate_interval(table, p) is None
+
+
+def test_multi_in_not_representable(mini_db):
+    table, p = car_pred(mini_db, "make", PredOp.IN, "Toyota", "Honda")
+    assert predicate_interval(table, p) is None
+
+
+def test_single_in_is_point(mini_db):
+    table, p = car_pred(mini_db, "make", PredOp.IN, "Toyota")
+    assert not predicate_interval(table, p).is_empty
+
+
+def test_group_region_intersects_same_column(mini_db):
+    table = mini_db.table("car")
+    g = PredicateGroup.of(
+        LocalPredicate("c", "year", PredOp.GT, (2000,)),
+        LocalPredicate("c", "year", PredOp.LE, (2005,)),
+    )
+    columns, region = group_region(table, g)
+    assert columns == ("year",)
+    assert region.intervals[0] == Interval(2001.0, 2006.0)
+
+
+def test_group_region_multi_column_sorted(mini_db):
+    table = mini_db.table("car")
+    g = PredicateGroup.of(
+        LocalPredicate("c", "year", PredOp.GT, (2000,)),
+        LocalPredicate("c", "make", PredOp.EQ, ("Toyota",)),
+    )
+    columns, region = group_region(table, g)
+    assert columns == ("make", "year")
+    assert region.ndim == 2
+
+
+def test_group_region_none_when_unrepresentable(mini_db):
+    table = mini_db.table("car")
+    g = PredicateGroup.of(LocalPredicate("c", "year", PredOp.NE, (2000,)))
+    assert group_region(table, g) is None
+
+
+def test_region_for_columns_pads_unconstrained(mini_db):
+    table = mini_db.table("car")
+    g = PredicateGroup.of(LocalPredicate("c", "year", PredOp.EQ, (2000,)))
+    region = region_for_columns(table, g, ("make", "year"))
+    assert region.intervals[0].is_unbounded
+    assert region.intervals[1] == Interval(2000.0, 2001.0)
+
+
+def test_region_for_columns_rejects_missing_columns(mini_db):
+    table = mini_db.table("car")
+    g = PredicateGroup.of(LocalPredicate("c", "year", PredOp.EQ, (2000,)))
+    assert region_for_columns(table, g, ("make",)) is None

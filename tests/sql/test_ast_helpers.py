@@ -1,0 +1,108 @@
+"""AST helper functions and rendering."""
+
+from repro.sql import ast
+
+
+def test_conjuncts_flattens_nested_ands():
+    a = ast.Comparison(ast.CompareOp.EQ, ast.ColumnRef("a"), ast.Literal(1))
+    b = ast.Comparison(ast.CompareOp.EQ, ast.ColumnRef("b"), ast.Literal(2))
+    c = ast.Comparison(ast.CompareOp.EQ, ast.ColumnRef("c"), ast.Literal(3))
+    nested = ast.AndExpr((ast.AndExpr((a, b)), c))
+    assert ast.conjuncts(nested) == [a, b, c]
+    assert ast.conjuncts(None) == []
+    assert ast.conjuncts(a) == [a]
+
+
+def test_make_and_roundtrip():
+    a = ast.Comparison(ast.CompareOp.EQ, ast.ColumnRef("a"), ast.Literal(1))
+    b = ast.Comparison(ast.CompareOp.EQ, ast.ColumnRef("b"), ast.Literal(2))
+    assert ast.make_and([]) is None
+    assert ast.make_and([a]) is a
+    combined = ast.make_and([a, b])
+    assert isinstance(combined, ast.AndExpr)
+    assert ast.conjuncts(combined) == [a, b]
+
+
+def test_column_refs_collects_everywhere():
+    expr = ast.OrExpr(
+        (
+            ast.Comparison(
+                ast.CompareOp.GT,
+                ast.BinaryArith("+", ast.ColumnRef("a", "t"), ast.Literal(1)),
+                ast.ColumnRef("b", "u"),
+            ),
+            ast.NotExpr(
+                ast.BetweenExpr(
+                    ast.ColumnRef("c"), ast.Literal(1), ast.ColumnRef("d")
+                )
+            ),
+            ast.InListExpr(ast.ColumnRef("e"), (ast.Literal(1),)),
+        )
+    )
+    names = {r.name for r in ast.column_refs(expr)}
+    assert names == {"a", "b", "c", "d", "e"}
+
+
+def test_column_refs_in_aggregates():
+    agg = ast.Aggregate(ast.AggFunc.SUM, ast.ColumnRef("x", "t"))
+    assert [r.name for r in ast.column_refs(agg)] == ["x"]
+    count_star = ast.Aggregate(ast.AggFunc.COUNT, None)
+    assert ast.column_refs(count_star) == []
+
+
+def test_contains_aggregate():
+    agg = ast.Aggregate(ast.AggFunc.COUNT, None)
+    assert ast.contains_aggregate(agg)
+    assert ast.contains_aggregate(ast.BinaryArith("+", agg, ast.Literal(1)))
+    assert ast.contains_aggregate(
+        ast.Comparison(ast.CompareOp.GT, agg, ast.Literal(2))
+    )
+    assert not ast.contains_aggregate(ast.ColumnRef("a"))
+    assert not ast.contains_aggregate(None)
+
+
+def test_literal_rendering_escapes_quotes():
+    assert str(ast.Literal("it's")) == "'it''s'"
+    assert str(ast.Literal(5)) == "5"
+    assert str(ast.Literal(2.5)) == "2.5"
+
+
+def test_expression_rendering():
+    expr = ast.BinaryArith(
+        "*",
+        ast.UnaryArith("-", ast.ColumnRef("a", "t")),
+        ast.Literal(2),
+    )
+    assert str(expr) == "((-t.a) * 2)"
+    agg = ast.Aggregate(ast.AggFunc.COUNT, ast.ColumnRef("x"), distinct=True)
+    assert str(agg) == "COUNT(DISTINCT x)"
+
+
+def test_boolean_rendering():
+    cmp1 = ast.Comparison(ast.CompareOp.NE, ast.ColumnRef("a"), ast.Literal(1))
+    cmp2 = ast.Comparison(ast.CompareOp.LE, ast.ColumnRef("b"), ast.Literal(2))
+    assert str(ast.AndExpr((cmp1, cmp2))) == "(a <> 1) AND (b <= 2)"
+    assert str(ast.OrExpr((cmp1, cmp2))) == "(a <> 1) OR (b <= 2)"
+    assert str(ast.NotExpr(cmp1)) == "NOT (a <> 1)"
+    between = ast.BetweenExpr(
+        ast.ColumnRef("x"), ast.Literal(1), ast.Literal(2), negated=True
+    )
+    assert str(between) == "x NOT BETWEEN 1 AND 2"
+    inlist = ast.InListExpr(ast.ColumnRef("s"), (ast.Literal("a"),))
+    assert str(inlist) == "s IN ('a')"
+
+
+def test_compare_op_flip():
+    assert ast.CompareOp.LT.flipped() is ast.CompareOp.GT
+    assert ast.CompareOp.GE.flipped() is ast.CompareOp.LE
+    assert ast.CompareOp.EQ.flipped() is ast.CompareOp.EQ
+    assert ast.CompareOp.NE.flipped() is ast.CompareOp.NE
+
+
+def test_select_item_output_name():
+    item = ast.SelectItem(expr=ast.ColumnRef("price", "c"), alias=None)
+    assert item.output_name(0) == "price"
+    aliased = ast.SelectItem(expr=ast.Literal(1), alias="one")
+    assert aliased.output_name(3) == "one"
+    anonymous = ast.SelectItem(expr=ast.Literal(1), alias=None)
+    assert anonymous.output_name(3) == "col3"

@@ -1,0 +1,88 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.text) for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+def test_keywords_lowercased():
+    assert kinds("SELECT From WHERE") == [
+        (TokenType.KEYWORD, "select"),
+        (TokenType.KEYWORD, "from"),
+        (TokenType.KEYWORD, "where"),
+    ]
+
+
+def test_identifiers_keep_case():
+    assert kinds("myTable _x a1") == [
+        (TokenType.IDENT, "myTable"),
+        (TokenType.IDENT, "_x"),
+        (TokenType.IDENT, "a1"),
+    ]
+
+
+def test_numbers():
+    assert kinds("1 2.5 .5 1e3 2.5E-2") == [
+        (TokenType.NUMBER, "1"),
+        (TokenType.NUMBER, "2.5"),
+        (TokenType.NUMBER, ".5"),
+        (TokenType.NUMBER, "1e3"),
+        (TokenType.NUMBER, "2.5E-2"),
+    ]
+
+
+def test_strings_with_escapes():
+    assert kinds("'hello' 'it''s'") == [
+        (TokenType.STRING, "hello"),
+        (TokenType.STRING, "it's"),
+    ]
+
+
+def test_unterminated_string():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("'oops")
+
+
+def test_two_char_symbols():
+    assert kinds("<= >= <> !=") == [
+        (TokenType.SYMBOL, "<="),
+        (TokenType.SYMBOL, ">="),
+        (TokenType.SYMBOL, "<>"),
+        (TokenType.SYMBOL, "<>"),  # != normalizes
+    ]
+
+
+def test_single_char_symbols():
+    text = [t for _, t in kinds("( ) * , . + - / = < > ;")]
+    assert text == ["(", ")", "*", ",", ".", "+", "-", "/", "=", "<", ">", ";"]
+
+
+def test_comments_skipped():
+    assert kinds("SELECT -- comment here\n 1") == [
+        (TokenType.KEYWORD, "select"),
+        (TokenType.NUMBER, "1"),
+    ]
+
+
+def test_unknown_character():
+    with pytest.raises(SqlSyntaxError) as excinfo:
+        tokenize("SELECT @")
+    assert excinfo.value.position == 7
+
+
+def test_eof_token_always_present():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type is TokenType.EOF
+
+
+def test_token_helpers():
+    token = tokenize("select")[0]
+    assert token.is_keyword("select")
+    assert not token.is_keyword("from")
+    assert not token.is_symbol("(")

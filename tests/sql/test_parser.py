@@ -1,0 +1,234 @@
+"""SQL parser: statements, precedence, error reporting."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast, parse, parse_select
+from repro.types import DataType
+
+
+def test_simple_select():
+    stmt = parse_select("SELECT a, b FROM t")
+    assert [i.expr.name for i in stmt.items] == ["a", "b"]
+    assert isinstance(stmt.from_items[0], ast.TableRef)
+    assert stmt.from_items[0].name == "t"
+
+
+def test_select_star():
+    stmt = parse_select("SELECT * FROM t")
+    assert stmt.star
+    assert stmt.items == []
+
+
+def test_aliases():
+    stmt = parse_select("SELECT a AS x, b y FROM t AS u, v w")
+    assert stmt.items[0].alias == "x"
+    assert stmt.items[1].alias == "y"
+    assert stmt.from_items[0].alias == "u"
+    assert stmt.from_items[1].alias == "w"
+
+
+def test_qualified_columns():
+    stmt = parse_select("SELECT t.a FROM t")
+    ref = stmt.items[0].expr
+    assert ref.qualifier == "t" and ref.name == "a"
+
+
+def test_where_and_or_not_precedence():
+    stmt = parse_select("SELECT a FROM t WHERE a = 1 OR b = 2 AND NOT c = 3")
+    where = stmt.where
+    assert isinstance(where, ast.OrExpr)
+    assert isinstance(where.operands[1], ast.AndExpr)
+    assert isinstance(where.operands[1].operands[1], ast.NotExpr)
+
+
+def test_between_and_in():
+    stmt = parse_select(
+        "SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b IN ('x', 'y') "
+        "AND c NOT BETWEEN 2 AND 3 AND d NOT IN (5)"
+    )
+    conjuncts = ast.conjuncts(stmt.where)
+    assert isinstance(conjuncts[0], ast.BetweenExpr) and not conjuncts[0].negated
+    assert isinstance(conjuncts[1], ast.InListExpr) and not conjuncts[1].negated
+    assert conjuncts[2].negated and conjuncts[3].negated
+
+
+def test_comparison_operators():
+    for op_text, op in [
+        ("=", ast.CompareOp.EQ),
+        ("<>", ast.CompareOp.NE),
+        ("!=", ast.CompareOp.NE),
+        ("<", ast.CompareOp.LT),
+        ("<=", ast.CompareOp.LE),
+        (">", ast.CompareOp.GT),
+        (">=", ast.CompareOp.GE),
+    ]:
+        stmt = parse_select(f"SELECT a FROM t WHERE a {op_text} 5")
+        assert stmt.where.op is op
+
+
+def test_arithmetic_precedence():
+    stmt = parse_select("SELECT a + b * 2 FROM t")
+    expr = stmt.items[0].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_unary_minus_and_parens():
+    stmt = parse_select("SELECT -(a + 1) * 2 FROM t")
+    expr = stmt.items[0].expr
+    assert expr.op == "*"
+    assert isinstance(expr.left, ast.UnaryArith)
+
+
+def test_negative_literals_in_lists():
+    stmt = parse_select("SELECT a FROM t WHERE a IN (-1, 2)")
+    assert stmt.where.items[0].value == -1
+
+
+def test_aggregates():
+    stmt = parse_select(
+        "SELECT COUNT(*), COUNT(a), COUNT(DISTINCT a), SUM(a), AVG(a), "
+        "MIN(a), MAX(a) FROM t"
+    )
+    aggs = [i.expr for i in stmt.items]
+    assert aggs[0].argument is None
+    assert aggs[2].distinct
+    assert aggs[3].func is ast.AggFunc.SUM
+
+
+def test_group_by_having_order_limit():
+    stmt = parse_select(
+        "SELECT a, COUNT(*) n FROM t GROUP BY a HAVING COUNT(*) > 2 "
+        "ORDER BY n DESC, a ASC LIMIT 7"
+    )
+    assert len(stmt.group_by) == 1
+    assert stmt.having is not None
+    assert stmt.order_by[0].descending and not stmt.order_by[1].descending
+    assert stmt.limit == 7
+
+
+def test_distinct():
+    assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+
+def test_explicit_join_folds_into_where():
+    stmt = parse_select(
+        "SELECT a FROM t JOIN u ON t.id = u.id INNER JOIN v ON u.x = v.x "
+        "WHERE t.a > 1"
+    )
+    assert len(stmt.from_items) == 3
+    assert len(ast.conjuncts(stmt.where)) == 3
+
+
+def test_derived_table():
+    stmt = parse_select("SELECT x FROM (SELECT a AS x FROM t) AS d WHERE x > 1")
+    derived = stmt.from_items[0]
+    assert isinstance(derived, ast.DerivedTable)
+    assert derived.alias == "d"
+    assert isinstance(derived.select, ast.SelectStatement)
+
+
+def test_insert():
+    stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+    assert isinstance(stmt, ast.InsertStatement)
+    assert stmt.columns == ["a", "b"]
+    assert [l.value for l in stmt.rows[1]] == [2, "y"]
+
+
+def test_insert_without_columns():
+    stmt = parse("INSERT INTO t VALUES (1, 2)")
+    assert stmt.columns is None
+
+
+def test_insert_negative_number():
+    stmt = parse("INSERT INTO t VALUES (-5)")
+    assert stmt.rows[0][0].value == -5
+
+
+def test_update():
+    stmt = parse("UPDATE t SET a = a + 1, b = 'z' WHERE c < 3")
+    assert isinstance(stmt, ast.UpdateStatement)
+    assert stmt.assignments[0][0] == "a"
+    assert stmt.where is not None
+
+
+def test_delete():
+    stmt = parse("DELETE FROM t WHERE a = 1")
+    assert isinstance(stmt, ast.DeleteStatement)
+    stmt = parse("DELETE FROM t")
+    assert stmt.where is None
+
+
+def test_create_table():
+    stmt = parse(
+        "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20), pay FLOAT)"
+    )
+    assert isinstance(stmt, ast.CreateTableStatement)
+    assert stmt.primary_key == "id"
+    assert [c.dtype for c in stmt.columns] == [
+        DataType.INT,
+        DataType.STRING,
+        DataType.FLOAT,
+    ]
+
+
+def test_create_table_trailing_pk_clause():
+    stmt = parse("CREATE TABLE t (id INT, PRIMARY KEY (id))")
+    assert stmt.primary_key == "id"
+
+
+def test_create_index():
+    stmt = parse("CREATE INDEX i ON t (a)")
+    assert isinstance(stmt, ast.CreateIndexStatement)
+    assert (stmt.table, stmt.column, stmt.kind) == ("t", "a", "hash")
+    stmt = parse("CREATE INDEX i ON t (a) USING SORTED")
+    assert stmt.kind == "sorted"
+
+
+def test_drop_table():
+    stmt = parse("DROP TABLE t")
+    assert isinstance(stmt, ast.DropTableStatement)
+    assert stmt.table == "t"
+
+
+def test_trailing_semicolon_ok():
+    parse("SELECT a FROM t;")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT a FROM t garbage garbage")
+
+
+def test_error_messages_carry_position():
+    with pytest.raises(SqlSyntaxError) as excinfo:
+        parse("SELECT FROM t")
+    assert "expected" in str(excinfo.value)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "SELECT",
+        "SELECT a",
+        "SELECT a FROM",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t WHERE a >",
+        "SELECT a FROM t GROUP",
+        "SELECT a FROM t LIMIT x",
+        "INSERT INTO t",
+        "UPDATE t",
+        "CREATE TABLE t ()",
+        "SELECT a FROM t WHERE a IN ()",
+    ],
+)
+def test_rejects_malformed(bad):
+    with pytest.raises(SqlSyntaxError):
+        parse(bad)
+
+
+def test_parse_select_rejects_dml():
+    with pytest.raises(SqlSyntaxError):
+        parse_select("DELETE FROM t")

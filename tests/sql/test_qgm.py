@@ -1,0 +1,180 @@
+"""QGM binder: name resolution, predicate classification, block structure."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.predicates import PredOp
+from repro.sql import build_query_graph, parse_select
+from repro.types import DataType
+
+
+def bind(sql, db):
+    return build_query_graph(parse_select(sql), db)
+
+
+def test_base_quantifiers(mini_db):
+    block = bind("SELECT c.id FROM car c, owner o", mini_db)
+    assert block.aliases() == ["c", "o"]
+    assert block.base_tables() == {"c": "car", "o": "owner"}
+
+
+def test_default_alias_is_table_name(mini_db):
+    block = bind("SELECT id FROM owner", mini_db)
+    assert block.aliases() == ["owner"]
+
+
+def test_unknown_table(mini_db):
+    with pytest.raises(BindingError):
+        bind("SELECT x FROM ghost", mini_db)
+
+
+def test_unknown_column(mini_db):
+    with pytest.raises(BindingError):
+        bind("SELECT nope FROM owner", mini_db)
+
+
+def test_ambiguous_column(mini_db):
+    with pytest.raises(BindingError):
+        bind("SELECT id FROM car, owner", mini_db)
+
+
+def test_duplicate_alias(mini_db):
+    with pytest.raises(BindingError):
+        bind("SELECT 1 FROM car c, owner c", mini_db)
+
+
+def test_unqualified_resolution(mini_db):
+    block = bind("SELECT make FROM car, owner", mini_db)
+    ref = block.select_items[0].expr
+    assert ref.qualifier == "car"
+
+
+def test_local_predicate_classification(mini_db):
+    block = bind(
+        "SELECT c.id FROM car c WHERE make = 'Toyota' AND 2000 < year "
+        "AND price BETWEEN 1 AND 2 AND model IN ('Camry') AND year <> 1999",
+        mini_db,
+    )
+    preds = {(p.column, p.op) for p in block.local_predicates_for("c")}
+    assert preds == {
+        ("make", PredOp.EQ),
+        ("year", PredOp.GT),  # literal-first comparison flipped
+        ("price", PredOp.BETWEEN),
+        ("model", PredOp.IN),
+        ("year", PredOp.NE),
+    }
+
+
+def test_join_predicate_classification(mini_db):
+    block = bind(
+        "SELECT c.id FROM car c, owner o WHERE c.ownerid = o.id", mini_db
+    )
+    assert len(block.join_predicates) == 1
+    join = block.join_predicates[0]
+    assert join.aliases() == frozenset({"c", "o"})
+    assert not block.local_predicates
+
+
+def test_same_alias_column_comparison_is_scan_residual(mini_db):
+    block = bind("SELECT c.id FROM car c WHERE c.year = c.id", mini_db)
+    assert not block.join_predicates
+    assert len(block.scan_residuals["c"]) == 1
+
+
+def test_non_equi_cross_alias_is_residual(mini_db):
+    block = bind(
+        "SELECT c.id FROM car c, owner o WHERE c.price > o.salary", mini_db
+    )
+    assert len(block.residuals) == 1
+
+
+def test_or_tree_single_alias_is_scan_residual(mini_db):
+    block = bind(
+        "SELECT id FROM owner WHERE salary > 1 OR city = 'Ottawa'", mini_db
+    )
+    assert len(block.scan_residuals["owner"]) == 1
+    assert not block.local_predicates
+
+
+def test_negated_in_is_residual(mini_db):
+    block = bind("SELECT id FROM owner WHERE city NOT IN ('Ottawa')", mini_db)
+    assert not block.local_predicates
+    assert len(block.scan_residuals["owner"]) == 1
+
+
+def test_star_expansion(mini_db):
+    block = bind("SELECT * FROM owner", mini_db)
+    assert block.output_names() == ["id", "name", "salary", "city"]
+
+
+def test_duplicate_output_names_disambiguated(mini_db):
+    block = bind("SELECT c.id, o.id FROM car c, owner o", mini_db)
+    assert block.output_names() == ["id", "id_1"]
+
+
+def test_output_dtypes(mini_db):
+    block = bind(
+        "SELECT name, salary, id, COUNT(*) AS n, AVG(salary) a, salary / 2 h "
+        "FROM owner GROUP BY name, salary, id",
+        mini_db,
+    )
+    dtypes = [o.dtype for o in block.outputs]
+    assert dtypes == [
+        DataType.STRING,
+        DataType.FLOAT,
+        DataType.INT,
+        DataType.INT,
+        DataType.FLOAT,
+        DataType.FLOAT,
+    ]
+
+
+def test_aggregate_validation(mini_db):
+    with pytest.raises(BindingError):
+        bind("SELECT name, COUNT(*) FROM owner", mini_db)
+    block = bind("SELECT city, COUNT(*) FROM owner GROUP BY city", mini_db)
+    assert block.has_aggregates
+
+
+def test_having_without_aggregates_rejected(mini_db):
+    with pytest.raises(BindingError):
+        bind("SELECT id FROM owner HAVING COUNT(*) > 1", mini_db)
+
+
+def test_group_by_expression_rejected(mini_db):
+    with pytest.raises(BindingError):
+        bind("SELECT salary + 1 FROM owner GROUP BY salary + 1", mini_db)
+
+
+def test_derived_table_block_tree(mini_db):
+    block = bind(
+        "SELECT v.n FROM (SELECT city, COUNT(*) AS n FROM owner GROUP BY city) v "
+        "WHERE v.n > 10",
+        mini_db,
+    )
+    blocks = block.all_blocks()
+    assert len(blocks) == 2
+    assert not block.quantifiers["v"].is_base
+    # The parent's predicate on v.n is a local predicate on the derived
+    # quantifier (not on a base table).
+    assert len(block.local_predicates_for("v")) == 1
+    # Child block sees the base table.
+    assert blocks[1].base_tables() == {"owner": "owner"}
+
+
+def test_mergeable_view_disappears(mini_db):
+    block = bind(
+        "SELECT v.make FROM (SELECT make FROM car WHERE year > 2000) v",
+        mini_db,
+    )
+    assert len(block.all_blocks()) == 1
+    assert block.base_tables() == {"car": "car"}
+    assert len(block.local_predicates_for("car")) == 1
+
+
+def test_order_by_output_alias(mini_db):
+    block = bind(
+        "SELECT city, COUNT(*) AS n FROM owner GROUP BY city ORDER BY n DESC",
+        mini_db,
+    )
+    assert len(block.order_by) == 1

@@ -1,0 +1,100 @@
+"""Rewrite stage: constant folding and view merging."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.sql import ast, parse_select
+from repro.sql.rewrite import fold_bool, fold_expr, is_mergeable, rewrite_select
+
+
+def lit(v):
+    return ast.Literal(v)
+
+
+def test_fold_arithmetic():
+    expr = ast.BinaryArith("+", lit(2), ast.BinaryArith("*", lit(3), lit(4)))
+    assert fold_expr(expr) == lit(14)
+
+
+def test_fold_preserves_int_division_when_exact():
+    assert fold_expr(ast.BinaryArith("/", lit(10), lit(2))) == lit(5)
+    assert fold_expr(ast.BinaryArith("/", lit(10), lit(4))) == lit(2.5)
+
+
+def test_fold_division_by_zero():
+    with pytest.raises(BindingError):
+        fold_expr(ast.BinaryArith("/", lit(1), lit(0)))
+
+
+def test_fold_unary():
+    assert fold_expr(ast.UnaryArith("-", lit(5))) == lit(-5)
+
+
+def test_fold_leaves_columns_alone():
+    col = ast.ColumnRef("a")
+    expr = ast.BinaryArith("+", col, lit(1))
+    folded = fold_expr(expr)
+    assert folded.left == col and folded.right == lit(1)
+
+
+def test_fold_string_arith_rejected():
+    with pytest.raises(BindingError):
+        fold_expr(ast.BinaryArith("+", lit("a"), lit("b")))
+
+
+def test_fold_bool_recurses():
+    stmt = parse_select("SELECT a FROM t WHERE a > 2 * 3 + 1")
+    folded = fold_bool(stmt.where)
+    assert folded.right == lit(7)
+
+
+def test_is_mergeable():
+    assert is_mergeable(parse_select("SELECT a, b FROM t WHERE a > 1"))
+    assert not is_mergeable(parse_select("SELECT COUNT(*) FROM t"))
+    assert not is_mergeable(parse_select("SELECT a FROM t GROUP BY a"))
+    assert not is_mergeable(parse_select("SELECT DISTINCT a FROM t"))
+    assert not is_mergeable(parse_select("SELECT a FROM t LIMIT 3"))
+    assert not is_mergeable(parse_select("SELECT a FROM t ORDER BY a"))
+    assert not is_mergeable(parse_select("SELECT a + 1 AS x FROM t"))
+
+
+def test_view_merge_hoists_tables_and_predicates():
+    stmt = parse_select(
+        "SELECT v.x FROM (SELECT a AS x FROM t WHERE a > 1) v WHERE v.x < 9"
+    )
+    merged = rewrite_select(stmt)
+    assert len(merged.from_items) == 1
+    assert isinstance(merged.from_items[0], ast.TableRef)
+    conjuncts = ast.conjuncts(merged.where)
+    assert len(conjuncts) == 2
+    # v.x references rewrote to the underlying column a.
+    rendered = " AND ".join(str(c) for c in conjuncts)
+    assert "v.x" not in rendered
+    assert "a" in rendered
+
+
+def test_view_merge_skips_aggregating_views():
+    stmt = parse_select(
+        "SELECT v.n FROM (SELECT COUNT(*) AS n FROM t) v WHERE v.n > 1"
+    )
+    merged = rewrite_select(stmt)
+    assert isinstance(merged.from_items[0], ast.DerivedTable)
+
+
+def test_view_merge_nested():
+    stmt = parse_select(
+        "SELECT w.x FROM (SELECT v.x AS x FROM "
+        "(SELECT a AS x FROM t) v) w"
+    )
+    merged = rewrite_select(stmt)
+    assert len(merged.from_items) == 1
+    assert isinstance(merged.from_items[0], ast.TableRef)
+
+
+def test_view_merge_preserves_select_outputs():
+    stmt = parse_select(
+        "SELECT v.x, v.y FROM (SELECT a x, b y FROM t) v ORDER BY v.x"
+    )
+    merged = rewrite_select(stmt)
+    assert str(merged.items[0].expr) == "a"
+    assert str(merged.order_by[0].expr) == "a"

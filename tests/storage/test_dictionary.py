@@ -1,0 +1,104 @@
+"""StringDictionary: encoding, lookup, ordering helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage import MISSING_CODE, StringDictionary
+
+
+def test_encode_assigns_sequential_codes():
+    d = StringDictionary()
+    assert d.encode("a") == 0
+    assert d.encode("b") == 1
+    assert d.encode("a") == 0
+    assert len(d) == 2
+
+
+def test_lookup_missing_returns_sentinel():
+    d = StringDictionary(["x"])
+    assert d.lookup("x") == 0
+    assert d.lookup("nope") == MISSING_CODE
+
+
+def test_find_code_returns_none_for_missing():
+    d = StringDictionary(["x"])
+    assert d.find_code("x") == 0
+    assert d.find_code("y") is None
+
+
+def test_decode_roundtrip():
+    d = StringDictionary()
+    values = ["apple", "banana", "apple", "cherry"]
+    codes = d.encode_many(values)
+    assert d.decode_many(codes) == values
+
+
+def test_decode_out_of_range_raises():
+    d = StringDictionary(["only"])
+    with pytest.raises(StorageError):
+        d.decode(5)
+    with pytest.raises(StorageError):
+        d.decode(-1)
+
+
+def test_encode_rejects_non_strings():
+    d = StringDictionary()
+    with pytest.raises(StorageError):
+        d.encode(42)  # type: ignore[arg-type]
+
+
+def test_contains():
+    d = StringDictionary(["a"])
+    assert "a" in d
+    assert "b" not in d
+
+
+def test_sort_permutation_orders_lexicographically():
+    d = StringDictionary(["pear", "apple", "zebra", "mango"])
+    perm = d.sort_permutation()
+    ordered = [d.decode(int(c)) for c in perm]
+    assert ordered == sorted(["pear", "apple", "zebra", "mango"])
+
+
+def test_rank_of():
+    d = StringDictionary(["b", "a", "c"])
+    assert d.rank_of(d.lookup("a")) == 0
+    assert d.rank_of(d.lookup("b")) == 1
+    assert d.rank_of(d.lookup("c")) == 2
+
+
+def test_copy_is_independent():
+    d = StringDictionary(["a"])
+    clone = d.copy()
+    clone.encode("b")
+    assert len(d) == 1
+    assert len(clone) == 2
+
+
+def test_values_ordered_by_code():
+    d = StringDictionary(["z", "m", "a"])
+    assert d.values() == ["z", "m", "a"]
+
+
+@given(st.lists(st.text(max_size=8)))
+def test_roundtrip_property(values):
+    d = StringDictionary()
+    codes = [d.encode(v) for v in values]
+    assert [d.decode(c) for c in codes] == values
+    # Codes are dense: 0..n_distinct-1.
+    distinct = len(set(values))
+    assert len(d) == distinct
+    if codes:
+        assert max(codes) == distinct - 1
+
+
+@given(st.lists(st.text(max_size=6), min_size=1, unique=True))
+def test_sort_permutation_property(values):
+    d = StringDictionary(values)
+    perm = d.sort_permutation()
+    decoded = [d.decode(int(c)) for c in perm]
+    assert decoded == sorted(values)
+    assert sorted(perm.tolist()) == list(range(len(values)))

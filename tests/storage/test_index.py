@@ -1,0 +1,134 @@
+"""Hash and sorted indexes: correctness, laziness, invalidation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import DataType, make_schema
+from repro.storage import Database, Table
+from repro.storage.index import HashIndex, SortedIndex
+
+
+def make_table(values) -> Table:
+    t = Table(make_schema("t", [("k", DataType.INT), ("v", DataType.FLOAT)]))
+    t.insert_columns(
+        {"k": np.asarray(values, dtype=np.int64), "v": np.zeros(len(values))}
+    )
+    return t
+
+
+def test_hash_lookup_matches_scan():
+    t = make_table([5, 3, 5, 7, 3, 5])
+    idx = HashIndex(t, "k")
+    assert np.array_equal(np.sort(idx.lookup(5)), np.array([0, 2, 5]))
+    assert np.array_equal(np.sort(idx.lookup(3)), np.array([1, 4]))
+    assert len(idx.lookup(99)) == 0
+
+
+def test_hash_lookup_float_value_on_int_column():
+    t = make_table([1, 2, 3])
+    idx = HashIndex(t, "k")
+    assert np.array_equal(idx.lookup(2.0), np.array([1]))
+    assert len(idx.lookup(2.5)) == 0
+
+
+def test_hash_n_distinct():
+    t = make_table([1, 1, 2, 3, 3, 3])
+    assert HashIndex(t, "k").n_distinct() == 3
+
+
+def test_hash_sparse_keys_use_dict_fallback():
+    # Key span far larger than table -> dict path.
+    t = make_table([10**12, 5, 10**12])
+    idx = HashIndex(t, "k")
+    assert not idx._dense
+    assert np.array_equal(np.sort(idx.lookup(10**12)), np.array([0, 2]))
+
+
+def test_hash_dense_path_for_compact_keys():
+    t = make_table(list(range(100)))
+    idx = HashIndex(t, "k")
+    idx._ensure()
+    assert idx._dense
+    assert np.array_equal(idx.lookup(42), np.array([42]))
+
+
+def test_hash_rebuilds_after_key_mutation():
+    t = make_table([1, 2, 3])
+    idx = HashIndex(t, "k")
+    assert np.array_equal(idx.lookup(2), np.array([1]))
+    t.update_rows(np.array([1]), {"k": 9})
+    assert len(idx.lookup(2)) == 0
+    assert np.array_equal(idx.lookup(9), np.array([1]))
+
+
+def test_hash_not_invalidated_by_other_column_update():
+    t = make_table([1, 2, 3])
+    idx = HashIndex(t, "k")
+    idx.lookup(1)
+    built = idx._built_version
+    t.update_rows(np.array([0]), {"v": 5.0})
+    idx.lookup(1)
+    assert idx._built_version == built  # no rebuild
+
+
+def test_sorted_range_lookup():
+    t = make_table([10, 40, 20, 30, 50])
+    idx = SortedIndex(t, "k")
+    rows = idx.range_lookup(20, 40)
+    assert np.array_equal(rows, np.array([1, 2, 3]))
+
+
+def test_sorted_exclusive_bounds():
+    t = make_table([10, 20, 30])
+    idx = SortedIndex(t, "k")
+    assert np.array_equal(
+        idx.range_lookup(10, 30, low_inclusive=False, high_inclusive=False),
+        np.array([1]),
+    )
+
+
+def test_sorted_open_ended():
+    t = make_table([5, 1, 9])
+    idx = SortedIndex(t, "k")
+    assert np.array_equal(idx.range_lookup(None, 5), np.array([0, 1]))
+    assert np.array_equal(idx.range_lookup(5, None), np.array([0, 2]))
+
+
+def test_sorted_empty_range():
+    t = make_table([1, 2, 3])
+    idx = SortedIndex(t, "k")
+    assert len(idx.range_lookup(10, 20)) == 0
+
+
+def test_index_set_creation_and_lookup(mini_db: Database):
+    indexes = mini_db.indexes("car")
+    assert indexes.hash_on("id") is not None  # PK auto-index
+    assert indexes.hash_on("ownerid") is not None
+    assert indexes.sorted_on("price") is not None
+    assert indexes.hash_on("price") is None
+
+
+@given(
+    st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=60),
+    st.integers(min_value=-50, max_value=50),
+)
+def test_hash_lookup_property(values, key):
+    t = make_table(values)
+    idx = HashIndex(t, "k")
+    expected = np.flatnonzero(np.asarray(values) == key)
+    assert np.array_equal(np.sort(idx.lookup(key)), expected)
+
+
+@given(
+    st.lists(st.integers(min_value=-30, max_value=30), min_size=1, max_size=60),
+    st.integers(min_value=-31, max_value=31),
+    st.integers(min_value=-31, max_value=31),
+)
+def test_sorted_range_property(values, lo, hi):
+    t = make_table(values)
+    idx = SortedIndex(t, "k")
+    arr = np.asarray(values)
+    expected = np.flatnonzero((arr >= lo) & (arr <= hi))
+    assert np.array_equal(idx.range_lookup(lo, hi), expected)

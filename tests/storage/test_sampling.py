@@ -1,0 +1,87 @@
+"""Sampling: fixed-size and Bernoulli samples, extrapolation."""
+
+import numpy as np
+
+from repro import DataType, make_schema
+from repro.storage import (
+    SampleView,
+    Table,
+    bernoulli_sample,
+    fixed_size_sample,
+)
+
+
+def make_table(n: int) -> Table:
+    t = Table(make_schema("t", [("x", DataType.INT)]))
+    t.insert_columns({"x": np.arange(n, dtype=np.int64)})
+    return t
+
+
+def test_fixed_size_small_table_returns_all():
+    t = make_table(10)
+    rows = fixed_size_sample(t, 100, np.random.default_rng(0))
+    assert np.array_equal(rows, np.arange(10))
+
+
+def test_fixed_size_large_table_returns_requested():
+    t = make_table(100_000)
+    rows = fixed_size_sample(t, 500, np.random.default_rng(0))
+    assert len(rows) == 500
+    assert rows.min() >= 0 and rows.max() < 100_000
+    assert np.all(np.diff(rows) >= 0)  # sorted
+
+
+def test_fixed_size_zero():
+    t = make_table(10)
+    assert len(fixed_size_sample(t, 0, np.random.default_rng(0))) == 0
+
+
+def test_fixed_size_without_replacement_midrange():
+    # 10 <= n < 10*size triggers the exact without-replacement path.
+    t = make_table(50)
+    rows = fixed_size_sample(t, 40, np.random.default_rng(0))
+    assert len(rows) == 40
+    assert len(np.unique(rows)) == 40
+
+
+def test_fixed_size_deterministic_with_seed():
+    t = make_table(10_000)
+    a = fixed_size_sample(t, 100, np.random.default_rng(42))
+    b = fixed_size_sample(t, 100, np.random.default_rng(42))
+    assert np.array_equal(a, b)
+
+
+def test_bernoulli_rate_bounds():
+    t = make_table(1000)
+    assert len(bernoulli_sample(t, 0.0, np.random.default_rng(0))) == 0
+    assert len(bernoulli_sample(t, 1.0, np.random.default_rng(0))) == 1000
+
+
+def test_bernoulli_rate_expectation():
+    t = make_table(20_000)
+    rows = bernoulli_sample(t, 0.1, np.random.default_rng(0))
+    assert 1_500 < len(rows) < 2_500
+
+
+def test_sample_view_scale_and_estimates():
+    t = make_table(10_000)
+    rows = fixed_size_sample(t, 1_000, np.random.default_rng(1))
+    view = SampleView(t, rows)
+    assert view.scale == 10.0
+    assert view.estimate_count(100) == 1_000.0
+    assert view.estimate_selectivity(250) == 0.25
+
+
+def test_sample_view_column_access():
+    t = make_table(100)
+    view = SampleView(t, np.array([0, 50, 99]))
+    assert view.column_data("x").tolist() == [0, 50, 99]
+
+
+def test_sample_selectivity_accuracy():
+    # A 2000-row sample estimates a 30% predicate within a few points.
+    t = make_table(50_000)
+    rows = fixed_size_sample(t, 2_000, np.random.default_rng(5))
+    view = SampleView(t, rows)
+    matches = int((view.column_data("x") < 15_000).sum())
+    assert abs(view.estimate_selectivity(matches) - 0.3) < 0.05

@@ -1,0 +1,141 @@
+"""Table: DML operations and UDI accounting."""
+
+import numpy as np
+import pytest
+
+from repro import DataType, make_schema
+from repro.errors import StorageError
+from repro.storage import Table
+
+
+def make_table() -> Table:
+    return Table(
+        make_schema(
+            "emp",
+            [("id", DataType.INT), ("name", DataType.STRING), ("pay", DataType.FLOAT)],
+            primary_key="id",
+        )
+    )
+
+
+def test_insert_rows_and_fetch():
+    t = make_table()
+    t.insert_rows(
+        [
+            {"id": 1, "name": "a", "pay": 10.0},
+            {"id": 2, "name": "b", "pay": 20.0},
+        ]
+    )
+    assert t.row_count == 2
+    assert t.fetch_rows(None, ["id", "name", "pay"]) == [
+        (1, "a", 10.0),
+        (2, "b", 20.0),
+    ]
+
+
+def test_insert_row_case_insensitive_keys():
+    t = make_table()
+    t.insert_row({"ID": 1, "Name": "x", "PAY": 5.0})
+    assert t.fetch_rows(None, ["name"]) == [("x",)]
+
+
+def test_insert_missing_column_raises():
+    t = make_table()
+    with pytest.raises(StorageError):
+        t.insert_rows([{"id": 1, "name": "a"}])
+
+
+def test_insert_wrong_arity_raises():
+    t = make_table()
+    with pytest.raises(StorageError):
+        t.insert_rows([{"id": 1, "name": "a", "pay": 1.0, "extra": 2}])
+
+
+def test_insert_columns_bulk():
+    t = make_table()
+    t.insert_columns(
+        {"id": np.arange(3), "name": ["x", "y", "z"], "pay": np.ones(3)}
+    )
+    assert t.row_count == 3
+
+
+def test_insert_columns_mismatched_lengths():
+    t = make_table()
+    with pytest.raises(StorageError):
+        t.insert_columns({"id": [1], "name": ["a", "b"], "pay": [1.0]})
+
+
+def test_insert_columns_wrong_column_set():
+    t = make_table()
+    with pytest.raises(StorageError):
+        t.insert_columns({"id": [1], "name": ["a"]})
+
+
+def test_udi_counts_inserts_updates_deletes():
+    t = make_table()
+    t.insert_columns({"id": np.arange(10), "name": ["n"] * 10, "pay": np.ones(10)})
+    assert t.udi_total == 10
+    t.update_rows(np.array([0, 1, 2]), {"pay": 9.0})
+    assert t.udi_total == 13
+    t.delete_rows(np.array([0, 1]))
+    assert t.udi_total == 15
+    assert t.row_count == 8
+
+
+def test_udi_since_snapshot():
+    t = make_table()
+    t.insert_row({"id": 1, "name": "a", "pay": 1.0})
+    snapshot = t.udi_total
+    t.update_rows(np.array([0]), {"pay": 2.0})
+    assert t.udi_since(snapshot) == 1
+
+
+def test_update_rows_sets_value():
+    t = make_table()
+    t.insert_columns({"id": np.arange(4), "name": ["a"] * 4, "pay": np.zeros(4)})
+    t.update_rows(np.array([1, 3]), {"pay": 7.5, "name": "boss"})
+    assert t.fetch_rows(np.array([1]), ["name", "pay"]) == [("boss", 7.5)]
+    assert t.fetch_rows(np.array([0]), ["name", "pay"]) == [("a", 0.0)]
+
+
+def test_apply_update_per_row_values():
+    t = make_table()
+    t.insert_columns({"id": np.arange(3), "name": ["a"] * 3, "pay": np.zeros(3)})
+    t.apply_update(np.array([0, 2]), {"pay": np.array([1.5, 2.5])})
+    pays = [r[0] for r in t.fetch_rows(None, ["pay"])]
+    assert pays == [1.5, 0.0, 2.5]
+
+
+def test_apply_update_length_mismatch():
+    t = make_table()
+    t.insert_row({"id": 1, "name": "a", "pay": 1.0})
+    with pytest.raises(StorageError):
+        t.apply_update(np.array([0]), {"pay": np.array([1.0, 2.0])})
+
+
+def test_delete_rows_returns_count():
+    t = make_table()
+    t.insert_columns({"id": np.arange(5), "name": ["x"] * 5, "pay": np.ones(5)})
+    assert t.delete_rows(np.array([1, 3])) == 2
+    assert [r[0] for r in t.fetch_rows(None, ["id"])] == [0, 2, 4]
+
+
+def test_delete_empty_is_noop():
+    t = make_table()
+    t.insert_row({"id": 1, "name": "a", "pay": 1.0})
+    before = t.udi_total
+    assert t.delete_rows(np.empty(0, dtype=np.int64)) == 0
+    assert t.udi_total == before
+
+
+def test_version_bumps_on_mutation():
+    t = make_table()
+    v0 = t.version
+    t.insert_row({"id": 1, "name": "a", "pay": 1.0})
+    assert t.version > v0
+
+
+def test_unknown_column_raises():
+    t = make_table()
+    with pytest.raises(StorageError):
+        t.column("ghost")

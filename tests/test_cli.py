@@ -1,0 +1,88 @@
+"""CLI smoke tests (in-process, no subprocess)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, format_rows, main, make_engine, repl
+
+
+def test_one_shot_execute(capsys):
+    code = main(
+        ["--scale", "0.0004", "-e", "SELECT COUNT(*) FROM owner", "--no-jits"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1 row(s)" in out
+    assert "col0" in out
+
+
+def test_one_shot_explain(capsys):
+    code = main(
+        [
+            "--scale", "0.0004", "--explain",
+            "-e", "SELECT o.name FROM car c, owner o WHERE c.ownerid = o.id",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Join" in out or "Scan" in out
+
+
+def test_one_shot_dml_and_error(capsys):
+    code = main(
+        [
+            "--scale", "0.0004", "--no-jits",
+            "-e", "DELETE FROM accidents WHERE id < 5",
+            "-e", "SELECT bogus FROM owner",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "delete:" in out
+    assert "error:" in out
+
+
+def test_jits_note_printed(capsys):
+    code = main(
+        [
+            "--scale", "0.0004", "--smax", "0.0",
+            "-e", "SELECT id FROM car WHERE make = 'Toyota'",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[jits] sampled car" in out
+
+
+def test_format_rows_truncates():
+    text = format_rows(["a"], [(i,) for i in range(30)], limit=5)
+    assert "more rows" in text
+    assert text.splitlines()[0].strip() == "a"
+
+
+def test_format_rows_empty():
+    assert format_rows(["a"], []) == "(no rows)"
+
+
+def test_repl_commands():
+    args = build_parser().parse_args(["--scale", "0.0004", "--no-jits"])
+    engine = make_engine(args)
+    stdin = io.StringIO(
+        "\\help\n"
+        "\\tables\n"
+        "\\stats\n"
+        "SELECT COUNT(*)\n"
+        "FROM car;\n"
+        "\\explain SELECT id FROM owner;\n"
+        "\\bogus\n"
+        "\\q\n"
+    )
+    out = io.StringIO()
+    repl(engine, stdin, out)
+    text = out.getvalue()
+    assert "car (" in text
+    assert "jits enabled=False" in text
+    assert "1 row(s)" in text
+    assert "SeqScan" in text
+    assert "unknown command" in text

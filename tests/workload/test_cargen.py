@@ -1,0 +1,123 @@
+"""Car database generator: sizes, keys, correlations."""
+
+import numpy as np
+import pytest
+
+from repro.workload import PAPER_SIZES, build_car_database, scaled_sizes
+from repro.workload.cargen import CITIES, MAKES_MODELS
+
+
+@pytest.fixture(scope="module")
+def cardb():
+    return build_car_database(scale=0.004, seed=1)
+
+
+def test_paper_table2_sizes():
+    assert PAPER_SIZES == {
+        "car": 1_430_798,
+        "owner": 1_000_000,
+        "demographics": 1_000_000,
+        "accidents": 4_289_980,
+    }
+
+
+def test_scaled_sizes_proportional(cardb):
+    db, profile = cardb
+    sizes = scaled_sizes(0.004)
+    for name, expected in sizes.items():
+        assert db.table(name).row_count == expected
+        assert abs(expected - PAPER_SIZES[name] * 0.004) <= 1
+
+
+def test_scaled_sizes_floor():
+    assert min(scaled_sizes(1e-9).values()) >= 20
+
+
+def test_primary_keys_unique(cardb):
+    db, _ = cardb
+    for name in db.table_names():
+        ids = db.table(name).column_data("id")
+        assert len(np.unique(ids)) == len(ids)
+
+
+def test_foreign_keys_valid(cardb):
+    db, _ = cardb
+    n_owner = db.table("owner").row_count
+    n_car = db.table("car").row_count
+    assert db.table("car").column_data("ownerid").max() < n_owner
+    assert db.table("demographics").column_data("ownerid").max() < n_owner
+    assert db.table("accidents").column_data("carid").max() < n_car
+
+
+def test_make_model_functional_dependency(cardb):
+    """Every model belongs to exactly the advertised make — the paper's
+    Make <-> Model correlation."""
+    db, _ = cardb
+    car = db.table("car")
+    makes = car.column("make").logical_values()
+    models = car.column("model").logical_values()
+    for make, model in zip(makes, models):
+        assert model in MAKES_MODELS[make]
+
+
+def test_city_country_functional_dependency(cardb):
+    db, _ = cardb
+    demo = db.table("demographics")
+    cities = demo.column("city").logical_values()
+    countries = demo.column("country").logical_values()
+    for city, country in zip(cities, countries):
+        assert CITIES[city][0] == country
+
+
+def test_salary_correlates_with_city(cardb):
+    db, _ = cardb
+    demo = db.table("demographics")
+    cities = np.array(demo.column("city").logical_values())
+    salary = demo.column_data("salary")
+    rich = salary[cities == "NewYork"].mean()
+    poor = salary[cities == "Montreal"].mean()
+    assert rich > poor
+
+
+def test_severity_damage_correlation(cardb):
+    db, _ = cardb
+    acc = db.table("accidents")
+    severity = acc.column_data("severity")
+    damage = acc.column_data("damage")
+    assert damage[severity >= 4].mean() > 2 * damage[severity <= 2].mean()
+
+
+def test_price_correlates_with_make(cardb):
+    db, _ = cardb
+    car = db.table("car")
+    makes = np.array(car.column("make").logical_values())
+    price = car.column_data("price")
+    if (makes == "BMW").sum() and (makes == "Hyundai").sum():
+        assert price[makes == "BMW"].mean() > price[makes == "Hyundai"].mean()
+
+
+def test_indexes_created(cardb):
+    db, _ = cardb
+    assert db.indexes("car").hash_on("ownerid") is not None
+    assert db.indexes("accidents").hash_on("carid") is not None
+    assert db.indexes("demographics").sorted_on("salary") is not None
+
+
+def test_deterministic_for_seed():
+    db1, _ = build_car_database(scale=0.001, seed=9)
+    db2, _ = build_car_database(scale=0.001, seed=9)
+    assert np.array_equal(
+        db1.table("car").column_data("price"), db2.table("car").column_data("price")
+    )
+    db3, _ = build_car_database(scale=0.001, seed=10)
+    assert not np.array_equal(
+        db1.table("car").column_data("price"), db3.table("car").column_data("price")
+    )
+
+
+def test_profile_metadata(cardb):
+    _, profile = cardb
+    assert profile.scale == 0.004
+    assert "Toyota" in profile.makes
+    assert "Camry" in profile.models_by_make["Toyota"]
+    assert profile.country_of_city["Ottawa"] == "CA"

@@ -1,0 +1,105 @@
+"""Workload generator: shape, determinism, executability."""
+
+import pytest
+
+from repro.sql import ast, parse
+from repro.workload import (
+    WorkloadOptions,
+    build_car_database,
+    generate_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    _, profile = build_car_database(scale=0.002, seed=0)
+    return profile
+
+
+def test_default_statement_count(profile):
+    workload = generate_workload(profile)
+    assert len(workload) == 840  # the paper's workload size
+
+
+def test_mix_has_selects_and_dml(profile):
+    workload = generate_workload(
+        profile, WorkloadOptions(n_statements=400, seed=1)
+    )
+    kinds = set(workload.kinds)
+    assert "select" in kinds
+    assert {"update", "insert", "delete"} & kinds
+    n_select = len(workload.selects())
+    assert 0.7 < n_select / len(workload) < 0.95
+
+
+def test_every_statement_parses(profile):
+    workload = generate_workload(
+        profile, WorkloadOptions(n_statements=300, seed=2)
+    )
+    for sql in workload.statements:
+        parse(sql)
+
+
+def test_deterministic_by_seed(profile):
+    a = generate_workload(profile, WorkloadOptions(n_statements=50, seed=5))
+    b = generate_workload(profile, WorkloadOptions(n_statements=50, seed=5))
+    c = generate_workload(profile, WorkloadOptions(n_statements=50, seed=6))
+    assert a.statements == b.statements
+    assert a.statements != c.statements
+
+
+def test_consistent_pairs_fraction(profile):
+    from repro.workload.cargen import MAKES_MODELS
+
+    workload = generate_workload(
+        profile,
+        WorkloadOptions(n_statements=600, seed=3, consistent_pair_fraction=1.0),
+    )
+    for sql in workload.selects():
+        if "c.make = '" in sql and "c.model = '" in sql:
+            make = sql.split("c.make = '")[1].split("'")[0]
+            model = sql.split("c.model = '")[1].split("'")[0]
+            assert model in MAKES_MODELS[make]
+
+
+def test_inconsistent_pairs_occur(profile):
+    from repro.workload.cargen import MAKES_MODELS
+
+    workload = generate_workload(
+        profile,
+        WorkloadOptions(n_statements=600, seed=3, consistent_pair_fraction=0.0),
+    )
+    mismatches = 0
+    for sql in workload.selects():
+        if "c.make = '" in sql and "c.model = '" in sql:
+            make = sql.split("c.make = '")[1].split("'")[0]
+            model = sql.split("c.model = '")[1].split("'")[0]
+            if model not in MAKES_MODELS[make]:
+                mismatches += 1
+    assert mismatches > 0
+
+
+def test_insert_ids_monotone(profile):
+    workload = generate_workload(
+        profile, WorkloadOptions(n_statements=500, seed=4, dml_fraction=0.5)
+    )
+    seen = []
+    for sql, kind in zip(workload.statements, workload.kinds):
+        if kind == "insert" and "INTO accidents" in sql:
+            stmt = parse(sql)
+            assert isinstance(stmt, ast.InsertStatement)
+            seen.extend(row[0].value for row in stmt.rows)
+    assert seen == sorted(seen)
+    assert len(seen) == len(set(seen))
+
+
+def test_paper_query_template_present(profile):
+    workload = generate_workload(
+        profile, WorkloadOptions(n_statements=400, seed=7)
+    )
+    four_way = [
+        s
+        for s in workload.selects()
+        if "car c, accidents a, demographics d, owner o" in s
+    ]
+    assert four_way  # the Section 4.1 query shape appears

@@ -1,0 +1,61 @@
+"""Reporting helpers: five-number summaries, scatter splits, tables."""
+
+import pytest
+
+from repro.workload import BoxStats, ScatterSplit, ascii_box_plot, format_table
+
+
+def test_box_stats_basic():
+    stats = BoxStats.of([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert stats.minimum == 1.0
+    assert stats.median == 3.0
+    assert stats.maximum == 5.0
+    assert stats.q1 == 2.0
+    assert stats.q3 == 4.0
+
+
+def test_box_stats_empty():
+    stats = BoxStats.of([])
+    assert stats.row() == (0, 0, 0, 0, 0)
+
+
+def test_box_stats_row_scaling():
+    stats = BoxStats.of([0.5])
+    assert stats.row(unit=1000.0) == (500, 500, 500, 500, 500)
+
+
+def test_scatter_split_counts():
+    baseline = [1.0, 1.0, 1.0, 1.0]
+    candidate = [0.5, 2.0, 1.0, 0.9]
+    split = ScatterSplit.of(candidate, baseline)
+    assert split.improved == 2  # 0.5 and 0.9
+    assert split.degraded == 1  # 2.0
+    assert split.unchanged == 1
+    assert split.improvement_fraction == pytest.approx(0.5)
+
+
+def test_scatter_split_totals_and_ratio():
+    split = ScatterSplit.of([1.0, 1.0], [2.0, 2.0])
+    assert split.total_candidate == 2.0
+    assert split.total_baseline == 4.0
+    assert split.mean_ratio == pytest.approx(0.5)
+
+
+def test_scatter_split_length_mismatch():
+    with pytest.raises(ValueError):
+        ScatterSplit.of([1.0], [1.0, 2.0])
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.5], ["long-name", 22.25]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0] and "value" in lines[0]
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_ascii_box_plot_renders():
+    stats = [BoxStats.of([1, 2, 3]), BoxStats.of([2, 4, 8])]
+    art = ascii_box_plot(["fast", "slow"], stats, width=40)
+    assert "fast" in art and "slow" in art
+    assert "|" in art  # median markers

@@ -1,0 +1,58 @@
+"""run_all_settings and report aggregates on a tiny workload."""
+
+import pytest
+
+from repro.workload import (
+    Setting,
+    WorkloadOptions,
+    build_car_database,
+    generate_workload,
+    run_all_settings,
+    summarize_settings,
+)
+
+
+@pytest.fixture(scope="module")
+def all_reports():
+    _, profile = build_car_database(scale=0.001, seed=1)
+    workload = generate_workload(
+        profile, WorkloadOptions(n_statements=25, seed=9)
+    )
+    return run_all_settings(workload, scale=0.001, data_seed=1)
+
+
+def test_all_settings_present(all_reports):
+    assert set(all_reports) == set(Setting)
+    for setting, report in all_reports.items():
+        assert report.setting == setting.value
+        assert report.records
+
+
+def test_summary_renders_all_settings(all_reports):
+    text = summarize_settings(all_reports)
+    for setting in Setting:
+        assert setting.value in text
+    assert "median" in text
+
+
+def test_report_aggregates_consistent(all_reports):
+    report = all_reports[Setting.GENERAL]
+    selects = report.select_records()
+    assert report.avg_total == pytest.approx(
+        sum(r.total_time for r in selects) / len(selects)
+    )
+    assert report.avg_compile <= report.avg_total
+    assert report.total_modeled_cost == pytest.approx(
+        sum(report.select_modeled_costs())
+    )
+
+
+def test_empty_report_aggregates():
+    from repro.workload.runner import WorkloadRunReport
+
+    empty = WorkloadRunReport(setting="x")
+    assert empty.avg_total == 0.0
+    assert empty.avg_compile == 0.0
+    assert empty.avg_execution == 0.0
+    assert empty.elapsed == 0.0
+    assert empty.select_totals() == []
