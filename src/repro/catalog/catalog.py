@@ -28,6 +28,10 @@ class SystemCatalog:
 
     def __init__(self) -> None:
         self._profiles: Dict[str, TableProfile] = {}
+        # Bumped on every statistics write; consumers (the engine's plan
+        # cache) key on it so plans built against superseded statistics
+        # are recompiled.
+        self.version = 0
 
     def _profile(self, table: str) -> TableProfile:
         return self._profiles.setdefault(table.lower(), TableProfile())
@@ -36,6 +40,7 @@ class SystemCatalog:
     # Table statistics
     # ------------------------------------------------------------------
     def set_table_stats(self, stats: TableStatistics) -> None:
+        self.version += 1
         self._profile(stats.table).table_stats = stats
 
     def table_stats(self, table: str) -> Optional[TableStatistics]:
@@ -46,6 +51,7 @@ class SystemCatalog:
     # Column statistics
     # ------------------------------------------------------------------
     def set_column_stats(self, table: str, stats: ColumnStatistics) -> None:
+        self.version += 1
         self._profile(table).column_stats[stats.column.lower()] = stats
 
     def column_stats(self, table: str, column: str) -> Optional[ColumnStatistics]:
@@ -70,6 +76,7 @@ class SystemCatalog:
                 "column-group statistics need at least two columns; "
                 "single columns belong in column statistics"
             )
+        self.version += 1
         self._profile(stats.table).group_stats[key] = stats
 
     def group_stats(
@@ -90,9 +97,11 @@ class SystemCatalog:
     # Maintenance
     # ------------------------------------------------------------------
     def clear_table(self, table: str) -> None:
+        self.version += 1
         self._profiles.pop(table.lower(), None)
 
     def clear(self) -> None:
+        self.version += 1
         self._profiles.clear()
 
     def has_any_stats(self, table: str) -> bool:

@@ -42,6 +42,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="sensitivity threshold s_max (default 0.5)",
     )
     parser.add_argument(
+        "--fastpath", action="store_true",
+        help="enable the full compilation fast path (adds the plan cache)",
+    )
+    parser.add_argument(
+        "--no-caches", action="store_true",
+        help="disable the sample/mask caches and deferred calibration",
+    )
+    parser.add_argument(
         "-e", "--execute", metavar="SQL", action="append",
         help="execute one statement and exit (repeatable)",
     )
@@ -54,11 +62,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def make_engine(args: argparse.Namespace) -> Engine:
     db, _ = build_car_database(scale=args.scale, seed=args.seed)
-    config = (
-        EngineConfig.traditional()
-        if args.no_jits
-        else EngineConfig.with_jits(s_max=args.smax)
-    )
+    if args.no_jits:
+        config = EngineConfig.traditional()
+    else:
+        config = EngineConfig.with_jits(
+            s_max=args.smax,
+            plan_cache_enabled=getattr(args, "fastpath", False),
+        )
+        if getattr(args, "no_caches", False):
+            config.jits.sample_cache_enabled = False
+            config.jits.mask_cache_enabled = False
+            config.jits.deferred_calibration = False
     return Engine(db, config)
 
 
@@ -101,6 +115,8 @@ def run_statement(engine: Engine, sql: str, explain: bool, out) -> None:
                 f"{result.execution_time * 1000:.2f} ms\n"
             )
             report = result.jits_report
+            if report is not None and report.plan_cache_hit:
+                out.write("[plan cache] hit — compilation skipped\n")
             if report is not None and report.tables_collected:
                 out.write(
                     f"[jits] sampled {', '.join(report.tables_collected)}; "
@@ -126,6 +142,27 @@ def print_stats(engine: Engine, out) -> None:
         f"residual stats={len(jits.residual_store)}\n"
         f"migrations={jits.total_migrations}\n"
     )
+    if jits.sample_cache is not None:
+        sc = jits.sample_cache
+        out.write(
+            f"sample cache: {sc.hits} hit(s), {sc.misses} miss(es), "
+            f"{sc.invalidations} invalidation(s)\n"
+        )
+    if jits.mask_cache is not None:
+        mc = jits.mask_cache
+        out.write(
+            f"mask cache: {mc.hits} hit(s), {mc.misses} miss(es), "
+            f"{len(mc)} entry(ies)\n"
+        )
+    out.write(
+        f"deferred recalibrations={jits.archive.deferred_recalibrations}\n"
+    )
+    if engine.plan_cache is not None:
+        pc = engine.plan_cache
+        out.write(
+            f"plan cache: {pc.hits} hit(s), {pc.misses} miss(es), "
+            f"{pc.invalidations} invalidation(s), {len(pc)} plan(s)\n"
+        )
 
 
 def print_tables(engine: Engine, out) -> None:
@@ -179,7 +216,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     out = sys.stdout
     out.write(f"building car database (scale={args.scale}) ...\n")
-    engine = make_engine(args)
+    try:
+        engine = make_engine(args)
+    except ReproError as exc:
+        out.write(f"error: {exc}\n")
+        return 1
     sizes = ", ".join(
         f"{t.name}={t.row_count}" for t in engine.database.tables()
     )

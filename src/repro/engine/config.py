@@ -5,6 +5,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from ..errors import ReproError
 from ..jits import JITSConfig
 from ..rng import DEFAULT_SEED
 
@@ -27,6 +28,29 @@ class EngineConfig:
     # "total time ... also includes the fetch time, which is the same in
     # all cases". Wall-clock decode time is added on top.
     fetch_overhead: float = 0.0
+    # Plan cache (the top of the compilation fast path). Off by default:
+    # a cached plan skips the whole JITS pipeline, so workloads that study
+    # per-query statistics collection should not silently stop collecting.
+    plan_cache_enabled: bool = False
+    plan_cache_size: int = 64
+    # Fraction of a table's cardinality worth of UDI activity that moves
+    # the table into a new statistics epoch (and invalidates cached plans
+    # referencing it).
+    plan_staleness: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.plan_cache_size <= 0:
+            raise ReproError(
+                f"plan_cache_size must be positive, got {self.plan_cache_size}"
+            )
+        if self.plan_staleness <= 0.0:
+            raise ReproError(
+                f"plan_staleness must be positive, got {self.plan_staleness}"
+            )
+        if self.fetch_overhead < 0.0:
+            raise ReproError(
+                f"fetch_overhead must be >= 0, got {self.fetch_overhead}"
+            )
 
     @staticmethod
     def traditional() -> "EngineConfig":
@@ -40,6 +64,7 @@ class EngineConfig:
         always_collect: bool = False,
         materialize_enabled: bool = True,
         migration_interval: int = 50,
+        plan_cache_enabled: bool = False,
     ) -> "EngineConfig":
         return EngineConfig(
             jits=JITSConfig(
@@ -49,5 +74,20 @@ class EngineConfig:
                 always_collect=always_collect,
                 materialize_enabled=materialize_enabled,
                 migration_interval=migration_interval,
-            )
+            ),
+            plan_cache_enabled=plan_cache_enabled,
+        )
+
+    @staticmethod
+    def fastpath(
+        s_max: float = 0.5,
+        sample_size: int = 2000,
+        migration_interval: int = 50,
+    ) -> "EngineConfig":
+        """JITS with every compilation cache turned on, plan cache included."""
+        return EngineConfig.with_jits(
+            s_max=s_max,
+            sample_size=sample_size,
+            migration_interval=migration_interval,
+            plan_cache_enabled=True,
         )

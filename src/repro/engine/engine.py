@@ -23,7 +23,12 @@ from ..errors import BindingError, ExecutionError, ReproError
 from ..executor import PlanExecutor, collect_feedback
 from ..executor.expr import eval_expr
 from ..executor.vector import Batch, batch_from_table
-from ..jits import JustInTimeStatistics, analyze_query
+from ..jits import (
+    CompilationReport,
+    JustInTimeStatistics,
+    analyze_query,
+    table_stats_epoch,
+)
 from ..optimizer import Optimizer, StatsContext
 from ..predicates import group_mask
 from ..rng import make_rng
@@ -33,6 +38,7 @@ from ..sql.qgm import QueryBlock
 from ..storage import Database
 from ..types import DataType
 from .config import EngineConfig, StatsMode
+from .plancache import PlanCache
 from .result import PHASE_COMPILE, PHASE_EXECUTE, PHASE_FETCH, QueryResult
 
 
@@ -50,6 +56,11 @@ class Engine:
         self.rng = make_rng(self.config.seed)
         self.jits = JustInTimeStatistics(
             self.database, self.catalog, self.config.jits, self.rng
+        )
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(self.config.plan_cache_size)
+            if self.config.plan_cache_enabled
+            else None
         )
         self.clock = 0  # logical statement counter
         self.statements_executed = 0
@@ -78,8 +89,9 @@ class Engine:
         elif isinstance(statement, ast.DropTableStatement):
             self.database.drop_table(statement.table)
             self.catalog.clear_table(statement.table)
-            self.jits.archive.drop_table(statement.table)
-            self.jits.residual_store.drop_table(statement.table)
+            self.jits.drop_table(statement.table)
+            if self.plan_cache is not None:
+                self.plan_cache.drop_table(statement.table)
             result = QueryResult(
                 statement_type="ddl", timings={PHASE_COMPILE: parse_time}
             )
@@ -88,6 +100,9 @@ class Engine:
                 self.database.create_sorted_index(statement.table, statement.column)
             else:
                 self.database.create_hash_index(statement.table, statement.column)
+            # New access paths change what the optimizer would pick.
+            if self.plan_cache is not None:
+                self.plan_cache.clear()
             result = QueryResult(
                 statement_type="ddl", timings={PHASE_COMPILE: parse_time}
             )
@@ -121,13 +136,66 @@ class Engine:
             now=self.clock,
         )
 
+    def _statement_tables(
+        self, statement: ast.SelectStatement
+    ) -> Optional[Tuple[str, ...]]:
+        """Every base table under a SELECT, or None if one is unknown."""
+        names: List[str] = []
+        stack: List[ast.SelectStatement] = [statement]
+        while stack:
+            select = stack.pop()
+            for item in select.from_items:
+                if isinstance(item, ast.TableRef):
+                    name = item.name.lower()
+                    if not self.database.has_table(name):
+                        return None
+                    names.append(name)
+                elif isinstance(item, ast.DerivedTable):
+                    stack.append(item.select)
+                else:  # unknown FROM shape: treat as uncacheable
+                    return None
+        return tuple(sorted(set(names)))
+
+    def _plan_fingerprint(self, tables: Tuple[str, ...]) -> Tuple:
+        """Statistics the optimizer would consume for these tables, coarsened
+        to epochs: the cached plan stays valid until one of them moves."""
+        parts: List[Tuple] = [("catalog", self.catalog.version)]
+        if self.config.jits.enabled:
+            parts.append(("archive", self.jits.archive.version))
+        for name in tables:
+            table = self.database.table(name)
+            step = int(self.config.plan_staleness * max(table.row_count, 1))
+            parts.append((name, table_stats_epoch(table, step)))
+        return tuple(parts)
+
     def _execute_select(
         self, statement: ast.SelectStatement, parse_time: float
     ) -> QueryResult:
         compile_started = time.perf_counter()
-        block = build_query_graph(statement, self.database)
-        profile, jits_report = self.jits.before_optimize(block, self.clock)
-        optimized = Optimizer(self._stats_context(profile)).optimize(block)
+        optimized = None
+        template = fingerprint = tables = None
+        if self.plan_cache is not None:
+            # AST nodes are plain dataclasses, so repr() is a value-based
+            # normal form of the parsed query — the cache template.
+            tables = self._statement_tables(statement)
+            if tables is not None:
+                template = repr(statement)
+                fingerprint = self._plan_fingerprint(tables)
+                optimized = self.plan_cache.lookup(template, fingerprint)
+        if optimized is not None:
+            # Fast path: the statistics this plan was costed with have not
+            # moved, so the QGM/JITS/optimizer pipeline is skipped entirely.
+            jits_report = CompilationReport(plan_cache_hit=True)
+        else:
+            block = build_query_graph(statement, self.database)
+            profile, jits_report = self.jits.before_optimize(block, self.clock)
+            optimized = Optimizer(self._stats_context(profile)).optimize(block)
+            if self.plan_cache is not None and template is not None:
+                # Re-fingerprint after compiling: collection may have bumped
+                # the catalog/archive versions, and the plan reflects that.
+                self.plan_cache.store(
+                    template, self._plan_fingerprint(tables), optimized, tables
+                )
         compile_time = parse_time + (time.perf_counter() - compile_started)
 
         execute_started = time.perf_counter()

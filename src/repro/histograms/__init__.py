@@ -11,6 +11,7 @@ from .grid import (
 )
 from .intervals import FULL, INF, Interval, Region, hull
 from .maxent import (
+    CalibrationPlan,
     CellConstraint,
     iterative_scaling,
     make_constraints,
@@ -31,6 +32,7 @@ __all__ = [
     "domain_for_values",
     "DEFAULT_MAX_BOUNDARIES",
     "DEFAULT_MAX_CONSTRAINTS",
+    "CalibrationPlan",
     "CellConstraint",
     "iterative_scaling",
     "make_constraints",

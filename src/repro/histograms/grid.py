@@ -26,8 +26,8 @@ import numpy as np
 from ..errors import StatisticsError
 from .intervals import Interval, Region
 from .maxent import (
+    CalibrationPlan,
     CellConstraint,
-    iterative_scaling,
     uniformity_deviation,
 )
 
@@ -84,6 +84,13 @@ class AdaptiveGridHistogram:
         self.created_at = now
         self.last_used = now
         self._sequence = 0
+        # True while deferred observations await a recalibration pass.
+        self.dirty = False
+        # Bumped whenever the cell grid changes shape (boundary insert,
+        # merge, domain extension); keys the cell-membership cache below.
+        self._grid_version = 0
+        self._cells_cache: dict = {}
+        self._cells_cache_version = -1
 
     @classmethod
     def from_data(
@@ -229,6 +236,7 @@ class AdaptiveGridHistogram:
         count: float,
         total: Optional[float] = None,
         now: int = 0,
+        calibrate_now: bool = True,
     ) -> None:
         """Fold in an observed fact ``count(region) == count``.
 
@@ -236,7 +244,10 @@ class AdaptiveGridHistogram:
         and becomes/refreshes the whole-domain constraint. Boundaries are
         inserted for every finite region endpoint, old mass is split
         uniformly, then iterative scaling recalibrates all retained
-        constraints.
+        constraints. With ``calibrate_now=False`` the scaling pass is
+        deferred: the constraint is recorded, the histogram is marked
+        dirty, and a later :meth:`recalibrate` satisfies the whole batch
+        in one pass.
         """
         self._check_ndim(region)
         if count < 0:
@@ -281,10 +292,20 @@ class AdaptiveGridHistogram:
             )
         )
         self._retire_constraints()
-        self._calibrate()
+        if calibrate_now:
+            self._calibrate()
+        else:
+            self.dirty = True
         self._stamp(clipped, now)
         self._merge_to_budget()
         self.last_used = max(self.last_used, now)
+
+    def recalibrate(self) -> bool:
+        """Run the deferred max-entropy pass; True if anything was dirty."""
+        if not self.dirty:
+            return False
+        self._calibrate()
+        return True
 
     def touch(self, now: int) -> None:
         """Record optimizer use (drives the archive's LRU eviction)."""
@@ -313,8 +334,10 @@ class AdaptiveGridHistogram:
             b = self.boundaries[d]
             if not math.isinf(iv.low) and iv.low < b[0]:
                 b[0] = iv.low
+                self._grid_version += 1
             if not math.isinf(iv.high) and iv.high > b[-1]:
                 b[-1] = iv.high
+                self._grid_version += 1
 
     def _insert_boundary(self, dim: int, value: float) -> None:
         if math.isinf(value):
@@ -328,6 +351,7 @@ class AdaptiveGridHistogram:
         cell = pos - 1
         width = b[pos] - b[cell]
         fraction = (value - b[cell]) / width
+        self._grid_version += 1
         self.boundaries[dim] = np.insert(b, pos, value)
         slab_counts = np.take(self.counts, cell, axis=dim)
         slab_stamps = np.take(self.timestamps, cell, axis=dim)
@@ -391,6 +415,40 @@ class AdaptiveGridHistogram:
         mask[tuple(slices)] = True
         return mask
 
+    def _region_cells(self, region: Region) -> np.ndarray:
+        """Flat indices of the cells an aligned region covers.
+
+        Computed from per-dimension cell ranges with stride arithmetic —
+        no full-grid boolean mask — and memoized per grid version, since
+        repeated recalibrations against an unchanged grid keep asking for
+        the same memberships (the CSR arrays of the fast path).
+        """
+        if self._cells_cache_version != self._grid_version:
+            self._cells_cache = {}
+            self._cells_cache_version = self._grid_version
+        cached = self._cells_cache.get(region)
+        if cached is not None:
+            return cached
+        shape = self.counts.shape
+        strides = np.empty(self.ndim, dtype=np.int64)
+        strides[-1] = 1
+        for d in range(self.ndim - 2, -1, -1):
+            strides[d] = strides[d + 1] * shape[d + 1]
+        flat = np.zeros(1, dtype=np.int64)
+        for d in range(self.ndim):
+            iv = region.intervals[d].intersect(self.domain.intervals[d])
+            if iv.is_empty:
+                flat = np.empty(0, dtype=np.int64)
+                break
+            i0, i1 = self._region_cell_range(d, iv)
+            if i1 <= i0:
+                flat = np.empty(0, dtype=np.int64)
+                break
+            axis = np.arange(i0, i1, dtype=np.int64) * strides[d]
+            flat = (flat[:, None] + axis[None, :]).ravel()
+        self._cells_cache[region] = flat
+        return flat
+
     def _calibrate(self) -> None:
         constraints = (
             self.constraints
@@ -401,16 +459,16 @@ class AdaptiveGridHistogram:
         for c in constraints:
             if not self._is_aligned(c.region):
                 continue
-            mask = self._region_mask(c.region)
-            cells = np.flatnonzero(mask.ravel())
+            cells = self._region_cells(c.region)
             if len(cells) == 0:
                 continue
             cell_constraints.append(
                 CellConstraint(cells=cells, target=c.target, sequence=c.sequence)
             )
+        self.dirty = False
         if not cell_constraints:
             return
-        flat, _ = iterative_scaling(self.counts.ravel(), cell_constraints)
+        flat, _ = CalibrationPlan(cell_constraints).run(self.counts.ravel())
         self.counts = flat.reshape(self.counts.shape)
 
     def _retire_constraints(self) -> None:
@@ -460,6 +518,7 @@ class AdaptiveGridHistogram:
         self.timestamps = np.delete(self.timestamps, cell + 1, axis=dim)
         self.counts[self._axis_slice(dim, cell)] = merged_counts
         self.timestamps[self._axis_slice(dim, cell)] = merged_stamps
+        self._grid_version += 1
         self.boundaries[dim] = np.delete(b, j)
         # Constraints that referenced the removed boundary no longer align
         # with the grid; drop them rather than approximate.

@@ -38,6 +38,93 @@ class CellConstraint:
             raise StatisticsError("constraint target must be non-negative")
 
 
+class CalibrationPlan:
+    """A constraint set precompiled for repeated IPF passes.
+
+    Sorting, validating and re-materializing per-constraint index arrays on
+    every calibration dominates the cost of small sweeps, so the plan
+    compiles the set once into CSR-style membership arrays — one
+    concatenated cell-index vector plus per-constraint offsets and targets
+    — and :meth:`run` replays the sweep against any counts vector with no
+    per-call Python object churn. Sweep semantics are exactly those of
+    :func:`iterative_scaling` (which delegates here).
+    """
+
+    def __init__(
+        self,
+        constraints: Sequence[CellConstraint],
+        max_iterations: int = 16,
+        tolerance: float = 4e-3,
+    ):
+        # Zero-target constraints are absorbing (scaled zeros stay zero),
+        # so they go first; every later constraint can still be satisfied
+        # by scaling the remaining cells. Others apply oldest-to-newest.
+        ordered = sorted(
+            constraints, key=lambda c: (c.target != 0.0, c.sequence)
+        )
+        self.n_constraints = len(ordered)
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.targets = np.array([c.target for c in ordered], dtype=np.float64)
+        sizes = np.array([len(c.cells) for c in ordered], dtype=np.int64)
+        self.indptr = np.zeros(len(ordered) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self.indptr[1:])
+        if ordered:
+            self.indices = np.concatenate(
+                [np.asarray(c.cells, dtype=np.int64) for c in ordered]
+            )
+        else:
+            self.indices = np.empty(0, dtype=np.int64)
+
+    def _cells(self, i: int) -> np.ndarray:
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def run(self, counts: np.ndarray) -> Tuple[np.ndarray, bool]:
+        """One full IPF solve; returns ``(new_counts, converged)``.
+
+        ``counts`` is not modified. Cells inside a positive-target
+        constraint that currently carry zero mass are seeded with
+        :data:`EPSILON_MASS` — multiplicative scaling can never create
+        mass out of nothing otherwise.
+        """
+        result = np.asarray(counts, dtype=np.float64).copy()
+        if result.ndim != 1:
+            raise StatisticsError("iterative_scaling works on flat cell arrays")
+        if np.any(result < 0):
+            raise StatisticsError("cell counts must be non-negative")
+        if self.n_constraints == 0:
+            return result, True
+
+        for i in range(self.n_constraints):
+            cells = self._cells(i)
+            if self.targets[i] > 0 and len(cells) > 0 and result[cells].sum() <= 0:
+                result[cells] = EPSILON_MASS
+
+        converged = False
+        for _ in range(self.max_iterations):
+            worst = 0.0
+            for i in range(self.n_constraints):
+                cells = self._cells(i)
+                if len(cells) == 0:
+                    continue
+                target = self.targets[i]
+                current = result[cells].sum()
+                if target == 0.0:
+                    result[cells] = 0.0
+                    continue
+                if current <= 0.0:
+                    result[cells] = target / len(cells)
+                    worst = np.inf
+                    continue
+                ratio = target / current
+                result[cells] *= ratio
+                worst = max(worst, abs(ratio - 1.0))
+            if worst <= self.tolerance:
+                converged = True
+                break
+        return result, converged
+
+
 def iterative_scaling(
     counts: np.ndarray,
     constraints: Sequence[CellConstraint],
@@ -46,51 +133,11 @@ def iterative_scaling(
 ) -> Tuple[np.ndarray, bool]:
     """Scale ``counts`` multiplicatively until all constraints hold.
 
-    Returns ``(new_counts, converged)``. ``counts`` is not modified.
-
-    Cells inside a positive-target constraint that currently carry zero
-    mass are seeded with :data:`EPSILON_MASS` — multiplicative scaling can
-    never create mass out of nothing otherwise.
+    Returns ``(new_counts, converged)``. ``counts`` is not modified. This
+    is the one-shot entry point; callers that re-satisfy the same
+    constraint set repeatedly should hold a :class:`CalibrationPlan`.
     """
-    result = np.asarray(counts, dtype=np.float64).copy()
-    if result.ndim != 1:
-        raise StatisticsError("iterative_scaling works on flat cell arrays")
-    if np.any(result < 0):
-        raise StatisticsError("cell counts must be non-negative")
-    # Zero-target constraints are absorbing (scaled zeros stay zero), so
-    # they go first; every later constraint can still be satisfied by
-    # scaling the remaining cells. Others apply oldest-to-newest.
-    ordered = sorted(
-        constraints, key=lambda c: (c.target != 0.0, c.sequence)
-    )
-    if not ordered:
-        return result, True
-
-    for c in ordered:
-        if c.target > 0 and len(c.cells) > 0 and result[c.cells].sum() <= 0:
-            result[c.cells] = EPSILON_MASS
-
-    converged = False
-    for _ in range(max_iterations):
-        worst = 0.0
-        for c in ordered:
-            if len(c.cells) == 0:
-                continue
-            current = result[c.cells].sum()
-            if c.target == 0.0:
-                result[c.cells] = 0.0
-                continue
-            if current <= 0.0:
-                result[c.cells] = c.target / len(c.cells)
-                worst = np.inf
-                continue
-            ratio = c.target / current
-            result[c.cells] *= ratio
-            worst = max(worst, abs(ratio - 1.0))
-        if worst <= tolerance:
-            converged = True
-            break
-    return result, converged
+    return CalibrationPlan(constraints, max_iterations, tolerance).run(counts)
 
 
 def max_abs_violation(

@@ -41,13 +41,23 @@ class QSSArchive:
         cell_budget: int = DEFAULT_CELL_BUDGET,
         max_boundaries_per_dim: int = 24,
         calibrate: bool = True,
+        deferred_calibration: bool = False,
     ):
         self.database = database
         self.cell_budget = cell_budget
         self.max_boundaries_per_dim = max_boundaries_per_dim
         self.calibrate = calibrate  # ablation: max-entropy IPF on/off
+        # Fast path: observe() only records constraints and marks the
+        # histogram dirty; the IPF pass runs batched at tick()/migration
+        # boundaries (or lazily on the first lookup of a dirty histogram).
+        self.deferred_calibration = deferred_calibration
         self._entries: Dict[Tuple[str, ColumnGroup], ArchiveEntry] = {}
+        self._dirty: set = set()
         self.evictions = 0
+        # Bumped on every observe; plan caches key on it so cached plans
+        # are invalidated when new QSS land.
+        self.version = 0
+        self.deferred_recalibrations = 0
 
     # ------------------------------------------------------------------
     # Lookup
@@ -55,8 +65,16 @@ class QSSArchive:
     def lookup(
         self, table: str, columns: Iterable[str]
     ) -> Optional[AdaptiveGridHistogram]:
-        entry = self._entries.get(self._key(table, columns))
-        return entry.histogram if entry else None
+        key = self._key(table, columns)
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if key in self._dirty:
+            # Readers always see calibrated counts, even between batches.
+            self._dirty.discard(key)
+            if entry.histogram.recalibrate():
+                self.deferred_recalibrations += 1
+        return entry.histogram
 
     def mark_used(self, table: str, columns: Iterable[str], now: int) -> None:
         entry = self._entries.get(self._key(table, columns))
@@ -102,9 +120,29 @@ class QSSArchive:
             )
             entry = ArchiveEntry(table=key[0], columns=key[1], histogram=histogram)
             self._entries[key] = entry
-        entry.histogram.observe(region, count, total=total, now=now)
+        entry.histogram.observe(
+            region,
+            count,
+            total=total,
+            now=now,
+            calibrate_now=not self.deferred_calibration,
+        )
+        if self.deferred_calibration:
+            self._dirty.add(key)
+        self.version += 1
         self._enforce_budget(protect=key)
         return entry.histogram
+
+    def recalibrate_dirty(self) -> int:
+        """Batched max-entropy pass over every dirty histogram."""
+        recalibrated = 0
+        for key in list(self._dirty):
+            entry = self._entries.get(key)
+            if entry is not None and entry.histogram.recalibrate():
+                recalibrated += 1
+        self._dirty.clear()
+        self.deferred_recalibrations += recalibrated
+        return recalibrated
 
     def _create_histogram(
         self, table: str, columns: ColumnGroup, total: float, now: int
@@ -128,6 +166,7 @@ class QSSArchive:
             if victim is None:
                 break
             del self._entries[victim]
+            self._dirty.discard(victim)
             self.evictions += 1
 
     def _pick_victim(
@@ -150,12 +189,15 @@ class QSSArchive:
         return min(pool, key=lambda item: item[1].histogram.last_used)[0]
 
     def drop(self, table: str, columns: Iterable[str]) -> bool:
-        return self._entries.pop(self._key(table, columns), None) is not None
+        key = self._key(table, columns)
+        self._dirty.discard(key)
+        return self._entries.pop(key, None) is not None
 
     def drop_table(self, table: str) -> int:
         keys = [k for k in self._entries if k[0] == table.lower()]
         for key in keys:
             del self._entries[key]
+            self._dirty.discard(key)
         return len(keys)
 
     @staticmethod

@@ -17,9 +17,15 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..optimizer.context import QSSProfile
-from ..predicates import LocalPredicate, PredicateGroup, group_region, predicate_mask
+from ..predicates import (
+    LocalPredicate,
+    PredicateGroup,
+    group_region,
+    masks_for_predicates,
+)
 from ..storage import Database, fixed_size_sample
 from .archive import QSSArchive
+from .samplecache import MaskCache, SampleCache
 from .sensitivity import TableDecision
 
 
@@ -31,6 +37,11 @@ class CollectionReport:
     groups_computed: int = 0
     groups_materialized: int = 0
     sample_rows: int = 0
+    # Fast-path accounting: how much per-query work the caches absorbed.
+    sample_cache_hits: int = 0
+    sample_cache_misses: int = 0
+    mask_cache_hits: int = 0
+    mask_cache_misses: int = 0
 
 
 class StatisticsCollector:
@@ -40,11 +51,18 @@ class StatisticsCollector:
         archive: QSSArchive,
         sample_size: int,
         rng: np.random.Generator,
+        sample_cache: Optional[SampleCache] = None,
+        mask_cache: Optional[MaskCache] = None,
     ):
         self.database = database
         self.archive = archive
         self.sample_size = sample_size
         self.rng = rng
+        self.sample_cache = sample_cache
+        # Mask reuse is only sound against a stable (cached) sample: the
+        # epoch in the fingerprint identifies the exact rows a mask is
+        # aligned with.
+        self.mask_cache = mask_cache if sample_cache is not None else None
 
     def collect(
         self,
@@ -98,19 +116,39 @@ class StatisticsCollector:
         table = self.database.table(table_name)
         cardinality = table.row_count
         profile.table_cardinalities[table_name.lower()] = float(cardinality)
-        rows = fixed_size_sample(table, self.sample_size, self.rng)
+        if self.sample_cache is not None:
+            rows, sample_epoch, cache_hit = self.sample_cache.get(table_name)
+            if cache_hit:
+                report.sample_cache_hits += 1
+            else:
+                report.sample_cache_misses += 1
+        else:
+            rows = fixed_size_sample(table, self.sample_size, self.rng)
+            sample_epoch = -1
         sample_size = len(rows)
         report.tables_sampled.append(table_name.lower())
         report.sample_rows += sample_size
 
-        # One mask per distinct predicate; groups AND them together.
-        predicate_masks: Dict[LocalPredicate, np.ndarray] = {}
-        for group in groups:
-            for predicate in group.predicates:
-                if predicate not in predicate_masks:
-                    predicate_masks[predicate] = predicate_mask(
-                        table, predicate, rows
-                    )
+        # One mask per distinct predicate; groups AND them together. The
+        # mask cache keys on the sample epoch so a reused mask is always
+        # aligned with the exact rows of the current sample.
+        cache_get = cache_put = None
+        if self.mask_cache is not None:
+            cache_get = lambda p: self.mask_cache.lookup(
+                table_name, p, sample_epoch
+            )
+            cache_put = lambda p, m: self.mask_cache.store(
+                table_name, p, sample_epoch, m
+            )
+        predicate_masks, hits, misses = masks_for_predicates(
+            table,
+            (p for group in groups for p in group.predicates),
+            rows,
+            cache_get=cache_get,
+            cache_put=cache_put,
+        )
+        report.mask_cache_hits += hits
+        report.mask_cache_misses += misses
 
         selectivities: Dict[PredicateGroup, float] = {}
         for group in groups:

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..catalog import SystemCatalog
+from ..errors import ReproError
 from ..executor.feedback import FeedbackRecord
 from ..optimizer.context import QSSProfile
 from ..sql.qgm import QueryBlock
@@ -30,7 +31,13 @@ from .collection import CollectionReport, StatisticsCollector
 from .history import StatHistory
 from .migration import migrate_archive_to_catalog
 from .residuals import ResidualStatisticsStore
-from .sensitivity import SensitivityAnalyzer, TableDecision
+from .samplecache import (
+    DEFAULT_MASK_CACHE_SIZE,
+    DEFAULT_SAMPLE_STALENESS,
+    MaskCache,
+    SampleCache,
+)
+from .sensitivity import SensitivityAnalyzer, TableDecision, table_stats_epoch
 
 
 @dataclass
@@ -47,6 +54,38 @@ class JITSConfig:
     materialize_enabled: bool = True  # ablation knob: archive on/off
     use_history_score: bool = True  # ablation knob: s1 term on/off
     maxent_calibration: bool = True  # ablation knob: IPF vs naive updates
+    # Compilation fast path. All three default on; turning them off
+    # recovers exact per-query sampling and per-observe calibration.
+    sample_cache_enabled: bool = True
+    sample_staleness: float = DEFAULT_SAMPLE_STALENESS  # UDI fraction
+    mask_cache_enabled: bool = True
+    mask_cache_size: int = DEFAULT_MASK_CACHE_SIZE
+    deferred_calibration: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sample_size <= 0:
+            raise ReproError(
+                f"jits sample_size must be positive, got {self.sample_size}"
+            )
+        if self.cell_budget <= 0:
+            raise ReproError(
+                f"jits cell_budget must be positive, got {self.cell_budget}"
+            )
+        if not 0.0 <= self.s_max <= 1.0:
+            raise ReproError(f"s_max must be in [0, 1], got {self.s_max}")
+        if self.migration_interval < 0:
+            raise ReproError(
+                "migration_interval must be >= 0 (0 disables migration), "
+                f"got {self.migration_interval}"
+            )
+        if self.sample_staleness <= 0.0:
+            raise ReproError(
+                f"sample_staleness must be positive, got {self.sample_staleness}"
+            )
+        if self.mask_cache_size <= 0:
+            raise ReproError(
+                f"mask_cache_size must be positive, got {self.mask_cache_size}"
+            )
 
 
 @dataclass
@@ -56,6 +95,9 @@ class CompilationReport:
     candidates: List[TableCandidates] = field(default_factory=list)
     decisions: Dict[str, TableDecision] = field(default_factory=dict)
     collection: CollectionReport = field(default_factory=CollectionReport)
+    # True when the engine served this query from its plan cache and the
+    # whole JITS compile-time pipeline was skipped.
+    plan_cache_hit: bool = False
 
     @property
     def tables_collected(self) -> List[str]:
@@ -81,8 +123,24 @@ class JustInTimeStatistics:
             database,
             cell_budget=self.config.cell_budget,
             calibrate=self.config.maxent_calibration,
+            deferred_calibration=self.config.deferred_calibration,
         )
         self.residual_store = ResidualStatisticsStore()
+        self.sample_cache: Optional[SampleCache] = (
+            SampleCache(
+                database,
+                self.config.sample_size,
+                self.rng,
+                staleness=self.config.sample_staleness,
+            )
+            if self.config.enabled and self.config.sample_cache_enabled
+            else None
+        )
+        self.mask_cache: Optional[MaskCache] = (
+            MaskCache(self.config.mask_cache_size)
+            if self.config.mask_cache_enabled and self.sample_cache is not None
+            else None
+        )
         self.last_collection_udi: Dict[str, int] = {}
         self._last_migration = 0
         self.total_collections = 0
@@ -143,7 +201,12 @@ class JustInTimeStatistics:
                     (candidate.alias, expr) for expr in candidate.residuals
                 )
         collector = StatisticsCollector(
-            self.database, self.archive, self.config.sample_size, self.rng
+            self.database,
+            self.archive,
+            self.config.sample_size,
+            self.rng,
+            sample_cache=self.sample_cache,
+            mask_cache=self.mask_cache,
         )
         profile, report.collection = collector.collect(
             report.decisions,
@@ -204,8 +267,13 @@ class JustInTimeStatistics:
 
     def tick(self, now: int) -> int:
         """Migration heartbeat; returns histograms migrated this tick."""
+        if not self.config.enabled:
+            return 0
+        # Deferred observations batch up during compilation; the statement
+        # boundary is where the single max-entropy pass lands.
+        self.archive.recalibrate_dirty()
         interval = self.config.migration_interval
-        if not self.config.enabled or interval <= 0:
+        if interval <= 0:
             return 0
         if now - self._last_migration < interval:
             return 0
@@ -215,3 +283,34 @@ class JustInTimeStatistics:
         )
         self.total_migrations += migrated
         return migrated
+
+    # ------------------------------------------------------------------
+    # Epochs and DDL
+    # ------------------------------------------------------------------
+    def stats_epoch(self, table_name: str) -> Tuple[int, int]:
+        """``(udi epoch, sample epoch)`` for one table.
+
+        The pair changes exactly when statistics produced for the table
+        may differ from a previous compilation's: either enough data
+        activity accumulated (UDI crossed a staleness step) or the fast
+        path redrew the table's sample.
+        """
+        table = self.database.table(table_name)
+        step = int(self.config.sample_staleness * max(table.row_count, 1))
+        udi_epoch = table_stats_epoch(table, step)
+        sample_epoch = (
+            self.sample_cache.epoch(table_name)
+            if self.sample_cache is not None
+            else -1
+        )
+        return udi_epoch, sample_epoch
+
+    def drop_table(self, table_name: str) -> None:
+        """Forget every statistic derived from a dropped table."""
+        self.archive.drop_table(table_name)
+        self.residual_store.drop_table(table_name)
+        if self.sample_cache is not None:
+            self.sample_cache.drop_table(table_name)
+        if self.mask_cache is not None:
+            self.mask_cache.drop_table(table_name)
+        self.last_collection_udi.pop(table_name.lower(), None)

@@ -33,6 +33,9 @@ def migrate_archive_to_catalog(
     now: int,
 ) -> int:
     """Publish every archive histogram into the catalog. Returns count."""
+    # Migration snapshots bucket counts, so any deferred max-entropy work
+    # must land first.
+    archive.recalibrate_dirty()
     migrated = 0
     for entry in archive.entries():
         if len(entry.columns) == 1:

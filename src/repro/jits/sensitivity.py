@@ -30,6 +30,20 @@ from .history import StatHistory, canonical_colgroup
 ColumnGroup = Tuple[str, ...]
 
 
+def table_stats_epoch(table, staleness_rows: int) -> int:
+    """Coarse per-table statistics epoch derived from the UDI counter.
+
+    Two compilations that fall into the same epoch have seen (to within
+    ``staleness_rows`` of data activity) the same table state, so
+    statistics-derived artifacts — samples, predicate masks, cached plans
+    — keyed by the epoch may be reused between them. The counter is the
+    same monotone UDI total the sensitivity analysis's ``s2`` term is
+    built on (Section 3.3.1).
+    """
+    step = max(1, int(staleness_rows))
+    return table.udi_total // step
+
+
 @dataclass
 class TableDecision:
     """Outcome of Algorithm 2 for one table."""

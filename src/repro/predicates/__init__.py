@@ -1,6 +1,11 @@
 """Predicate model, region mapping and vectorized evaluation."""
 
-from .evaluate import count_matches, group_mask, predicate_mask
+from .evaluate import (
+    count_matches,
+    group_mask,
+    masks_for_predicates,
+    predicate_mask,
+)
 from .predicate import JoinPredicate, LocalPredicate, PredOp, PredicateGroup
 from .regions import (
     group_region,
@@ -17,6 +22,7 @@ __all__ = [
     "PredicateGroup",
     "predicate_mask",
     "group_mask",
+    "masks_for_predicates",
     "count_matches",
     "predicate_interval",
     "group_region",

@@ -29,14 +29,19 @@ def fixed_size_sample(
     if n <= size:
         return np.arange(n, dtype=np.int64)
     if n >= size * 10:
-        # Draw with replacement: O(size) instead of O(n), and with <=10%
-        # sampling fraction the duplicate rate is negligible for
-        # selectivity estimation. This keeps the per-query collection
-        # overhead independent of table size, which is the paper's
-        # premise for JIT collection being affordable.
-        rows = rng.integers(0, n, size=size, dtype=np.int64)
-    else:
-        rows = rng.choice(n, size=size, replace=False).astype(np.int64)
+        # Draw with replacement: O(size) instead of O(n). With <=10%
+        # sampling fraction collisions are rare, but they do happen, and a
+        # duplicated position would double-weight its row in every mask; so
+        # dedupe and top up until the sample really holds ``size`` distinct
+        # positions. This keeps the per-query collection overhead
+        # independent of table size, which is the paper's premise for JIT
+        # collection being affordable.
+        rows = np.unique(rng.integers(0, n, size=size, dtype=np.int64))
+        while len(rows) < size:
+            extra = rng.integers(0, n, size=size - len(rows), dtype=np.int64)
+            rows = np.unique(np.concatenate([rows, extra]))
+        return rows  # np.unique already sorts
+    rows = rng.choice(n, size=size, replace=False).astype(np.int64)
     return np.sort(rows)
 
 

@@ -1,0 +1,138 @@
+"""Engine plan cache + compilation fast path end-to-end behavior."""
+
+import pytest
+
+from repro import Engine, EngineConfig, ReproError
+from repro.jits import JITSConfig
+
+from ..conftest import build_mini_db
+
+SQL = "SELECT COUNT(*) FROM car WHERE price < 20000 AND year > 1999"
+
+
+def fastpath_engine(**kwargs):
+    return Engine(build_mini_db(), EngineConfig.fastpath(**kwargs))
+
+
+def test_repeat_template_hits_plan_cache():
+    engine = fastpath_engine()
+    first = engine.execute(SQL)
+    second = engine.execute(SQL)
+    third = engine.execute(SQL)
+    assert not first.jits_report.plan_cache_hit
+    assert second.jits_report.plan_cache_hit
+    assert third.jits_report.plan_cache_hit
+    assert first.rows == second.rows == third.rows
+    assert engine.plan_cache.hits == 2
+    assert engine.plan_cache.misses == 1
+
+
+def test_literal_change_is_a_different_template():
+    engine = fastpath_engine()
+    engine.execute(SQL)
+    other = engine.execute(SQL.replace("20000", "30000"))
+    assert not other.jits_report.plan_cache_hit
+    assert len(engine.plan_cache) == 2
+
+
+def test_heavy_churn_invalidates_cached_plan():
+    engine = fastpath_engine()
+    engine.execute(SQL)
+    assert engine.execute(SQL).jits_report.plan_cache_hit
+    # A whole-table UPDATE moves the table's UDI epoch past any staleness
+    # threshold; the cached plan must be recompiled, not reused.
+    engine.execute("UPDATE car SET price = price * 2")
+    refreshed = engine.execute(SQL)
+    assert not refreshed.jits_report.plan_cache_hit
+    assert engine.plan_cache.invalidations >= 1
+
+
+def test_small_dml_keeps_plan_cached():
+    engine = fastpath_engine()
+    engine.execute(SQL)
+    # One row out of 600 stays under the 5% staleness epoch step.
+    engine.execute("DELETE FROM car WHERE id = 0")
+    assert engine.execute(SQL).jits_report.plan_cache_hit
+
+
+def test_ddl_invalidates_plans():
+    engine = fastpath_engine()
+    engine.execute(SQL)
+    engine.execute("SELECT COUNT(*) FROM owner WHERE salary > 5000")
+    assert len(engine.plan_cache) == 2
+    engine.execute("DROP TABLE owner")
+    assert len(engine.plan_cache) == 1  # only the owner plan is gone
+    engine.execute("CREATE INDEX car_year ON car (year)")
+    assert len(engine.plan_cache) == 0  # new access path: clear everything
+
+
+def test_drop_table_clears_jits_state():
+    engine = fastpath_engine()
+    engine.execute(SQL)
+    engine.execute("DROP TABLE car")
+    assert engine.jits.sample_cache.epoch("car") == -1
+    assert not engine.jits.archive.has("car", ["price", "year"])
+
+
+def test_plan_cache_off_by_default():
+    engine = Engine(build_mini_db(), EngineConfig.with_jits())
+    assert engine.plan_cache is None
+    result = engine.execute(SQL)
+    assert not result.jits_report.plan_cache_hit
+
+
+def test_fastpath_results_match_cache_disabled_engine():
+    # Regression for the acceptance criterion: on an unchanged table the
+    # fast path (all caches on) and the cache-disabled path must agree on
+    # results and, within sampling tolerance, on selectivity estimates.
+    queries = [
+        SQL,
+        "SELECT COUNT(*) FROM car WHERE year > 2002",
+        "SELECT make, COUNT(*) FROM car WHERE price < 25000 GROUP BY make",
+        SQL,  # repeat: served from the plan cache on the fast engine
+    ]
+    fast = fastpath_engine()
+    slow_config = EngineConfig(
+        jits=JITSConfig(
+            enabled=True,
+            sample_cache_enabled=False,
+            mask_cache_enabled=False,
+            deferred_calibration=False,
+        )
+    )
+    slow = Engine(build_mini_db(), slow_config)
+    for sql in queries:
+        a = fast.execute(sql)
+        b = slow.execute(sql)
+        assert sorted(map(tuple, a.rows)) == sorted(map(tuple, b.rows))
+    # Both engines watched the same workload; their archived selectivity
+    # estimates for the shared template should be close (same sample-size
+    # estimator, different random draws).
+    fa = fast.jits.archive.lookup("car", ["price", "year"])
+    sa = slow.jits.archive.lookup("car", ["price", "year"])
+    if fa is not None and sa is not None:
+        assert fa.total_mass == pytest.approx(sa.total_mass, rel=0.05)
+
+
+def test_engine_config_validation():
+    with pytest.raises(ReproError):
+        EngineConfig(plan_cache_size=0)
+    with pytest.raises(ReproError):
+        EngineConfig(plan_staleness=0.0)
+    with pytest.raises(ReproError):
+        EngineConfig(fetch_overhead=-0.1)
+
+
+def test_jits_config_validation():
+    with pytest.raises(ReproError):
+        JITSConfig(sample_size=0)
+    with pytest.raises(ReproError):
+        JITSConfig(cell_budget=-1)
+    with pytest.raises(ReproError):
+        JITSConfig(s_max=1.5)
+    with pytest.raises(ReproError):
+        JITSConfig(migration_interval=-1)
+    with pytest.raises(ReproError):
+        JITSConfig(sample_staleness=0.0)
+    with pytest.raises(ReproError):
+        JITSConfig(mask_cache_size=0)

@@ -1,0 +1,103 @@
+"""CalibrationPlan edge cases: ordering, inconsistency, reuse, equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.histograms import (
+    CalibrationPlan,
+    CellConstraint,
+    iterative_scaling,
+    make_constraints,
+    max_abs_violation,
+)
+
+
+def test_zero_target_applied_first_regardless_of_recency():
+    # The zero-target constraint arrives *after* the positive one; applying
+    # it last would wipe the mass the positive constraint just placed. The
+    # plan reorders zero targets first, so both end up satisfied.
+    counts = np.array([1.0, 1.0])
+    constraints = make_constraints(
+        [(np.array([0, 1]), 10.0), (np.array([0]), 0.0)]
+    )
+    out, converged = iterative_scaling(counts, constraints)
+    assert converged
+    assert out[0] == 0.0
+    assert out[1] == pytest.approx(10.0)
+
+
+def test_inconsistent_constraints_bounded_not_converged():
+    counts = np.array([10.0, 10.0])
+    # Contradictory totals over the same cells: no solution exists.
+    constraints = make_constraints(
+        [(np.array([0, 1]), 100.0), (np.array([0, 1]), 40.0)]
+    )
+    out, converged = iterative_scaling(counts, constraints, max_iterations=16)
+    assert not converged
+    assert np.all(np.isfinite(out)) and np.all(out >= 0)
+    # The oscillation stays inside the band spanned by the targets.
+    assert 40.0 - 1e-9 <= out.sum() <= 100.0 + 1e-9
+
+
+def test_empty_cell_constraint_is_skipped():
+    counts = np.array([3.0, 7.0])
+    constraints = [
+        CellConstraint(cells=np.empty(0, dtype=np.int64), target=5.0, sequence=0),
+        CellConstraint(cells=np.array([1]), target=14.0, sequence=1),
+    ]
+    out, converged = iterative_scaling(counts, constraints)
+    assert converged
+    assert out[0] == pytest.approx(3.0)
+    assert out[1] == pytest.approx(14.0)
+
+
+def test_only_empty_constraints_converges_to_identity():
+    counts = np.array([1.0, 2.0])
+    constraints = [
+        CellConstraint(cells=np.empty(0, dtype=np.int64), target=9.0)
+    ]
+    out, converged = iterative_scaling(counts, constraints)
+    assert converged
+    assert np.array_equal(out, counts)
+
+
+def test_plan_matches_one_shot_entry_point():
+    rng = np.random.default_rng(11)
+    counts = rng.uniform(0.0, 20.0, size=12)
+    pairs = [
+        (np.arange(6), 40.0),
+        (np.arange(6, 12), 25.0),
+        (np.array([0, 3, 7]), 9.0),
+        (np.array([5]), 0.0),
+    ]
+    constraints = make_constraints(pairs)
+    plan = CalibrationPlan(constraints)
+    a, ca = plan.run(counts)
+    b, cb = iterative_scaling(counts, constraints)
+    assert ca == cb
+    np.testing.assert_allclose(a, b)
+
+
+def test_plan_is_reusable_across_counts_vectors():
+    constraints = make_constraints(
+        [(np.array([0, 1]), 12.0), (np.array([2, 3]), 4.0)]
+    )
+    plan = CalibrationPlan(constraints)
+    for seed in range(5):
+        counts = np.random.default_rng(seed).uniform(0.1, 5.0, size=4)
+        out, converged = plan.run(counts)
+        assert converged
+        assert max_abs_violation(out, constraints) < 0.02
+        # run() never mutates its input or the plan's own state.
+        again, _ = plan.run(counts)
+        np.testing.assert_allclose(out, again)
+
+
+def test_plan_input_validation():
+    from repro.errors import StatisticsError
+
+    plan = CalibrationPlan(make_constraints([(np.array([0]), 1.0)]))
+    with pytest.raises(StatisticsError):
+        plan.run(np.ones((2, 2)))
+    with pytest.raises(StatisticsError):
+        plan.run(np.array([-1.0]))

@@ -44,6 +44,26 @@ def test_fixed_size_without_replacement_midrange():
     assert len(np.unique(rows)) == 40
 
 
+def test_fixed_size_fast_path_has_no_duplicates():
+    # n >= 10*size triggers the with-replacement fast path; positions must
+    # still be distinct (a duplicate would double-weight its row in masks).
+    t = make_table(5_000)
+    for seed in range(20):
+        rows = fixed_size_sample(t, 500, np.random.default_rng(seed))
+        assert len(rows) == 500
+        assert len(np.unique(rows)) == 500
+        assert np.all(np.diff(rows) > 0)  # sorted and strictly increasing
+
+
+def test_fixed_size_fast_path_tops_up_after_collisions():
+    # A tight 10x ratio makes birthday collisions near-certain; the top-up
+    # loop must still deliver the full sample size.
+    t = make_table(2_000)
+    rows = fixed_size_sample(t, 200, np.random.default_rng(3))
+    assert len(rows) == 200
+    assert len(np.unique(rows)) == 200
+
+
 def test_fixed_size_deterministic_with_seed():
     t = make_table(10_000)
     a = fixed_size_sample(t, 100, np.random.default_rng(42))
