@@ -7,6 +7,7 @@ over catalog statistics over defaults.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import CatalogError
@@ -32,6 +33,10 @@ class SystemCatalog:
         # cache) key on it so plans built against superseded statistics
         # are recompiled.
         self.version = 0
+        # Guards profile/version mutation and snapshot-style reads.
+        # Statistics objects are replaced wholesale, never mutated in
+        # place, so point reads outside the lock see a consistent entry.
+        self._lock = threading.RLock()
 
     def _profile(self, table: str) -> TableProfile:
         return self._profiles.setdefault(table.lower(), TableProfile())
@@ -40,8 +45,9 @@ class SystemCatalog:
     # Table statistics
     # ------------------------------------------------------------------
     def set_table_stats(self, stats: TableStatistics) -> None:
-        self.version += 1
-        self._profile(stats.table).table_stats = stats
+        with self._lock:
+            self.version += 1
+            self._profile(stats.table).table_stats = stats
 
     def table_stats(self, table: str) -> Optional[TableStatistics]:
         profile = self._profiles.get(table.lower())
@@ -51,8 +57,9 @@ class SystemCatalog:
     # Column statistics
     # ------------------------------------------------------------------
     def set_column_stats(self, table: str, stats: ColumnStatistics) -> None:
-        self.version += 1
-        self._profile(table).column_stats[stats.column.lower()] = stats
+        with self._lock:
+            self.version += 1
+            self._profile(table).column_stats[stats.column.lower()] = stats
 
     def column_stats(self, table: str, column: str) -> Optional[ColumnStatistics]:
         profile = self._profiles.get(table.lower())
@@ -61,10 +68,11 @@ class SystemCatalog:
         return profile.column_stats.get(column.lower())
 
     def columns_with_stats(self, table: str) -> List[str]:
-        profile = self._profiles.get(table.lower())
-        if profile is None:
-            return []
-        return sorted(profile.column_stats)
+        with self._lock:
+            profile = self._profiles.get(table.lower())
+            if profile is None:
+                return []
+            return sorted(profile.column_stats)
 
     # ------------------------------------------------------------------
     # Column-group statistics (workload stats)
@@ -76,8 +84,9 @@ class SystemCatalog:
                 "column-group statistics need at least two columns; "
                 "single columns belong in column statistics"
             )
-        self.version += 1
-        self._profile(stats.table).group_stats[key] = stats
+        with self._lock:
+            self.version += 1
+            self._profile(stats.table).group_stats[key] = stats
 
     def group_stats(
         self, table: str, columns: Iterable[str]
@@ -88,21 +97,24 @@ class SystemCatalog:
         return profile.group_stats.get(canonical_group(columns))
 
     def groups_with_stats(self, table: str) -> List[Tuple[str, ...]]:
-        profile = self._profiles.get(table.lower())
-        if profile is None:
-            return []
-        return sorted(profile.group_stats)
+        with self._lock:
+            profile = self._profiles.get(table.lower())
+            if profile is None:
+                return []
+            return sorted(profile.group_stats)
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def clear_table(self, table: str) -> None:
-        self.version += 1
-        self._profiles.pop(table.lower(), None)
+        with self._lock:
+            self.version += 1
+            self._profiles.pop(table.lower(), None)
 
     def clear(self) -> None:
-        self.version += 1
-        self._profiles.clear()
+        with self._lock:
+            self.version += 1
+            self._profiles.clear()
 
     def has_any_stats(self, table: str) -> bool:
         profile = self._profiles.get(table.lower())

@@ -57,6 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true",
         help="with -e: print the plan instead of executing",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run multiple -e statements across N concurrent client "
+        "sessions (results print in statement order)",
+    )
     return parser
 
 
@@ -101,12 +106,15 @@ def _cell(value) -> str:
     return str(value)
 
 
-def run_statement(engine: Engine, sql: str, explain: bool, out) -> None:
+def run_statement(
+    engine: Engine, sql: str, explain: bool, out, result=None
+) -> None:
     try:
         if explain:
             out.write(engine.explain(sql) + "\n")
             return
-        result = engine.execute(sql)
+        if result is None:
+            result = engine.execute(sql)
         if result.statement_type == "select":
             out.write(format_rows(result.columns, result.rows) + "\n")
             out.write(
@@ -226,8 +234,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     out.write(f"ready: {sizes}\n")
     if args.execute:
-        for sql in args.execute:
-            run_statement(engine, sql, explain=args.explain, out=out)
+        if args.workers > 1 and not args.explain and len(args.execute) > 1:
+            try:
+                results = engine.execute_many(
+                    args.execute, workers=args.workers
+                )
+            except ReproError as exc:
+                out.write(f"error: {exc}\n")
+                return 1
+            for sql, result in zip(args.execute, results):
+                run_statement(
+                    engine, sql, explain=False, out=out, result=result
+                )
+        else:
+            for sql in args.execute:
+                run_statement(engine, sql, explain=args.explain, out=out)
         return 0
     repl(engine, sys.stdin, out)
     return 0

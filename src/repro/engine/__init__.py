@@ -2,12 +2,17 @@
 
 from .config import EngineConfig, StatsMode
 from .engine import Engine
+from .locks import AtomicCounter, RWLock
 from .result import PHASE_COMPILE, PHASE_EXECUTE, PHASE_FETCH, QueryResult
+from .session import Session
 
 __all__ = [
     "Engine",
     "EngineConfig",
     "StatsMode",
+    "Session",
+    "AtomicCounter",
+    "RWLock",
     "QueryResult",
     "PHASE_COMPILE",
     "PHASE_EXECUTE",

@@ -37,8 +37,15 @@ class EngineConfig:
     # the table into a new statistics epoch (and invalidates cached plans
     # referencing it).
     plan_staleness: float = 0.05
+    # Thread-pool width for execute_many()/execute_streams() when the
+    # caller does not pass one. 1 keeps those APIs fully sequential.
+    default_workers: int = 4
 
     def __post_init__(self) -> None:
+        if self.default_workers < 1:
+            raise ReproError(
+                f"default_workers must be >= 1, got {self.default_workers}"
+            )
         if self.plan_cache_size <= 0:
             raise ReproError(
                 f"plan_cache_size must be positive, got {self.plan_cache_size}"

@@ -5,11 +5,21 @@
 generation & costing -> execution -> fetch -> feedback -> migration tick,
 and reports wall-clock time per phase exactly the way the paper's Table 3
 does (compilation / execution / fetch).
+
+The engine is thread-safe and serves many clients at once. Each client
+holds a :class:`~repro.engine.session.Session` (``engine.session()``);
+``engine.execute(sql)`` runs on a built-in default session for
+single-client use. Concurrency control is a database-level
+reader–writer lock (SELECT/EXPLAIN are readers, everything else is a
+writer) plus internally synchronized statistics stores — see the
+README's concurrency-model section.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,8 +48,10 @@ from ..sql.qgm import QueryBlock
 from ..storage import Database
 from ..types import DataType
 from .config import EngineConfig, StatsMode
+from .locks import AtomicCounter, RWLock
 from .plancache import PlanCache
 from .result import PHASE_COMPILE, PHASE_EXECUTE, PHASE_FETCH, QueryResult
+from .session import Session
 
 
 class Engine:
@@ -62,40 +74,125 @@ class Engine:
             if self.config.plan_cache_enabled
             else None
         )
-        self.clock = 0  # logical statement counter
-        self.statements_executed = 0
+        # Logical statement clock: every statement draws a unique,
+        # monotone timestamp; the draw order is the serialization order
+        # of the JITS bookkeeping.
+        self._clock = AtomicCounter()
+        self._statements = AtomicCounter()
+        self._session_ids = AtomicCounter()
+        # Database-level reader–writer lock: SELECT/EXPLAIN share it as
+        # readers, DML/DDL/RUNSTATS take it exclusively as writers.
+        self.rwlock = RWLock()
+        self._default_session = Session(self, session_id=0)
+
+    @property
+    def clock(self) -> int:
+        """Current logical statement timestamp (monotone)."""
+        return self._clock.value
+
+    @property
+    def statements_executed(self) -> int:
+        return self._statements.value
 
     # ------------------------------------------------------------------
-    # Statement dispatch
+    # Sessions and statement dispatch
     # ------------------------------------------------------------------
+    def session(self) -> Session:
+        """A new client session; one per concurrent client thread."""
+        return Session(self, self._session_ids.next())
+
     def execute(self, sql: str) -> QueryResult:
-        """Execute one SQL statement and report per-phase timings."""
-        self.clock += 1
-        self.statements_executed += 1
-        started = time.perf_counter()
-        statement = parse(sql)
-        parse_time = time.perf_counter() - started
+        """Execute one SQL statement and report per-phase timings.
 
-        if isinstance(statement, ast.SelectStatement):
-            result = self._execute_select(statement, parse_time)
-        elif isinstance(statement, ast.InsertStatement):
-            result = self._execute_insert(statement, parse_time)
-        elif isinstance(statement, ast.UpdateStatement):
-            result = self._execute_update(statement, parse_time)
-        elif isinstance(statement, ast.DeleteStatement):
-            result = self._execute_delete(statement, parse_time)
-        elif isinstance(statement, ast.CreateTableStatement):
-            result = self._execute_create_table(statement, parse_time)
-        elif isinstance(statement, ast.DropTableStatement):
+        Runs on the engine's built-in default session; concurrent
+        clients should each call :meth:`session` instead.
+        """
+        return self._default_session.execute(sql)
+
+    def execute_many(
+        self,
+        statements: Sequence[str],
+        workers: Optional[int] = None,
+    ) -> List[QueryResult]:
+        """Execute independent statements across a thread pool.
+
+        Each statement is one client request; results come back aligned
+        with the input order. Each worker thread runs its own session,
+        so UDI shards never interleave within a statement.
+        """
+        workers = self._resolve_workers(workers)
+        if workers <= 1 or len(statements) <= 1:
+            return [self.execute(sql) for sql in statements]
+        thread_state = threading.local()
+
+        def run(indexed: Tuple[int, str]) -> Tuple[int, QueryResult]:
+            index, sql = indexed
+            session = getattr(thread_state, "session", None)
+            if session is None:
+                session = self.session()
+                thread_state.session = session
+            return index, session.execute(sql)
+
+        results: List[Optional[QueryResult]] = [None] * len(statements)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for index, result in pool.map(run, enumerate(statements)):
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    def execute_streams(
+        self,
+        streams: Sequence[Sequence[str]],
+        workers: Optional[int] = None,
+    ) -> List[List[QueryResult]]:
+        """Execute per-client statement streams concurrently.
+
+        Every stream keeps its internal order (it runs on one session);
+        different streams interleave. Returns one result list per
+        stream, aligned with the input.
+        """
+        workers = self._resolve_workers(workers, default=len(streams))
+        if workers <= 1 or len(streams) <= 1:
+            return [self.session().execute_all(s) for s in streams]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(lambda s: self.session().execute_all(s), streams)
+            )
+
+    def _resolve_workers(
+        self, workers: Optional[int], default: Optional[int] = None
+    ) -> int:
+        if workers is None:
+            workers = (
+                default
+                if default is not None
+                else self.config.default_workers
+            )
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        return workers
+
+    def _dispatch_write(
+        self, statement: ast.Statement, parse_time: float, now: int
+    ) -> QueryResult:
+        """Run a non-SELECT statement. Caller holds the write lock."""
+        if isinstance(statement, ast.InsertStatement):
+            return self._execute_insert(statement, parse_time)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._execute_update(statement, parse_time)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._execute_delete(statement, parse_time)
+        if isinstance(statement, ast.CreateTableStatement):
+            return self._execute_create_table(statement, parse_time)
+        if isinstance(statement, ast.DropTableStatement):
             self.database.drop_table(statement.table)
             self.catalog.clear_table(statement.table)
             self.jits.drop_table(statement.table)
             if self.plan_cache is not None:
                 self.plan_cache.drop_table(statement.table)
-            result = QueryResult(
+            return QueryResult(
                 statement_type="ddl", timings={PHASE_COMPILE: parse_time}
             )
-        elif isinstance(statement, ast.CreateIndexStatement):
+        if isinstance(statement, ast.CreateIndexStatement):
             if statement.kind == "sorted":
                 self.database.create_sorted_index(statement.table, statement.column)
             else:
@@ -103,28 +200,26 @@ class Engine:
             # New access paths change what the optimizer would pick.
             if self.plan_cache is not None:
                 self.plan_cache.clear()
-            result = QueryResult(
+            return QueryResult(
                 statement_type="ddl", timings={PHASE_COMPILE: parse_time}
             )
-        else:
-            raise ReproError(f"unsupported statement {type(statement).__name__}")
-        return result
+        raise ReproError(f"unsupported statement {type(statement).__name__}")
 
     def explain(self, sql: str) -> str:
         """Plan text for a SELECT without executing it."""
-        statement = parse(sql)
-        if not isinstance(statement, ast.SelectStatement):
-            raise ReproError("EXPLAIN supports SELECT statements only")
-        self.clock += 1
+        return self._default_session.explain(sql)
+
+    def _explain_select(self, statement: ast.SelectStatement, now: int) -> str:
+        """EXPLAIN pipeline. Caller holds the read lock."""
         block = build_query_graph(statement, self.database)
-        profile, _ = self.jits.before_optimize(block, self.clock)
-        optimized = Optimizer(self._stats_context(profile)).optimize(block)
+        profile, _ = self.jits.before_optimize(block, now)
+        optimized = Optimizer(self._stats_context(profile, now)).optimize(block)
         return optimized.explain()
 
     # ------------------------------------------------------------------
     # SELECT pipeline
     # ------------------------------------------------------------------
-    def _stats_context(self, profile) -> StatsContext:
+    def _stats_context(self, profile, now: int) -> StatsContext:
         return StatsContext(
             database=self.database,
             catalog=self.catalog,
@@ -133,7 +228,7 @@ class Engine:
             residuals=(
                 self.jits.residual_store if self.config.jits.enabled else None
             ),
-            now=self.clock,
+            now=now,
         )
 
     def _statement_tables(
@@ -169,8 +264,9 @@ class Engine:
         return tuple(parts)
 
     def _execute_select(
-        self, statement: ast.SelectStatement, parse_time: float
+        self, statement: ast.SelectStatement, parse_time: float, now: int
     ) -> QueryResult:
+        """SELECT pipeline. Caller holds the read lock."""
         compile_started = time.perf_counter()
         optimized = None
         template = fingerprint = tables = None
@@ -188,14 +284,20 @@ class Engine:
             jits_report = CompilationReport(plan_cache_hit=True)
         else:
             block = build_query_graph(statement, self.database)
-            profile, jits_report = self.jits.before_optimize(block, self.clock)
-            optimized = Optimizer(self._stats_context(profile)).optimize(block)
+            profile, jits_report = self.jits.before_optimize(block, now)
+            optimized = Optimizer(self._stats_context(profile, now)).optimize(block)
             if self.plan_cache is not None and template is not None:
                 # Re-fingerprint after compiling: collection may have bumped
                 # the catalog/archive versions, and the plan reflects that.
                 self.plan_cache.store(
                     template, self._plan_fingerprint(tables), optimized, tables
                 )
+        if template is not None:
+            # The cached plan object is shared between every statement that
+            # hits (or just stored) it; the executor annotates plan nodes
+            # with actual cardinalities, so each execution runs against a
+            # private node tree.
+            optimized = optimized.clone_for_execution()
         compile_time = parse_time + (time.perf_counter() - compile_started)
 
         execute_started = time.perf_counter()
@@ -209,8 +311,8 @@ class Engine:
         )
 
         feedback = collect_feedback(optimized, execution)
-        self.jits.after_execute(feedback, self.clock)
-        self.jits.tick(self.clock)
+        self.jits.after_execute(feedback, now)
+        self.jits.tick(now)
 
         return QueryResult(
             statement_type="select",
@@ -379,11 +481,17 @@ class Engine:
         self, tables: Optional[Sequence[str]] = None
     ) -> float:
         """RUNSTATS on all (or the given) tables; returns elapsed seconds."""
+        with self.rwlock.write_locked():
+            return self._collect_general_statistics_locked(tables)
+
+    def _collect_general_statistics_locked(
+        self, tables: Optional[Sequence[str]] = None
+    ) -> float:
         started = time.perf_counter()
         names = tables if tables is not None else self.database.table_names()
-        self.clock += 1
+        now = self._clock.next()
         for name in names:
-            run_runstats(self.database, self.catalog, name, now=self.clock)
+            run_runstats(self.database, self.catalog, name, now=now)
         return time.perf_counter() - started
 
     def collect_workload_column_groups(
@@ -395,6 +503,12 @@ class Engine:
         column group occurring in any query gets a multi-dimensional
         histogram, built from the full data, once, up front.
         """
+        with self.rwlock.write_locked():
+            return self._collect_workload_column_groups_locked(statements)
+
+    def _collect_workload_column_groups_locked(
+        self, statements: Sequence[str]
+    ) -> Tuple[int, float]:
         started = time.perf_counter()
         groups: List[Tuple[str, Tuple[str, ...]]] = []
         for sql in statements:
@@ -410,9 +524,9 @@ class Engine:
                     columns = group.columns()
                     if len(columns) >= 2:
                         groups.append((candidate.table, columns))
-        self.clock += 1
+        now = self._clock.next()
         built = collect_workload_statistics(
-            self.database, self.catalog, groups, now=self.clock
+            self.database, self.catalog, groups, now=now
         )
         return built, time.perf_counter() - started
 
@@ -422,9 +536,12 @@ class Engine:
         """Set up initial statistics per the paper's experiment settings."""
         if mode is StatsMode.NONE:
             return
-        self.collect_general_statistics()
-        if mode is StatsMode.WORKLOAD:
-            self.collect_workload_column_groups(workload)
+        # One write-lock span for the whole setup (the lock is not
+        # reentrant, so the locked helpers are called directly).
+        with self.rwlock.write_locked():
+            self._collect_general_statistics_locked()
+            if mode is StatsMode.WORKLOAD:
+                self._collect_workload_column_groups_locked(workload)
 
 
 def _qualify_for_alias(

@@ -1,0 +1,117 @@
+"""Concurrency primitives for the multi-client engine.
+
+Two building blocks back the session layer:
+
+* :class:`AtomicCounter` — the engine's logical statement clock. Every
+  statement draws a unique, monotonically increasing timestamp from it;
+  under concurrency the draw order *is* the serialization order of the
+  JITS bookkeeping (``now`` values never repeat or go backwards).
+* :class:`RWLock` — the database-level reader–writer lock. SELECT and
+  EXPLAIN compile and execute concurrently as readers (the hot numpy
+  kernels release the GIL); DML, DDL, RUNSTATS and statistics migration
+  take the writer side and run exclusively.
+
+The RW lock is writer-preferring: once a writer is waiting, new readers
+queue behind it, so a stream of SELECTs cannot starve DML. Neither side
+is reentrant — the engine acquires the lock exactly once per statement
+and never nests acquisitions (see the lock-order notes in the README's
+concurrency section).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class AtomicCounter:
+    """A monotone integer counter safe to bump from many threads."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, initial: int = 0):
+        self._lock = threading.Lock()
+        self._value = initial
+
+    def next(self) -> int:
+        """Increment and return the new value (a unique timestamp)."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def add(self, n: int) -> int:
+        """Add ``n`` and return the new value."""
+        with self._lock:
+            self._value += n
+            return self._value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class RWLock:
+    """A writer-preferring reader–writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone. A waiting writer blocks *new* readers, so writers cannot
+    starve under read-heavy traffic. Not reentrant on either side.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Context managers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -14,6 +14,7 @@ result correctness.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -44,22 +45,26 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        # Concurrent SELECT readers probe and store; LRU bookkeeping
+        # mutates the map even on hits.
+        self._lock = threading.Lock()
 
     def lookup(
         self, template: str, fingerprint: Tuple
     ) -> Optional[OptimizedQuery]:
-        entry = self._entries.get(template)
-        if entry is None:
-            self.misses += 1
-            return None
-        if entry.fingerprint != fingerprint:
-            del self._entries[template]
-            self.invalidations += 1
-            self.misses += 1
-            return None
-        self._entries.move_to_end(template)
-        self.hits += 1
-        return entry.optimized
+        with self._lock:
+            entry = self._entries.get(template)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.fingerprint != fingerprint:
+                del self._entries[template]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(template)
+            self.hits += 1
+            return entry.optimized
 
     def store(
         self,
@@ -68,24 +73,27 @@ class PlanCache:
         optimized: OptimizedQuery,
         tables: Tuple[str, ...],
     ) -> None:
-        self._entries[template] = CachedPlan(
-            fingerprint=fingerprint, optimized=optimized, tables=tables
-        )
-        self._entries.move_to_end(template)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[template] = CachedPlan(
+                fingerprint=fingerprint, optimized=optimized, tables=tables
+            )
+            self._entries.move_to_end(template)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def drop_table(self, table_name: str) -> None:
         name = table_name.lower()
-        for template in [
-            t for t, e in self._entries.items() if name in e.tables
-        ]:
-            del self._entries[template]
-            self.invalidations += 1
+        with self._lock:
+            for template in [
+                t for t, e in self._entries.items() if name in e.tables
+            ]:
+                del self._entries[template]
+                self.invalidations += 1
 
     def clear(self) -> None:
-        self.invalidations += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,0 +1,87 @@
+"""Client sessions: the unit of concurrent execution.
+
+A :class:`Session` is one client's connection to the engine. Sessions
+are cheap, single-threaded objects (one per client thread); the engine
+they share is thread-safe. Each statement a session executes:
+
+1. draws a unique logical timestamp from the engine's atomic clock,
+2. takes the database reader–writer lock — SELECT and EXPLAIN on the
+   reader side, DML/DDL on the writer side,
+3. (writers) routes UDI activity through the session's private
+   :class:`~repro.storage.table.UDIShard` and flushes it at the
+   statement boundary while still holding the write lock, so readers
+   observe a statement's UDI deltas all-or-nothing.
+
+Statistics stores (catalog, QSS archive, history, caches) are internally
+synchronized and deliberately *not* covered by the database lock: JITS
+collection, feedback and migration may run on the reader path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, List, Sequence
+
+from ..errors import ReproError
+from ..sql import ast, parse
+from ..storage import udi_shard_scope, UDIShard
+from .result import QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Engine
+
+
+class Session:
+    """One client's view of a shared engine.
+
+    Not thread-safe itself: a session belongs to exactly one client
+    thread at a time. Concurrency comes from many sessions sharing one
+    engine.
+    """
+
+    def __init__(self, engine: "Engine", session_id: int):
+        self.engine = engine
+        self.session_id = session_id
+        self.shard = UDIShard()
+        self.statements_executed = 0
+
+    def execute(self, sql: str) -> QueryResult:
+        """Execute one SQL statement under the database lock."""
+        engine = self.engine
+        started = time.perf_counter()
+        statement = parse(sql)
+        parse_time = time.perf_counter() - started
+        now = engine._clock.next()
+        engine._statements.next()
+        if isinstance(statement, ast.SelectStatement):
+            with engine.rwlock.read_locked():
+                result = engine._execute_select(statement, parse_time, now)
+        else:
+            with engine.rwlock.write_locked():
+                with udi_shard_scope(self.shard):
+                    result = engine._dispatch_write(statement, parse_time, now)
+                # Flush inside the write lock: the statement's UDI deltas
+                # become visible to readers atomically with its data.
+                self.shard.flush()
+        self.statements_executed += 1
+        return result
+
+    def execute_all(self, statements: Sequence[str]) -> List[QueryResult]:
+        """Execute a client's statement stream in order."""
+        return [self.execute(sql) for sql in statements]
+
+    def explain(self, sql: str) -> str:
+        """Plan text for a SELECT without executing it (reader side)."""
+        engine = self.engine
+        statement = parse(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise ReproError("EXPLAIN supports SELECT statements only")
+        now = engine._clock.next()
+        with engine.rwlock.read_locked():
+            return engine._explain_select(statement, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(id={self.session_id}, "
+            f"statements={self.statements_executed})"
+        )

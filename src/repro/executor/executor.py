@@ -437,12 +437,14 @@ def _batch_predicate_mask(predicate: LocalPredicate, batch: Batch) -> np.ndarray
         )
         return ~mask if op is PredOp.NE else mask
     if op is PredOp.IN:
-        mask = np.zeros(len(data), dtype=bool)
-        for value in predicate.values:
-            phys = encode(value)
-            if phys is not None:
-                mask |= data == phys
-        return mask
+        wanted = [
+            phys
+            for phys in (encode(value) for value in predicate.values)
+            if phys is not None
+        ]
+        if not wanted:
+            return np.zeros(len(data), dtype=bool)
+        return np.isin(data, np.asarray(wanted, dtype=data.dtype))
     if vector.dictionary is not None:
         raise ExecutionError("range predicate on string output column")
     low = encode(predicate.values[0])

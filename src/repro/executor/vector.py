@@ -42,9 +42,11 @@ class ColumnVector:
     def decode(self) -> List[Value]:
         if self.dictionary is not None:
             return self.dictionary.decode_many(self.values)
+        # One vectorized cast + tolist() instead of a Python-level
+        # int()/float() call per element (the fetch-phase hot loop).
         if self.dtype is DataType.INT:
-            return [int(v) for v in self.values]
-        return [float(v) for v in self.values]
+            return np.asarray(self.values, dtype=np.int64).tolist()
+        return np.asarray(self.values, dtype=np.float64).tolist()
 
     def sort_ranks(self) -> np.ndarray:
         """Values usable for ordering (lexicographic for strings)."""

@@ -18,6 +18,7 @@ This is the data structure of paper Section 3.4 / Figure 2:
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -91,6 +92,10 @@ class AdaptiveGridHistogram:
         self._grid_version = 0
         self._cells_cache: dict = {}
         self._cells_cache_version = -1
+        # Estimation reads (counts + boundaries) and grid mutations must
+        # not interleave: concurrent compilations estimate from the same
+        # archive histograms other statements are observing into.
+        self._hist_lock = threading.RLock()
 
     @classmethod
     def from_data(
@@ -189,10 +194,14 @@ class AdaptiveGridHistogram:
 
     def uniformity(self) -> float:
         """0 == indistinguishable from the uniform assumption."""
-        return uniformity_deviation(self.counts.ravel(), self.cell_volumes().ravel())
+        with self._hist_lock:
+            return uniformity_deviation(
+                self.counts.ravel(), self.cell_volumes().ravel()
+            )
 
     def boundary_list(self, dim: int) -> List[float]:
-        return [float(b) for b in self.boundaries[dim]]
+        with self._hist_lock:
+            return [float(b) for b in self.boundaries[dim]]
 
     # ------------------------------------------------------------------
     # Estimation
@@ -213,19 +222,21 @@ class AdaptiveGridHistogram:
         self._check_ndim(region)
         if region.is_empty:
             return 0.0
-        weighted = self.counts
-        for d in range(self.ndim):
-            frac = self._overlap_fractions(d, region.intervals[d])
-            shape = [1] * self.ndim
-            shape[d] = -1
-            weighted = weighted * frac.reshape(shape)
-        return float(weighted.sum())
+        with self._hist_lock:
+            weighted = self.counts
+            for d in range(self.ndim):
+                frac = self._overlap_fractions(d, region.intervals[d])
+                shape = [1] * self.ndim
+                shape[d] = -1
+                weighted = weighted * frac.reshape(shape)
+            return float(weighted.sum())
 
     def estimate_selectivity(self, region: Region) -> float:
-        total = self.total_mass
-        if total <= 0:
-            return 0.0
-        return min(1.0, self.estimate_count(region) / total)
+        with self._hist_lock:
+            total = self.total_mass
+            if total <= 0:
+                return 0.0
+            return min(1.0, self.estimate_count(region) / total)
 
     # ------------------------------------------------------------------
     # Updates (Section 3.4)
@@ -252,6 +263,17 @@ class AdaptiveGridHistogram:
         self._check_ndim(region)
         if count < 0:
             raise StatisticsError("observed count must be non-negative")
+        with self._hist_lock:
+            self._observe_locked(region, count, total, now, calibrate_now)
+
+    def _observe_locked(
+        self,
+        region: Region,
+        count: float,
+        total: Optional[float],
+        now: int,
+        calibrate_now: bool,
+    ) -> None:
         self._extend_domain(region)
         clipped = region.intersect(self.domain)
         if clipped.is_empty:
@@ -302,10 +324,11 @@ class AdaptiveGridHistogram:
 
     def recalibrate(self) -> bool:
         """Run the deferred max-entropy pass; True if anything was dirty."""
-        if not self.dirty:
-            return False
-        self._calibrate()
-        return True
+        with self._hist_lock:
+            if not self.dirty:
+                return False
+            self._calibrate()
+            return True
 
     def touch(self, now: int) -> None:
         """Record optimizer use (drives the archive's LRU eviction)."""
@@ -313,10 +336,11 @@ class AdaptiveGridHistogram:
 
     def freshness(self, region: Region) -> int:
         """Oldest timestamp among cells overlapping ``region``."""
-        mask = self._region_mask(region, partial=True)
-        if not mask.any():
-            return int(self.timestamps.min())
-        return int(self.timestamps[mask].min())
+        with self._hist_lock:
+            mask = self._region_mask(region, partial=True)
+            if not mask.any():
+                return int(self.timestamps.min())
+            return int(self.timestamps[mask].min())
 
     # ------------------------------------------------------------------
     # Internals

@@ -10,6 +10,7 @@ doesn't); ties broken by LRU.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -58,6 +59,12 @@ class QSSArchive:
         # are invalidated when new QSS land.
         self.version = 0
         self.deferred_recalibrations = 0
+        # One lock for the whole archive: concurrent compilations observe,
+        # look up, and (deferred-calibration mode) recalibrate histograms;
+        # the lock makes each such operation atomic and guarantees an IPF
+        # pass over a dirty histogram runs exactly once. Reentrant because
+        # observe() cascades into budget enforcement.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Lookup
@@ -66,30 +73,34 @@ class QSSArchive:
         self, table: str, columns: Iterable[str]
     ) -> Optional[AdaptiveGridHistogram]:
         key = self._key(table, columns)
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        if key in self._dirty:
-            # Readers always see calibrated counts, even between batches.
-            self._dirty.discard(key)
-            if entry.histogram.recalibrate():
-                self.deferred_recalibrations += 1
-        return entry.histogram
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if key in self._dirty:
+                # Readers always see calibrated counts, even between batches.
+                self._dirty.discard(key)
+                if entry.histogram.recalibrate():
+                    self.deferred_recalibrations += 1
+            return entry.histogram
 
     def mark_used(self, table: str, columns: Iterable[str], now: int) -> None:
-        entry = self._entries.get(self._key(table, columns))
-        if entry is not None:
-            entry.histogram.touch(now)
+        with self._lock:
+            entry = self._entries.get(self._key(table, columns))
+            if entry is not None:
+                entry.histogram.touch(now)
 
     def has(self, table: str, columns: Iterable[str]) -> bool:
         return self._key(table, columns) in self._entries
 
     def entries(self) -> List[ArchiveEntry]:
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     @property
     def total_cells(self) -> int:
-        return sum(e.histogram.n_cells for e in self._entries.values())
+        with self._lock:
+            return sum(e.histogram.n_cells for e in self._entries.values())
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -113,36 +124,45 @@ class QSSArchive:
         canonical (sorted) column order.
         """
         key = self._key(table, columns)
-        entry = self._entries.get(key)
-        if entry is None:
-            histogram = self._create_histogram(
-                key[0], key[1], total if total is not None else count, now
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                histogram = self._create_histogram(
+                    key[0], key[1], total if total is not None else count, now
+                )
+                entry = ArchiveEntry(
+                    table=key[0], columns=key[1], histogram=histogram
+                )
+                self._entries[key] = entry
+            entry.histogram.observe(
+                region,
+                count,
+                total=total,
+                now=now,
+                calibrate_now=not self.deferred_calibration,
             )
-            entry = ArchiveEntry(table=key[0], columns=key[1], histogram=histogram)
-            self._entries[key] = entry
-        entry.histogram.observe(
-            region,
-            count,
-            total=total,
-            now=now,
-            calibrate_now=not self.deferred_calibration,
-        )
-        if self.deferred_calibration:
-            self._dirty.add(key)
-        self.version += 1
-        self._enforce_budget(protect=key)
-        return entry.histogram
+            if self.deferred_calibration:
+                self._dirty.add(key)
+            self.version += 1
+            self._enforce_budget(protect=key)
+            return entry.histogram
 
     def recalibrate_dirty(self) -> int:
-        """Batched max-entropy pass over every dirty histogram."""
-        recalibrated = 0
-        for key in list(self._dirty):
-            entry = self._entries.get(key)
-            if entry is not None and entry.histogram.recalibrate():
-                recalibrated += 1
-        self._dirty.clear()
-        self.deferred_recalibrations += recalibrated
-        return recalibrated
+        """Batched max-entropy pass over every dirty histogram.
+
+        Concurrent callers (every statement's tick crosses here) are
+        serialized by the archive lock; whoever arrives first drains the
+        dirty set, so each histogram gets exactly one IPF pass per batch.
+        """
+        with self._lock:
+            recalibrated = 0
+            for key in list(self._dirty):
+                entry = self._entries.get(key)
+                if entry is not None and entry.histogram.recalibrate():
+                    recalibrated += 1
+            self._dirty.clear()
+            self.deferred_recalibrations += recalibrated
+            return recalibrated
 
     def _create_histogram(
         self, table: str, columns: ColumnGroup, total: float, now: int
@@ -190,15 +210,17 @@ class QSSArchive:
 
     def drop(self, table: str, columns: Iterable[str]) -> bool:
         key = self._key(table, columns)
-        self._dirty.discard(key)
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            self._dirty.discard(key)
+            return self._entries.pop(key, None) is not None
 
     def drop_table(self, table: str) -> int:
-        keys = [k for k in self._entries if k[0] == table.lower()]
-        for key in keys:
-            del self._entries[key]
-            self._dirty.discard(key)
-        return len(keys)
+        with self._lock:
+            keys = [k for k in self._entries if k[0] == table.lower()]
+            for key in keys:
+                del self._entries[key]
+                self._dirty.discard(key)
+            return len(keys)
 
     @staticmethod
     def _key(table: str, columns: Iterable[str]) -> Tuple[str, ColumnGroup]:

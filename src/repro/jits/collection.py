@@ -11,6 +11,7 @@ sub-group counts taken from the same sample (the Figure 2 update).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -53,11 +54,17 @@ class StatisticsCollector:
         rng: np.random.Generator,
         sample_cache: Optional[SampleCache] = None,
         mask_cache: Optional[MaskCache] = None,
+        rng_lock: Optional[threading.Lock] = None,
     ):
         self.database = database
         self.archive = archive
         self.sample_size = sample_size
         self.rng = rng
+        # numpy Generators are not thread-safe; when the sample cache is
+        # off, concurrent compilations draw directly from the shared rng
+        # and must serialize around it (the cache path draws under the
+        # cache's own lock).
+        self.rng_lock = rng_lock
         self.sample_cache = sample_cache
         # Mask reuse is only sound against a stable (cached) sample: the
         # epoch in the fingerprint identifies the exact rows a mask is
@@ -123,7 +130,11 @@ class StatisticsCollector:
             else:
                 report.sample_cache_misses += 1
         else:
-            rows = fixed_size_sample(table, self.sample_size, self.rng)
+            if self.rng_lock is not None:
+                with self.rng_lock:
+                    rows = fixed_size_sample(table, self.sample_size, self.rng)
+            else:
+                rows = fixed_size_sample(table, self.sample_size, self.rng)
             sample_epoch = -1
         sample_size = len(rows)
         report.tables_sampled.append(table_name.lower())

@@ -14,6 +14,7 @@ Lifecycle per query (paper Figure 1):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -145,6 +146,13 @@ class JustInTimeStatistics:
         self._last_migration = 0
         self.total_collections = 0
         self.total_migrations = 0
+        # Guards the shared counters and the migration heartbeat: two
+        # statements ticking across the interval boundary must not both
+        # run the migration pass.
+        self._lock = threading.Lock()
+        # Serializes direct draws from the shared numpy Generator when
+        # the sample cache is disabled (see StatisticsCollector).
+        self._rng_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Compile-time hook
@@ -207,6 +215,7 @@ class JustInTimeStatistics:
             self.rng,
             sample_cache=self.sample_cache,
             mask_cache=self.mask_cache,
+            rng_lock=self._rng_lock,
         )
         profile, report.collection = collector.collect(
             report.decisions,
@@ -216,7 +225,8 @@ class JustInTimeStatistics:
             residuals_by_table=residuals_by_table,
             residual_store=self.residual_store,
         )
-        self.total_collections += len(report.collection.tables_sampled)
+        with self._lock:
+            self.total_collections += len(report.collection.tables_sampled)
         if report.collection.tables_sampled:
             # Table statistics are "needed for every table involved in the
             # query" (Section 3.2); once we are collecting at all, exact
@@ -275,13 +285,19 @@ class JustInTimeStatistics:
         interval = self.config.migration_interval
         if interval <= 0:
             return 0
-        if now - self._last_migration < interval:
-            return 0
-        self._last_migration = now
+        # Claim the heartbeat under the lock so concurrent statements
+        # crossing the interval boundary run exactly one migration pass,
+        # but run the pass itself outside it (migration takes the archive
+        # and catalog locks internally).
+        with self._lock:
+            if now - self._last_migration < interval:
+                return 0
+            self._last_migration = now
         migrated = migrate_archive_to_catalog(
             self.archive, self.catalog, self.database, now
         )
-        self.total_migrations += migrated
+        with self._lock:
+            self.total_migrations += migrated
         return migrated
 
     # ------------------------------------------------------------------

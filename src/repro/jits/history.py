@@ -10,6 +10,7 @@ This is Table 1 of the paper, as a data structure.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
@@ -58,6 +59,10 @@ class StatHistory:
         self._entries: Dict[
             Tuple[str, ColumnGroup, Tuple[ColumnGroup, ...]], HistoryEntry
         ] = {}
+        # Feedback from concurrently executing statements records here
+        # while other compilations scan for sensitivity scores; the lock
+        # keeps iteration and insertion from interleaving.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -74,19 +79,21 @@ class StatHistory:
         group = canonical_colgroup(colgrp)
         stats = canonical_statlist(statlist)
         key = (table, group, stats)
-        entry = self._entries.get(key)
-        if entry is None:
-            entry = HistoryEntry(
-                table=table, colgrp=group, statlist=stats, count=1,
-                errorfactor=errorfactor,
-            )
-            self._entries[key] = entry
-        else:
-            entry.count += 1
-            entry.errorfactor = (
-                _SMOOTHING * errorfactor + (1.0 - _SMOOTHING) * entry.errorfactor
-            )
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = HistoryEntry(
+                    table=table, colgrp=group, statlist=stats, count=1,
+                    errorfactor=errorfactor,
+                )
+                self._entries[key] = entry
+            else:
+                entry.count += 1
+                entry.errorfactor = (
+                    _SMOOTHING * errorfactor
+                    + (1.0 - _SMOOTHING) * entry.errorfactor
+                )
+            return entry
 
     def entries_for_group(
         self, table: str, colgrp: Iterable[str]
@@ -94,11 +101,12 @@ class StatHistory:
         """All entries whose target column group matches (Alg. 3 line 3)."""
         table = table.lower()
         group = canonical_colgroup(colgrp)
-        return [
-            e
-            for e in self._entries.values()
-            if e.table == table and e.colgrp == group
-        ]
+        with self._lock:
+            return [
+                e
+                for e in self._entries.values()
+                if e.table == table and e.colgrp == group
+            ]
 
     def entries_using_stat(
         self, table: str, colgrp: Iterable[str]
@@ -106,14 +114,17 @@ class StatHistory:
         """Entries with this column group in their statlist (Alg. 4 line 6)."""
         table = table.lower()
         group = canonical_colgroup(colgrp)
-        return [
-            e
-            for e in self._entries.values()
-            if e.table == table and group in e.statlist
-        ]
+        with self._lock:
+            return [
+                e
+                for e in self._entries.values()
+                if e.table == table and group in e.statlist
+            ]
 
     def all_entries(self) -> List[HistoryEntry]:
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def total_count(self) -> int:
-        return sum(e.count for e in self._entries.values())
+        with self._lock:
+            return sum(e.count for e in self._entries.values())

@@ -56,39 +56,49 @@ def migrate_archive_to_catalog(
 
 def _migrate_single_column(entry, catalog: SystemCatalog, database, now) -> int:
     histogram = entry.histogram
-    boundaries = np.asarray(histogram.boundary_list(0), dtype=np.float64)
-    counts = histogram.counts.reshape(-1).astype(np.float64)
+    with histogram._hist_lock:
+        boundaries = np.asarray(histogram.boundary_list(0), dtype=np.float64)
+        counts = histogram.counts.reshape(-1).astype(np.float64)
     if len(boundaries) < 2 or counts.sum() <= 0:
         return 0
     column = entry.columns[0]
+    total = float(counts.sum())
     published = EquiDepthHistogram(boundaries=boundaries, counts=counts)
     existing = catalog.column_stats(entry.table, column)
+    # Publish a fresh ColumnStatistics instead of mutating the existing
+    # object in place: concurrent compilations read whichever object the
+    # catalog currently holds, and a multi-field in-place update would
+    # expose torn (histogram from one migration, row_count from another)
+    # state. The catalog swaps the whole object atomically.
     if existing is not None:
-        existing.histogram = published
-        existing.row_count = float(counts.sum())
-        existing.min_value = float(boundaries[0])
-        existing.max_value = float(boundaries[-1])
-        existing.collected_at = now
+        replacement = ColumnStatistics(
+            column=existing.column,
+            dtype=existing.dtype,
+            n_distinct=existing.n_distinct,
+            min_value=float(boundaries[0]),
+            max_value=float(boundaries[-1]),
+            row_count=total,
+            frequent_values=existing.frequent_values,
+            histogram=published,
+            collected_at=now,
+        )
     else:
         table = database.table(entry.table)
         dtype = table.schema.column(column).dtype
-        total = float(counts.sum())
-        catalog.set_column_stats(
-            entry.table,
-            ColumnStatistics(
-                column=column,
-                dtype=dtype,
-                # NDV is not derivable from a bucket histogram; a square-
-                # root guess keeps equality estimates sane until RUNSTATS
-                # or a later migration refines it.
-                n_distinct=max(1.0, float(np.sqrt(total))),
-                min_value=float(boundaries[0]),
-                max_value=float(boundaries[-1]),
-                row_count=total,
-                histogram=published,
-                collected_at=now,
-            ),
+        replacement = ColumnStatistics(
+            column=column,
+            dtype=dtype,
+            # NDV is not derivable from a bucket histogram; a square-
+            # root guess keeps equality estimates sane until RUNSTATS
+            # or a later migration refines it.
+            n_distinct=max(1.0, float(np.sqrt(total))),
+            min_value=float(boundaries[0]),
+            max_value=float(boundaries[-1]),
+            row_count=total,
+            histogram=published,
+            collected_at=now,
         )
+    catalog.set_column_stats(entry.table, replacement)
     return 1
 
 
@@ -96,9 +106,15 @@ def _snapshot(histogram):
     """Deep-enough copy so later archive updates don't mutate the catalog."""
     import copy
 
-    clone = copy.copy(histogram)
-    clone.boundaries = [b.copy() for b in histogram.boundaries]
-    clone.counts = histogram.counts.copy()
-    clone.timestamps = histogram.timestamps.copy()
-    clone.constraints = list(histogram.constraints)
+    with histogram._hist_lock:
+        clone = copy.copy(histogram)
+        clone.boundaries = [b.copy() for b in histogram.boundaries]
+        clone.counts = histogram.counts.copy()
+        clone.timestamps = histogram.timestamps.copy()
+        clone.constraints = list(histogram.constraints)
+    # The published copy is private to the catalog; give it its own lock
+    # rather than sharing the live histogram's.
+    import threading
+
+    clone._hist_lock = threading.RLock()
     return clone

@@ -16,6 +16,7 @@ analysis samples the table anyway.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -42,28 +43,33 @@ class ResidualStatisticsStore:
         self.capacity = capacity
         self._entries: Dict[Tuple[str, str], ResidualEntry] = {}
         self.evictions = 0
+        # Concurrent compilations record and look up residuals; the lock
+        # keeps LRU eviction scans consistent with insertions.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def record(self, table: str, key: str, selectivity: float, now: int) -> None:
-        entry = self._entries.get((table.lower(), key))
-        if entry is not None:
-            entry.selectivity = selectivity
-            entry.collected_at = now
-            entry.last_used = max(entry.last_used, now)
-        else:
-            self._entries[(table.lower(), key)] = ResidualEntry(
-                selectivity=selectivity, collected_at=now, last_used=now
-            )
-            self._evict_to_capacity()
+        with self._lock:
+            entry = self._entries.get((table.lower(), key))
+            if entry is not None:
+                entry.selectivity = selectivity
+                entry.collected_at = now
+                entry.last_used = max(entry.last_used, now)
+            else:
+                self._entries[(table.lower(), key)] = ResidualEntry(
+                    selectivity=selectivity, collected_at=now, last_used=now
+                )
+                self._evict_to_capacity()
 
     def lookup(self, table: str, key: str, now: int) -> Optional[float]:
-        entry = self._entries.get((table.lower(), key))
-        if entry is None:
-            return None
-        entry.last_used = max(entry.last_used, now)
-        return entry.selectivity
+        with self._lock:
+            entry = self._entries.get((table.lower(), key))
+            if entry is None:
+                return None
+            entry.last_used = max(entry.last_used, now)
+            return entry.selectivity
 
     def _evict_to_capacity(self) -> None:
         while len(self._entries) > self.capacity:
@@ -72,7 +78,8 @@ class ResidualStatisticsStore:
             self.evictions += 1
 
     def drop_table(self, table: str) -> int:
-        keys = [k for k in self._entries if k[0] == table.lower()]
-        for key in keys:
-            del self._entries[key]
-        return len(keys)
+        with self._lock:
+            keys = [k for k in self._entries if k[0] == table.lower()]
+            for key in keys:
+                del self._entries[key]
+            return len(keys)

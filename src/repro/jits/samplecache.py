@@ -23,6 +23,7 @@ per-query sampling (see ``JITSConfig``).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -67,28 +68,34 @@ class SampleCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        # Serializes cache probes AND the rng draw itself: numpy
+        # Generators are not thread-safe, and two concurrent misses for
+        # one table must not both draw (they would double-bump the epoch
+        # and leave masks keyed against a vanished sample).
+        self._lock = threading.Lock()
 
     def get(self, table_name: str) -> Tuple[np.ndarray, int, bool]:
         """``(row positions, sample epoch, was_hit)`` for one table."""
         name = table_name.lower()
         table = self.database.table(name)
-        cached = self._samples.get(name)
-        if cached is not None:
-            if self._fresh(table, cached):
-                self.hits += 1
-                return cached.rows, cached.epoch, True
-            self.invalidations += 1
-        self.misses += 1
-        rows = fixed_size_sample(table, self.sample_size, self.rng)
-        epoch = self._epochs.get(name, -1) + 1
-        self._epochs[name] = epoch
-        self._samples[name] = CachedSample(
-            rows=rows,
-            epoch=epoch,
-            udi_snapshot=table.udi_total,
-            row_count=table.row_count,
-        )
-        return rows, epoch, False
+        with self._lock:
+            cached = self._samples.get(name)
+            if cached is not None:
+                if self._fresh(table, cached):
+                    self.hits += 1
+                    return cached.rows, cached.epoch, True
+                self.invalidations += 1
+            self.misses += 1
+            rows = fixed_size_sample(table, self.sample_size, self.rng)
+            epoch = self._epochs.get(name, -1) + 1
+            self._epochs[name] = epoch
+            self._samples[name] = CachedSample(
+                rows=rows,
+                epoch=epoch,
+                udi_snapshot=table.udi_total,
+                row_count=table.row_count,
+            )
+            return rows, epoch, False
 
     def _fresh(self, table, cached: CachedSample) -> bool:
         n = table.row_count
@@ -109,15 +116,18 @@ class SampleCache:
         return self._epochs.get(table_name.lower(), -1)
 
     def invalidate(self, table_name: str) -> None:
-        self._samples.pop(table_name.lower(), None)
+        with self._lock:
+            self._samples.pop(table_name.lower(), None)
 
     def drop_table(self, table_name: str) -> None:
-        name = table_name.lower()
-        self._samples.pop(name, None)
-        self._epochs.pop(name, None)
+        with self._lock:
+            name = table_name.lower()
+            self._samples.pop(name, None)
+            self._epochs.pop(name, None)
 
     def clear(self) -> None:
-        self._samples.clear()
+        with self._lock:
+            self._samples.clear()
 
 
 MaskKey = Tuple[str, LocalPredicate, int]
@@ -136,35 +146,42 @@ class MaskCache:
         self._entries: "OrderedDict[MaskKey, np.ndarray]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # LRU reordering mutates the OrderedDict even on pure lookups, so
+        # concurrent readers need the lock on both paths.
+        self._lock = threading.Lock()
 
     def lookup(
         self, table: str, predicate: LocalPredicate, epoch: int
     ) -> Optional[np.ndarray]:
         key = (table.lower(), predicate, epoch)
-        mask = self._entries.get(key)
-        if mask is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return mask
+        with self._lock:
+            mask = self._entries.get(key)
+            if mask is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return mask
 
     def store(
         self, table: str, predicate: LocalPredicate, epoch: int, mask: np.ndarray
     ) -> None:
         key = (table.lower(), predicate, epoch)
-        self._entries[key] = mask
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = mask
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def drop_table(self, table_name: str) -> None:
         name = table_name.lower()
-        for key in [k for k in self._entries if k[0] == name]:
-            del self._entries[key]
+        with self._lock:
+            for key in [k for k in self._entries if k[0] == name]:
+                del self._entries[key]
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -69,6 +69,19 @@ class OptimizedQuery:
             result.extend(child.all_scan_estimates())
         return result
 
+    def clone_for_execution(self) -> "OptimizedQuery":
+        """Copy with a private plan-node tree (see ``PlanNode.clone``).
+
+        Estimates and the query block are read-only during execution and
+        stay shared; only the nodes the executor annotates are copied.
+        """
+        return OptimizedQuery(
+            root=self.root.clone(),
+            block=self.block,
+            scan_estimates=self.scan_estimates,
+            child_queries=self.child_queries,
+        )
+
 
 class Optimizer:
     """Cost-based optimizer over a statistics context."""

@@ -8,7 +8,8 @@ feedback that drives the JITS StatHistory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+from dataclasses import dataclass, field, fields
 from typing import List, Optional, Tuple
 
 from ..predicates import JoinPredicate, LocalPredicate
@@ -45,6 +46,25 @@ class PlanNode:
         for child in self.children():
             nodes.extend(child.walk())
         return nodes
+
+    def clone(self) -> "PlanNode":
+        """Structural copy with fresh ``actual_*`` slots.
+
+        The executor writes observed cardinalities onto plan nodes, so a
+        plan shared through the plan cache must never be executed
+        directly by concurrent statements — each execution runs against
+        its own node tree. Predicates, AST fragments and query blocks
+        are immutable at execution time and stay shared.
+        """
+        node = copy.copy(self)
+        node.actual_rows = None
+        node.actual_base_rows = None
+        node.actual_probes = None
+        for f in fields(node):
+            value = getattr(node, f.name)
+            if isinstance(value, PlanNode):
+                setattr(node, f.name, value.clone())
+        return node
 
 
 @dataclass

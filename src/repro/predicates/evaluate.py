@@ -48,12 +48,16 @@ def predicate_mask(
         return ~mask if op is PredOp.NE else mask
 
     if op is PredOp.IN:
-        mask = np.zeros(len(data), dtype=bool)
-        for value in predicate.values:
-            phys = _encode(table, predicate.column, value)
-            if phys is not None:
-                mask |= data == phys
-        return mask
+        # Encode the whole value list once and test membership in a single
+        # vectorized pass instead of one equality scan per list element.
+        encoded = (
+            _encode(table, predicate.column, value)
+            for value in predicate.values
+        )
+        wanted = [phys for phys in encoded if phys is not None]
+        if not wanted:
+            return np.zeros(len(data), dtype=bool)
+        return np.isin(data, np.asarray(wanted, dtype=data.dtype))
 
     # Order comparisons: meaningful for numeric columns. Dictionary codes
     # do not follow string order, so range predicates on strings are

@@ -15,7 +15,7 @@ from .sampling import (
     bernoulli_sample,
     fixed_size_sample,
 )
-from .table import Table
+from .table import Table, UDIShard, active_udi_shard, udi_shard_scope
 
 __all__ = [
     "Column",
@@ -26,6 +26,9 @@ __all__ = [
     "SortedIndex",
     "IndexSet",
     "Table",
+    "UDIShard",
+    "active_udi_shard",
+    "udi_shard_scope",
     "SampleView",
     "fixed_size_sample",
     "bernoulli_sample",

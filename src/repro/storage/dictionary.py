@@ -64,7 +64,9 @@ class StringDictionary:
 
     def decode_many(self, codes: np.ndarray) -> List[str]:
         values = self._values
-        return [values[int(c)] for c in codes]
+        # tolist() converts the whole array to Python ints in C, avoiding
+        # a numpy-scalar __index__ round-trip per element.
+        return [values[c] for c in np.asarray(codes, dtype=np.int64).tolist()]
 
     def values(self) -> List[str]:
         """All values, ordered by code."""

@@ -14,6 +14,7 @@ maintenance is not what the paper measures).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -26,6 +27,11 @@ class _LazyIndex:
         self.table = table
         self.column = column
         self._built_version = -1
+        # Lazy rebuilds happen on first use after a mutation — which, for
+        # SELECT scans, is the *reader* side of the engine's RW lock. The
+        # build lock keeps two concurrent readers from interleaving a
+        # rebuild; double-checked so the steady state stays lock-free.
+        self._build_lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -35,9 +41,12 @@ class _LazyIndex:
 
     def _ensure(self) -> None:
         version = self.table.column(self.column).version
-        if self._built_version != version:
-            self._build()
-            self._built_version = version
+        if self._built_version == version:
+            return
+        with self._build_lock:
+            if self._built_version != version:
+                self._build()
+                self._built_version = version
 
     def _build(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -8,6 +8,8 @@ compare ``table.udi_total`` against their snapshot.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -16,6 +18,62 @@ from ..errors import StorageError
 from ..schema import TableSchema
 from ..types import Value
 from .column import Column
+
+
+class UDIShard:
+    """A per-worker accumulator of UDI deltas.
+
+    Concurrent sessions never write ``Table.udi_total`` directly: each
+    session installs its shard for the duration of one statement (via
+    :func:`udi_shard_scope`), the table mutators deposit their row deltas
+    into it, and the session flushes the shard at the statement boundary
+    while still holding the database write lock. Statistics readers
+    therefore see UDI totals move in statement-atomic steps, never a
+    half-applied statement.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self) -> None:
+        self._pending: Dict["Table", int] = {}
+
+    def add(self, table: "Table", rows: int) -> None:
+        self._pending[table] = self._pending.get(table, 0) + rows
+
+    def flush(self) -> int:
+        """Apply all pending deltas; returns total rows flushed."""
+        total = 0
+        for table, rows in self._pending.items():
+            table.apply_udi(rows)
+            total += rows
+        self._pending.clear()
+        return total
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+_shard_slot = threading.local()
+
+
+def active_udi_shard() -> Optional[UDIShard]:
+    """The shard installed for the current thread, if any."""
+    return getattr(_shard_slot, "shard", None)
+
+
+@contextmanager
+def udi_shard_scope(shard: UDIShard):
+    """Route this thread's UDI accounting through ``shard``.
+
+    The caller is responsible for flushing the shard afterwards (the
+    session layer does so at statement boundaries, under the write lock).
+    """
+    previous = getattr(_shard_slot, "shard", None)
+    _shard_slot.shard = shard
+    try:
+        yield shard
+    finally:
+        _shard_slot.shard = previous
 
 
 class Table:
@@ -29,6 +87,7 @@ class Table:
         # Monotone counters; never reset.
         self.udi_total = 0  # rows touched by any INSERT/UPDATE/DELETE
         self.version = 0  # bumped on any mutation (index/cache invalidation)
+        self._udi_lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -79,8 +138,7 @@ class Table:
                 raise StorageError(
                     f"row is missing column {name!r} of table {self.name!r}"
                 ) from None
-        self.udi_total += len(rows)
-        self.version += 1
+        self._record_mutation(len(rows))
 
     def insert_columns(self, data: Mapping[str, Sequence[Value]]) -> None:
         """Bulk insert from column-oriented data (used by generators)."""
@@ -103,8 +161,7 @@ class Table:
                 col.extend_physical(np.asarray(values))
             else:
                 col.extend(list(values))
-        self.udi_total += n
-        self.version += 1
+        self._record_mutation(n)
 
     def update_rows(self, rows: np.ndarray, assignments: Mapping[str, Value]) -> None:
         """Set ``column = value`` for each row position in ``rows``."""
@@ -112,8 +169,7 @@ class Table:
             return
         for name, value in assignments.items():
             self.column(name).set_at(rows, value)
-        self.udi_total += len(rows)
-        self.version += 1
+        self._record_mutation(len(rows))
 
     def apply_update(
         self, rows: np.ndarray, physical: Mapping[str, np.ndarray]
@@ -130,8 +186,7 @@ class Table:
             if len(values) != len(rows):
                 raise StorageError("update value/row count mismatch")
             col.set_physical(rows, values)
-        self.udi_total += len(rows)
-        self.version += 1
+        self._record_mutation(len(rows))
 
     def delete_rows(self, rows: np.ndarray) -> int:
         """Delete the given row positions; returns the number deleted."""
@@ -143,8 +198,7 @@ class Table:
         deleted = int(n - keep.sum())
         for col in self.columns.values():
             col.delete_rows(keep)
-        self.udi_total += deleted
-        self.version += 1
+        self._record_mutation(deleted)
         return deleted
 
     # ------------------------------------------------------------------
@@ -160,6 +214,29 @@ class Table:
     def udi_since(self, snapshot: int) -> int:
         """Rows modified since a ``udi_total`` snapshot."""
         return self.udi_total - snapshot
+
+    # ------------------------------------------------------------------
+    # UDI accounting
+    # ------------------------------------------------------------------
+    def _record_mutation(self, rows: int) -> None:
+        """Account ``rows`` of UDI activity for the current statement.
+
+        The version bump lands immediately (the mutating statement holds
+        the database write lock, so no reader can observe it mid-flight);
+        the UDI delta goes through the active session shard when one is
+        installed, deferring visibility to the statement boundary.
+        """
+        self.version += 1
+        shard = active_udi_shard()
+        if shard is not None:
+            shard.add(self, rows)
+        else:
+            self.apply_udi(rows)
+
+    def apply_udi(self, rows: int) -> None:
+        """Fold a UDI delta into the monotone total."""
+        with self._udi_lock:
+            self.udi_total += rows
 
 
 def _row_get(row: Mapping[str, Value], name: str) -> Value:

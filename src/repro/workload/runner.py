@@ -121,13 +121,23 @@ def make_engine_for_setting(
     return engine
 
 
-def run_workload(engine: Engine, workload: GeneratedWorkload, setting_name: str = "") -> WorkloadRunReport:
-    """Execute every statement; returns per-statement timings."""
+def run_workload(
+    engine: Engine,
+    workload: GeneratedWorkload,
+    setting_name: str = "",
+    workers: int = 1,
+) -> WorkloadRunReport:
+    """Execute every statement; returns per-statement timings.
+
+    With ``workers > 1``, consecutive runs of SELECT statements are
+    dispatched through ``engine.execute_many`` (each worker thread is
+    one client session); DML/DDL stays serialized between the SELECT
+    batches, preserving the workload's read/write ordering. Records
+    come back in the workload's original statement order either way.
+    """
     report = WorkloadRunReport(setting=setting_name)
-    for index, (sql, kind) in enumerate(
-        zip(workload.statements, workload.kinds)
-    ):
-        result = engine.execute(sql)
+
+    def record(index: int, kind: str, result) -> None:
         report.records.append(
             QueryRecord(
                 index=index,
@@ -139,6 +149,32 @@ def run_workload(engine: Engine, workload: GeneratedWorkload, setting_name: str 
                 modeled_cost=result.modeled_execution_cost(),
             )
         )
+
+    statements = list(zip(workload.statements, workload.kinds))
+    if workers <= 1:
+        for index, (sql, kind) in enumerate(statements):
+            record(index, kind, engine.execute(sql))
+        return report
+
+    def flush_selects(batch: List[int]) -> None:
+        results = engine.execute_many(
+            [statements[i][0] for i in batch], workers=workers
+        )
+        for index, result in zip(batch, results):
+            record(index, statements[index][1], result)
+
+    pending: List[int] = []
+    for index, (sql, kind) in enumerate(statements):
+        if kind == "select":
+            pending.append(index)
+            continue
+        if pending:
+            flush_selects(pending)
+            pending = []
+        record(index, kind, engine.execute(sql))
+    if pending:
+        flush_selects(pending)
+    report.records.sort(key=lambda r: r.index)
     return report
 
 
@@ -149,6 +185,7 @@ def run_setting(
     data_seed: int = 0,
     s_max: float = 0.5,
     sample_size: int = 2000,
+    workers: int = 1,
 ) -> WorkloadRunReport:
     """Build the engine for a setting, time the setup, run the workload."""
     setup_started = time.perf_counter()
@@ -161,7 +198,9 @@ def run_setting(
         sample_size=sample_size,
     )
     setup = time.perf_counter() - setup_started
-    report = run_workload(engine, workload, setting_name=setting.value)
+    report = run_workload(
+        engine, workload, setting_name=setting.value, workers=workers
+    )
     report.setup_seconds = setup
     return report
 

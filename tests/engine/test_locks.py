@@ -1,0 +1,162 @@
+"""Units for the concurrency primitives behind the session layer."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine import AtomicCounter, RWLock
+from repro.storage import UDIShard, active_udi_shard, udi_shard_scope
+from tests.conftest import build_mini_db
+
+
+# ----------------------------------------------------------------------
+# AtomicCounter
+# ----------------------------------------------------------------------
+def test_atomic_counter_unique_monotone_under_threads():
+    counter = AtomicCounter()
+    drawn = []
+    lock = threading.Lock()
+
+    def worker():
+        local = [counter.next() for _ in range(500)]
+        with lock:
+            drawn.extend(local)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == 4000
+    assert len(set(drawn)) == 4000
+    assert sorted(drawn) == list(range(1, 4001))
+
+
+def test_atomic_counter_add():
+    counter = AtomicCounter(initial=10)
+    assert counter.add(5) == 15
+    assert counter.value == 15
+
+
+# ----------------------------------------------------------------------
+# RWLock
+# ----------------------------------------------------------------------
+def test_rwlock_readers_share():
+    lock = RWLock()
+    barrier = threading.Barrier(4, timeout=5)
+    inside = []
+
+    def reader():
+        with lock.read_locked():
+            barrier.wait()  # all four readers inside together, or timeout
+            inside.append(1)
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(inside) == 4
+
+
+def test_rwlock_writer_excludes_everyone():
+    lock = RWLock()
+    value = {"n": 0}
+
+    def writer():
+        for _ in range(200):
+            with lock.write_locked():
+                # Deliberately non-atomic update: only mutual exclusion
+                # keeps the final count exact.
+                n = value["n"]
+                time.sleep(0)
+                value["n"] = n + 1
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert value["n"] == 800
+
+
+def test_rwlock_writer_preference_blocks_new_readers():
+    lock = RWLock()
+    order = []
+    lock.acquire_read()  # initial reader holds the lock
+
+    writer_started = threading.Event()
+
+    def writer():
+        writer_started.set()
+        with lock.write_locked():
+            order.append("writer")
+
+    def late_reader():
+        with lock.read_locked():
+            order.append("reader")
+
+    w = threading.Thread(target=writer)
+    w.start()
+    writer_started.wait(timeout=5)
+    time.sleep(0.05)  # let the writer reach its wait loop
+    r = threading.Thread(target=late_reader)
+    r.start()
+    time.sleep(0.05)
+    # Neither may enter while the initial reader holds the lock, and the
+    # late reader must queue behind the waiting writer.
+    assert order == []
+    lock.release_read()
+    w.join(timeout=5)
+    r.join(timeout=5)
+    assert order == ["writer", "reader"]
+
+
+def test_rwlock_read_then_write_sequential_reuse():
+    lock = RWLock()
+    with lock.read_locked():
+        pass
+    with lock.write_locked():
+        pass
+    with lock.read_locked():
+        pass
+
+
+# ----------------------------------------------------------------------
+# UDI shards
+# ----------------------------------------------------------------------
+def test_udi_shard_defers_until_flush():
+    db = build_mini_db(n_owners=20, n_cars=40, seed=3)
+    car = db.table("car")
+    before = car.udi_total
+    shard = UDIShard()
+    with udi_shard_scope(shard):
+        assert active_udi_shard() is shard
+        car.delete_rows([0, 1])
+        # The mutation is parked in the shard, not on the table.
+        assert car.udi_total == before
+        assert len(shard) == 1
+    assert active_udi_shard() is None
+    shard.flush()
+    assert car.udi_total == before + 2
+    assert len(shard) == 0
+
+
+def test_udi_shard_scope_restores_previous():
+    outer, inner = UDIShard(), UDIShard()
+    with udi_shard_scope(outer):
+        with udi_shard_scope(inner):
+            assert active_udi_shard() is inner
+        assert active_udi_shard() is outer
+    assert active_udi_shard() is None
+
+
+def test_mutation_without_shard_applies_directly():
+    db = build_mini_db(n_owners=20, n_cars=40, seed=3)
+    owner = db.table("owner")
+    before = owner.udi_total
+    owner.delete_rows([0])
+    assert owner.udi_total == before + 1
