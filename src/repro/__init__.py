@@ -25,6 +25,7 @@ from .engine import Engine, EngineConfig, QueryResult, StatsMode
 from .errors import (
     BindingError,
     CatalogError,
+    ConfigError,
     ExecutionError,
     PlanningError,
     ReproError,
@@ -55,6 +56,7 @@ __all__ = [
     "make_schema",
     "ReproError",
     "SqlSyntaxError",
+    "ConfigError",
     "CatalogError",
     "BindingError",
     "StorageError",

@@ -7,6 +7,8 @@ Usage::
     python -m repro --scale 0.01          # bigger data
     python -m repro -e "SELECT COUNT(*) FROM car"   # one-shot
     python -m repro --explain -e "SELECT ..."       # plan only
+    python -m repro serve --port 7433     # network server
+    python -m repro connect --port 7433   # shell against a server
 
 Shell commands: ``\\q`` quit, ``\\explain <sql>`` plan without executing,
 ``\\stats`` JITS state summary, ``\\tables`` table sizes, ``\\help``.
@@ -15,10 +17,11 @@ Shell commands: ``\\q`` quit, ``\\explain <sql>`` plan without executing,
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import List, Optional
 
-from . import Engine, EngineConfig, ReproError
+from . import Engine, EngineConfig, ReproError, SqlSyntaxError
 from .workload import build_car_database
 
 PROMPT = "repro> "
@@ -106,9 +109,18 @@ def _cell(value) -> str:
     return str(value)
 
 
+def format_error_caret(sql: str, exc: SqlSyntaxError) -> str:
+    """A caret line pointing at the offending token, or ''."""
+    position = getattr(exc, "position", -1)
+    if not isinstance(position, int) or not 0 <= position <= len(sql):
+        return ""
+    return f"  {sql}\n  {' ' * position}^\n"
+
+
 def run_statement(
-    engine: Engine, sql: str, explain: bool, out, result=None
+    engine, sql: str, explain: bool, out, result=None
 ) -> None:
+    """Run one statement against an Engine or a network Client."""
     try:
         if explain:
             out.write(engine.explain(sql) + "\n")
@@ -135,6 +147,9 @@ def run_statement(
             out.write(
                 f"{result.statement_type}: {result.affected_rows} row(s)\n"
             )
+    except SqlSyntaxError as exc:
+        out.write(f"error: {exc}\n")
+        out.write(format_error_caret(sql, exc))
     except ReproError as exc:
         out.write(f"error: {exc}\n")
 
@@ -181,7 +196,17 @@ def print_tables(engine: Engine, out) -> None:
         out.write(f"{table.name} ({table.row_count} rows): {columns}\n")
 
 
-def repl(engine: Engine, stdin, out) -> None:
+def print_stats_dict(stats: dict, out, indent: str = "") -> None:
+    """Render a (possibly nested) stats snapshot, one counter per line."""
+    for key, value in stats.items():
+        if isinstance(value, dict):
+            out.write(f"{indent}{key}:\n")
+            print_stats_dict(value, out, indent + "  ")
+        else:
+            out.write(f"{indent}{key}={value}\n")
+
+
+def _repl_loop(executor, stdin, out, stats, tables) -> None:
     out.write(
         "repro SQL shell — \\help for commands, \\q to quit.\n"
     )
@@ -203,11 +228,13 @@ def repl(engine: Engine, stdin, out) -> None:
                     "end statements with ';'\n"
                 )
             elif command == "\\stats":
-                print_stats(engine, out)
+                stats()
             elif command == "\\tables":
-                print_tables(engine, out)
+                tables()
             elif command == "\\explain":
-                run_statement(engine, rest.rstrip(";"), explain=True, out=out)
+                run_statement(
+                    executor, rest.rstrip(";"), explain=True, out=out
+                )
             else:
                 out.write(f"unknown command {command}\n")
             continue
@@ -217,10 +244,160 @@ def repl(engine: Engine, stdin, out) -> None:
             sql = " ".join(buffer).rstrip(";")
             buffer = []
             if sql.strip():
-                run_statement(engine, sql, explain=False, out=out)
+                run_statement(executor, sql, explain=False, out=out)
+
+
+def repl(engine: Engine, stdin, out) -> None:
+    _repl_loop(
+        engine,
+        stdin,
+        out,
+        stats=lambda: print_stats(engine, out),
+        tables=lambda: print_tables(engine, out),
+    )
+
+
+def network_repl(client, stdin, out) -> None:
+    """The same shell, statements shipped to a remote server."""
+
+    def stats() -> None:
+        try:
+            print_stats_dict(client.stats(), out)
+        except ReproError as exc:
+            out.write(f"error: {exc}\n")
+
+    def tables() -> None:
+        try:
+            for name, rows in client.stats().get("tables", {}).items():
+                out.write(f"{name} ({rows} rows)\n")
+        except ReproError as exc:
+            out.write(f"error: {exc}\n")
+
+    _repl_loop(client, stdin, out, stats=stats, tables=tables)
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve the car database over the repro wire protocol",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="listening port (default 7433; 0 picks an ephemeral port)",
+    )
+    parser.add_argument("--scale", type=float, default=0.002)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-jits", action="store_true")
+    parser.add_argument("--smax", type=float, default=0.5)
+    parser.add_argument("--fastpath", action="store_true")
+    parser.add_argument("--no-caches", action="store_true")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="executor thread-pool width (default: --max-inflight)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="global admission limit: statements executing at once",
+    )
+    parser.add_argument(
+        "--per-client-inflight", type=int, default=4, metavar="N",
+        help="per-connection admission cap before BUSY frames",
+    )
+    return parser
+
+
+async def _serve_async(server, out) -> None:
+    await server.start()
+    out.write(f"listening on {server.host}:{server.port}\n")
+    out.flush()
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+        out.write("server stopped\n")
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    from .server import DEFAULT_PORT, ReproServer
+
+    args = build_serve_parser().parse_args(argv)
+    out = sys.stdout
+    out.write(f"building car database (scale={args.scale}) ...\n")
+    try:
+        engine = make_engine(args)
+        server = ReproServer(
+            engine,
+            host=args.host,
+            port=args.port if args.port is not None else DEFAULT_PORT,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            per_client_inflight=args.per_client_inflight,
+        )
+        asyncio.run(_serve_async(server, out))
+    except ReproError as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    except KeyboardInterrupt:
+        out.write("interrupted\n")
+    return 0
+
+
+def build_connect_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro connect",
+        description="Connect the SQL shell to a running repro server",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--busy-retries", type=int, default=8, metavar="N",
+        help="retries (with backoff) when the server answers BUSY",
+    )
+    parser.add_argument(
+        "-e", "--execute", metavar="SQL", action="append",
+        help="execute one statement and exit (repeatable)",
+    )
+    parser.add_argument("--explain", action="store_true")
+    return parser
+
+
+def connect_main(argv: Optional[List[str]] = None) -> int:
+    from .server import DEFAULT_PORT, connect
+
+    args = build_connect_parser().parse_args(argv)
+    out = sys.stdout
+    port = args.port if args.port is not None else DEFAULT_PORT
+    try:
+        client = connect(host=args.host, port=port, timeout=args.timeout)
+    except ReproError as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    # One shell-visible knob for backpressure: retry BUSY transparently.
+    raw_execute = client.execute
+    client.execute = (  # type: ignore[method-assign]
+        lambda sql: raw_execute(sql, busy_retries=args.busy_retries)
+    )
+    with client:
+        out.write(f"connected to {args.host}:{port} "
+                  f"({client.server_info.get('server', '?')})\n")
+        if args.execute:
+            for sql in args.execute:
+                run_statement(client, sql, explain=args.explain, out=out)
+            return 0
+        network_repl(client, sys.stdin, out)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "connect":
+        return connect_main(argv[1:])
     args = build_parser().parse_args(argv)
     out = sys.stdout
     out.write(f"building car database (scale={args.scale}) ...\n")

@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from ..errors import ReproError
+from ..errors import ConfigError
 from ..jits import JITSConfig
 from ..rng import DEFAULT_SEED
 
@@ -43,19 +43,19 @@ class EngineConfig:
 
     def __post_init__(self) -> None:
         if self.default_workers < 1:
-            raise ReproError(
+            raise ConfigError(
                 f"default_workers must be >= 1, got {self.default_workers}"
             )
         if self.plan_cache_size <= 0:
-            raise ReproError(
+            raise ConfigError(
                 f"plan_cache_size must be positive, got {self.plan_cache_size}"
             )
         if self.plan_staleness <= 0.0:
-            raise ReproError(
+            raise ConfigError(
                 f"plan_staleness must be positive, got {self.plan_staleness}"
             )
         if self.fetch_overhead < 0.0:
-            raise ReproError(
+            raise ConfigError(
                 f"fetch_overhead must be >= 0, got {self.fetch_overhead}"
             )
 

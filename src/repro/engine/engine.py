@@ -29,7 +29,7 @@ from ..catalog import (
     collect_workload_statistics,
     run_runstats,
 )
-from ..errors import BindingError, ExecutionError, ReproError
+from ..errors import BindingError, ConfigError, ExecutionError, ReproError
 from ..executor import PlanExecutor, collect_feedback
 from ..executor.expr import eval_expr
 from ..executor.vector import Batch, batch_from_table
@@ -120,6 +120,8 @@ class Engine:
         with the input order. Each worker thread runs its own session,
         so UDI shards never interleave within a statement.
         """
+        if not statements:
+            return []
         workers = self._resolve_workers(workers)
         if workers <= 1 or len(statements) <= 1:
             return [self.execute(sql) for sql in statements]
@@ -150,6 +152,8 @@ class Engine:
         different streams interleave. Returns one result list per
         stream, aligned with the input.
         """
+        if not streams:
+            return []
         workers = self._resolve_workers(workers, default=len(streams))
         if workers <= 1 or len(streams) <= 1:
             return [self.session().execute_all(s) for s in streams]
@@ -168,7 +172,7 @@ class Engine:
                 else self.config.default_workers
             )
         if workers < 1:
-            raise ReproError(f"workers must be >= 1, got {workers}")
+            raise ConfigError(f"workers must be >= 1, got {workers}")
         return workers
 
     def _dispatch_write(
@@ -208,6 +212,59 @@ class Engine:
     def explain(self, sql: str) -> str:
         """Plan text for a SELECT without executing it."""
         return self._default_session.explain(sql)
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot of engine/JITS counters.
+
+        Every store read here is internally synchronized, so the snapshot
+        can be taken from any thread without the database lock; counters
+        from different stores may be a statement apart under load.
+        """
+        jits = self.jits
+        snapshot: Dict[str, object] = {
+            "engine": {
+                "statements_executed": self.statements_executed,
+                "clock": self.clock,
+            },
+            "tables": {
+                table.name: table.row_count
+                for table in self.database.tables()
+            },
+            "jits": {
+                "enabled": jits.config.enabled,
+                "s_max": jits.config.s_max,
+                "collections": jits.total_collections,
+                "archive_histograms": len(jits.archive),
+                "archive_cells": jits.archive.total_cells,
+                "history_entries": len(jits.history),
+                "residual_stats": len(jits.residual_store),
+                "migrations": jits.total_migrations,
+                "deferred_recalibrations": jits.archive.deferred_recalibrations,
+            },
+        }
+        if jits.sample_cache is not None:
+            cache = jits.sample_cache
+            snapshot["sample_cache"] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "invalidations": cache.invalidations,
+            }
+        if jits.mask_cache is not None:
+            cache = jits.mask_cache
+            snapshot["mask_cache"] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "entries": len(cache),
+            }
+        if self.plan_cache is not None:
+            cache = self.plan_cache
+            snapshot["plan_cache"] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "invalidations": cache.invalidations,
+                "plans": len(cache),
+            }
+        return snapshot
 
     def _explain_select(self, statement: ast.SelectStatement, now: int) -> str:
         """EXPLAIN pipeline. Caller holds the read lock."""

@@ -44,9 +44,19 @@ class Session:
         self.session_id = session_id
         self.shard = UDIShard()
         self.statements_executed = 0
+        self.closed = False
+
+    def close(self) -> None:
+        """Retire the session; further statements are rejected."""
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ReproError(f"session {self.session_id} is closed")
 
     def execute(self, sql: str) -> QueryResult:
         """Execute one SQL statement under the database lock."""
+        self._check_open()
         engine = self.engine
         started = time.perf_counter()
         statement = parse(sql)
@@ -58,11 +68,17 @@ class Session:
                 result = engine._execute_select(statement, parse_time, now)
         else:
             with engine.rwlock.write_locked():
-                with udi_shard_scope(self.shard):
-                    result = engine._dispatch_write(statement, parse_time, now)
-                # Flush inside the write lock: the statement's UDI deltas
-                # become visible to readers atomically with its data.
-                self.shard.flush()
+                try:
+                    with udi_shard_scope(self.shard):
+                        result = engine._dispatch_write(
+                            statement, parse_time, now
+                        )
+                finally:
+                    # Flush inside the write lock, also when the statement
+                    # failed: whatever it already applied to the data must
+                    # reach the UDI counters before readers run, and a
+                    # clean shard keeps the session usable afterwards.
+                    self.shard.flush()
         self.statements_executed += 1
         return result
 
@@ -72,6 +88,7 @@ class Session:
 
     def explain(self, sql: str) -> str:
         """Plan text for a SELECT without executing it (reader side)."""
+        self._check_open()
         engine = self.engine
         statement = parse(sql)
         if not isinstance(statement, ast.SelectStatement):

@@ -11,6 +11,10 @@ class ReproError(Exception):
     """Base class for every error raised by this library."""
 
 
+class ConfigError(ReproError):
+    """Invalid configuration value (engine, JITS or server knobs)."""
+
+
 class SqlSyntaxError(ReproError):
     """The SQL text could not be tokenized or parsed."""
 

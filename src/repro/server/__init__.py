@@ -1,0 +1,35 @@
+"""Network front-end: wire protocol, asyncio server, blocking client."""
+
+from .client import Client, RemoteResult, connect
+from .protocol import (
+    DEFAULT_PORT,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    CancelledStatementError,
+    ProtocolError,
+    ServerBusyError,
+    encode_frame,
+    error_frame,
+    exception_from_frame,
+    read_frame,
+    read_frame_blocking,
+)
+from .server import ReproServer
+
+__all__ = [
+    "ReproServer",
+    "Client",
+    "RemoteResult",
+    "connect",
+    "PROTOCOL_VERSION",
+    "DEFAULT_PORT",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ServerBusyError",
+    "CancelledStatementError",
+    "encode_frame",
+    "error_frame",
+    "exception_from_frame",
+    "read_frame",
+    "read_frame_blocking",
+]

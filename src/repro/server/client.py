@@ -1,0 +1,263 @@
+"""Blocking network client for the repro server.
+
+:class:`Client` mirrors the engine's session surface (``execute`` /
+``explain``), so the CLI shell, tests and benchmarks drive a remote
+server exactly the way they drive an in-process engine. Backpressure is
+first-class: a ``busy`` frame raises :class:`ServerBusyError` unless the
+caller opted into bounded retries with exponential backoff.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..types import Value
+from .protocol import (
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServerBusyError,
+    encode_frame,
+    exception_from_frame,
+    read_frame_blocking,
+)
+
+
+@dataclass
+class RemoteResult:
+    """Client-side view of a ``result`` frame (QueryResult's wire subset)."""
+
+    statement_type: str
+    columns: List[str] = field(default_factory=list)
+    rows: List[Tuple[Value, ...]] = field(default_factory=list)
+    affected_rows: int = 0
+    timings: Dict[str, float] = field(default_factory=dict)
+    jits_report = None  # parity with QueryResult for shared CLI paths
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows) if self.rows else self.affected_rows
+
+    @property
+    def compile_time(self) -> float:
+        return self.timings.get("compile", 0.0)
+
+    @property
+    def execution_time(self) -> float:
+        return self.timings.get("execute", 0.0)
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+
+class Client:
+    """One blocking connection to a :class:`ReproServer`.
+
+    Not thread-safe (like a session): one client object per thread.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 30.0,
+        connect_retries: int = 20,
+        retry_delay: float = 0.1,
+    ):
+        last_error: Optional[OSError] = None
+        self._sock: Optional[socket.socket] = None
+        for _ in range(max(1, connect_retries)):
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout
+                )
+                break
+            except OSError as exc:
+                last_error = exc
+                time.sleep(retry_delay)
+        if self._sock is None:
+            raise ProtocolError(
+                f"could not connect to {host}:{port}: {last_error}"
+            )
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        self._out_of_order: Dict[object, Dict] = {}
+        self.send_raw(
+            {
+                "type": "hello",
+                "version": PROTOCOL_VERSION,
+                "client": "repro-client",
+            }
+        )
+        greeting = self.recv_raw()
+        if greeting.get("type") == "error":
+            raise exception_from_frame(greeting)
+        if greeting.get("type") != "hello_ok":
+            raise ProtocolError(
+                f"unexpected handshake reply {greeting.get('type')!r}"
+            )
+        self.server_info = greeting
+
+    # ------------------------------------------------------------------
+    # Raw frame plumbing (also used by tests to pipeline/flood)
+    # ------------------------------------------------------------------
+    def next_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def send_raw(self, frame: Dict) -> None:
+        if self._sock is None:
+            raise ProtocolError("client is closed")
+        self._sock.sendall(encode_frame(frame))
+
+    def recv_raw(self) -> Dict:
+        try:
+            return read_frame_blocking(self._file)
+        except socket.timeout as exc:
+            raise ProtocolError("timed out waiting for a frame") from exc
+
+    def _request(self, frame: Dict) -> Dict:
+        """Send one request and wait for the frame echoing its id."""
+        rid = frame["id"]
+        self.send_raw(frame)
+        if rid in self._out_of_order:
+            return self._out_of_order.pop(rid)
+        while True:
+            reply = self.recv_raw()
+            if reply.get("id") == rid:
+                return reply
+            # A reply for a different id (e.g. the error frame of a
+            # cancelled statement): hold it for its requester.
+            self._out_of_order[reply.get("id")] = reply
+
+    def _unwrap(self, reply: Dict, want: str) -> Dict:
+        if reply["type"] == "error":
+            raise exception_from_frame(reply)
+        if reply["type"] == "busy":
+            raise ServerBusyError(
+                "server busy (admission caps full); retry",
+                inflight=reply.get("inflight", -1),
+                cap=reply.get("cap", -1),
+            )
+        if reply["type"] != want:
+            raise ProtocolError(
+                f"expected a {want!r} frame, got {reply['type']!r}"
+            )
+        return reply
+
+    def _retrying(self, frame_factory, want: str, busy_retries: int,
+                  busy_backoff: float) -> Dict:
+        attempt = 0
+        while True:
+            try:
+                return self._unwrap(self._request(frame_factory()), want)
+            except ServerBusyError:
+                if attempt >= busy_retries:
+                    raise
+                time.sleep(busy_backoff * (2 ** attempt))
+                attempt += 1
+
+    # ------------------------------------------------------------------
+    # Session-shaped surface
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        busy_retries: int = 0,
+        busy_backoff: float = 0.05,
+    ) -> RemoteResult:
+        """Execute one statement on the server."""
+        reply = self._retrying(
+            lambda: {"type": "query", "id": self.next_id(), "sql": sql},
+            "result",
+            busy_retries,
+            busy_backoff,
+        )
+        return RemoteResult(
+            statement_type=reply.get("statement_type", "unknown"),
+            columns=list(reply.get("columns", [])),
+            rows=[tuple(row) for row in reply.get("rows", [])],
+            affected_rows=int(reply.get("affected_rows", 0)),
+            timings={
+                str(k): float(v)
+                for k, v in dict(reply.get("timings", {})).items()
+            },
+        )
+
+    def explain(
+        self,
+        sql: str,
+        busy_retries: int = 0,
+        busy_backoff: float = 0.05,
+    ) -> str:
+        reply = self._retrying(
+            lambda: {"type": "explain", "id": self.next_id(), "sql": sql},
+            "plan",
+            busy_retries,
+            busy_backoff,
+        )
+        return str(reply.get("text", ""))
+
+    def stats(self) -> Dict:
+        reply = self._unwrap(
+            self._request({"type": "stats", "id": self.next_id()}),
+            "stats_result",
+        )
+        return dict(reply.get("stats", {}))
+
+    def ping(self) -> float:
+        """Round-trip a ping; returns the latency in seconds."""
+        started = time.perf_counter()
+        self._unwrap(
+            self._request({"type": "ping", "id": self.next_id()}), "pong"
+        )
+        return time.perf_counter() - started
+
+    def cancel(self, target: int) -> bool:
+        """Best-effort cancel of a pipelined request by id."""
+        reply = self._unwrap(
+            self._request(
+                {"type": "cancel", "id": self.next_id(), "target": target}
+            ),
+            "cancel_result",
+        )
+        return bool(reply.get("cancelled", False))
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    timeout: float = 30.0,
+    connect_retries: int = 20,
+    retry_delay: float = 0.1,
+) -> Client:
+    """Open a blocking client connection (retries while the server boots)."""
+    return Client(
+        host=host,
+        port=port,
+        timeout=timeout,
+        connect_retries=connect_retries,
+        retry_delay=retry_delay,
+    )

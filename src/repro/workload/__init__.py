@@ -13,6 +13,7 @@ from .queries import (
     WorkloadGenerator,
     WorkloadOptions,
     generate_workload,
+    mixed_client_streams,
 )
 from .report import (
     BoxStats,
@@ -42,6 +43,7 @@ __all__ = [
     "WorkloadOptions",
     "GeneratedWorkload",
     "DEFAULT_STATEMENTS",
+    "mixed_client_streams",
     "Setting",
     "QueryRecord",
     "WorkloadRunReport",

@@ -287,3 +287,88 @@ def generate_workload(
     profile: GeneratorProfile, options: Optional[WorkloadOptions] = None
 ) -> GeneratedWorkload:
     return WorkloadGenerator(profile, options).generate()
+
+
+# ----------------------------------------------------------------------
+# Multi-client serving streams
+# ----------------------------------------------------------------------
+#: First accident id used by client-private DML ranges: far above any id
+#: the generator or the interleaved workload DML will ever touch.
+CLIENT_DML_BASE_ID = 5_000_000
+
+_SERVING_SELECTS = [
+    "SELECT COUNT(*) FROM car WHERE make = 'Toyota' AND model = 'Camry'",
+    "SELECT id, price FROM car WHERE price < 20000 AND year > 1999",
+    "SELECT COUNT(*) FROM demographics WHERE city = 'Ottawa' AND salary > 5000",
+    "SELECT o.id, COUNT(*) FROM owner o, car c WHERE c.ownerid = o.id "
+    "AND c.year > 2000 GROUP BY o.id",
+    "SELECT make, COUNT(*) FROM car WHERE year >= 1998 GROUP BY make",
+    "SELECT AVG(price) FROM car WHERE make = 'Ford'",
+]
+
+
+def mixed_client_streams(
+    n_clients: int = 4,
+    per_client: int = 12,
+    seed: int = 11,
+    base_id: int = CLIENT_DML_BASE_ID,
+) -> List[List[str]]:
+    """Per-client statement streams whose results are interleaving-free.
+
+    Each client mixes decision-support SELECTs over car/owner/demographics
+    (tables no stream writes) with INSERT/UPDATE/DELETE confined to a
+    client-private ``accidents`` id range, plus SELECTs over only that
+    range. Any concurrent interleaving of the streams therefore yields
+    byte-identical per-statement results to a sequential run — the
+    correctness oracle for the network server's mixed workload tests.
+    """
+    rng = make_rng(seed)
+    span = 10 * per_client
+    streams: List[List[str]] = []
+    for client in range(n_clients):
+        lo = base_id + client * span
+        next_id = lo
+        stream: List[str] = []
+        for turn in range(per_client):
+            roll = turn % 4
+            if roll == 0:
+                values = []
+                for _ in range(3):
+                    carid = int(rng.integers(0, 5))
+                    damage = round(float(rng.uniform(500, 9000)), 2)
+                    values.append(
+                        f"({next_id}, {carid}, 'client{client}', {damage}, "
+                        f"{int(rng.integers(1995, 2007))}, "
+                        f"{int(rng.integers(1, 4))})"
+                    )
+                    next_id += 1
+                stream.append(
+                    "INSERT INTO accidents (id, carid, driver, damage, "
+                    "year, severity) VALUES " + ", ".join(values)
+                )
+            elif roll == 1:
+                stream.append(
+                    "UPDATE accidents SET damage = damage + 250.0 "
+                    f"WHERE id >= {lo} AND id < {lo + span}"
+                )
+            elif roll == 2:
+                stream.append(
+                    "SELECT COUNT(*), SUM(damage) FROM accidents "
+                    f"WHERE id >= {lo} AND id < {lo + span}"
+                )
+            else:
+                stream.append(
+                    _SERVING_SELECTS[
+                        int(rng.integers(0, len(_SERVING_SELECTS)))
+                    ]
+                )
+        stream.append(
+            f"DELETE FROM accidents WHERE id >= {lo} AND id < {lo + span} "
+            "AND severity >= 3"
+        )
+        stream.append(
+            "SELECT COUNT(*) FROM accidents "
+            f"WHERE id >= {lo} AND id < {lo + span}"
+        )
+        streams.append(stream)
+    return streams

@@ -4,7 +4,18 @@ import io
 
 import pytest
 
-from repro.cli import build_parser, format_rows, main, make_engine, repl
+from repro.cli import (
+    build_parser,
+    build_serve_parser,
+    connect_main,
+    format_error_caret,
+    format_rows,
+    main,
+    make_engine,
+    network_repl,
+    repl,
+    run_statement,
+)
 
 
 def test_one_shot_execute(capsys):
@@ -86,3 +97,95 @@ def test_repl_commands():
     assert "1 row(s)" in text
     assert "SeqScan" in text
     assert "unknown command" in text
+
+
+def test_syntax_error_caret_points_at_token():
+    args = build_parser().parse_args(["--scale", "0.0004", "--no-jits"])
+    engine = make_engine(args)
+    out = io.StringIO()
+    sql = "SELECT id FROM car WHRE make = 'Toyota'"
+    run_statement(engine, sql, explain=False, out=out)
+    text = out.getvalue()
+    assert "error:" in text
+    lines = text.splitlines()
+    assert lines[-2].strip() == sql
+    caret = lines[-1]
+    assert caret.strip() == "^"
+    # The parser anchors the error at the token its message names.
+    assert "near 'make'" in text
+    assert caret.index("^") - 2 == sql.index("make")
+
+
+def test_format_error_caret_bounds():
+    from repro import SqlSyntaxError
+
+    assert format_error_caret("SELECT", SqlSyntaxError("x", position=-1)) == ""
+    assert format_error_caret("SELECT", SqlSyntaxError("x", position=99)) == ""
+    assert "^" in format_error_caret("SELECT", SqlSyntaxError("x", position=0))
+
+
+def test_serve_parser_knobs():
+    args = build_serve_parser().parse_args(
+        ["--port", "0", "--max-inflight", "3", "--per-client-inflight", "1"]
+    )
+    assert args.port == 0
+    assert args.max_inflight == 3
+    assert args.per_client_inflight == 1
+
+
+@pytest.fixture
+def live_server():
+    from repro.server import ReproServer
+
+    args = build_parser().parse_args(["--scale", "0.0004", "--no-jits"])
+    server = ReproServer(make_engine(args), port=0).start_in_thread()
+    yield server
+    server.stop_from_thread()
+
+
+def test_connect_main_one_shot(capsys, live_server):
+    code = connect_main(
+        [
+            "--port", str(live_server.port),
+            "-e", "SELECT COUNT(*) FROM owner",
+            "-e", "DELETE FROM accidents WHERE id < 3",
+            "-e", "SELECT id FROM car WHRE make = 'Toyota'",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "connected to 127.0.0.1" in out
+    assert "1 row(s)" in out
+    assert "delete:" in out
+    # The caret travels over the wire via the error frame's position.
+    assert "error:" in out
+    assert "^" in out
+
+
+def test_connect_main_refuses_dead_port(capsys):
+    code = connect_main(["--port", "1", "--timeout", "0.2"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "error:" in out
+
+
+def test_network_repl_commands(live_server):
+    from repro.server import connect
+
+    client = connect(port=live_server.port)
+    stdin = io.StringIO(
+        "\\help\n"
+        "\\tables\n"
+        "\\stats\n"
+        "SELECT COUNT(*) FROM car;\n"
+        "\\explain SELECT id FROM owner;\n"
+        "\\q\n"
+    )
+    out = io.StringIO()
+    with client:
+        network_repl(client, stdin, out)
+    text = out.getvalue()
+    assert "car (" in text
+    assert "statements_executed=" in text
+    assert "1 row(s)" in text
+    assert "SeqScan" in text or "Scan" in text
