@@ -59,6 +59,19 @@ def test_ablation_history_score(benchmark):
             ["variant", "collections", "avg compile ms", "total modeled kcost"],
             rows,
         ),
+        metrics={
+            "s1_s2": {
+                "collections": eng_s1.jits.total_collections,
+                "avg_compile_ms": rep_s1.avg_compile * 1000,
+                "total_modeled_cost": sum(rep_s1.select_modeled_costs()),
+            },
+            "s2_only": {
+                "collections": eng_udi.jits.total_collections,
+                "avg_compile_ms": rep_udi.avg_compile * 1000,
+                "total_modeled_cost": sum(rep_udi.select_modeled_costs()),
+            },
+        },
+        config={"n_statements": N},
     )
     # UDI-only triggering collects far less (cheap compiles) but pays in
     # plan quality: feedback-detected estimation errors go unfixed.

@@ -70,6 +70,21 @@ def test_ablation_materialize(benchmark):
              "total modeled kcost"],
             rows,
         ),
+        metrics={
+            "archive_on": {
+                "collections": eng_on.jits.total_collections,
+                "archive_size": len(eng_on.jits.archive),
+                "avg_compile_ms": rep_on.avg_compile * 1000,
+                "total_modeled_cost": sum(rep_on.select_modeled_costs()),
+            },
+            "archive_off": {
+                "collections": eng_off.jits.total_collections,
+                "archive_size": len(eng_off.jits.archive),
+                "avg_compile_ms": rep_off.avg_compile * 1000,
+                "total_modeled_cost": sum(rep_off.select_modeled_costs()),
+            },
+        },
+        config={"n_statements": N},
     )
 
     # Without materialization nothing is reusable: every query with

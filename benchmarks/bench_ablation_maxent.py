@@ -84,6 +84,10 @@ def test_ablation_maxent(benchmark):
                 ["naive newest-only", round(without_maxent, 3)],
             ],
         ),
+        metrics={
+            "geo_mean_error_maxent": with_maxent,
+            "geo_mean_error_naive": without_maxent,
+        },
     )
     # Reconciling all retained facts must not hurt, and should help.
     assert with_maxent <= without_maxent * 1.02

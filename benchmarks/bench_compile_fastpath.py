@@ -101,6 +101,14 @@ def test_compile_fastpath(benchmark):
     emit(
         "compile_fastpath",
         format_table(["Mode", "Mean compile ms", "Cache counters"], rows),
+        metrics={
+            "mean_compile_ms": {
+                mode: r["mean_compile_ms"] for mode, r in results.items()
+            },
+            "speedup_cold_over_warm": cold / warm,
+            "speedup_cold_over_fastpath": cold / fast,
+        },
+        config={"templates": len(TEMPLATES), "rounds": ROUNDS},
     )
 
     # Identical answers in every mode, query by query.

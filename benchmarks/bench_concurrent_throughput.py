@@ -81,11 +81,14 @@ def serve(
     def client(stream):
         session = engine.session()
         out = []
+        stamps = []
         for index, sql in stream:
+            stmt_started = time.perf_counter()
             result = session.execute(sql)
+            stamps.append(time.perf_counter() - stmt_started)
             out.append((index, sorted(result.rows)))
             time.sleep(latency)
-        return out
+        return out, stamps
 
     started = time.perf_counter()
     if workers == 1:
@@ -95,10 +98,12 @@ def serve(
             batches = list(pool.map(client, streams))
     elapsed = time.perf_counter() - started
     rows: List[List] = [None] * len(statements)  # type: ignore[list-item]
-    for batch in batches:
+    latencies: List[float] = []
+    for batch, stamps in batches:
+        latencies.extend(stamps)
         for index, sorted_rows in batch:
             rows[index] = sorted_rows
-    return rows, elapsed
+    return rows, elapsed, latencies
 
 
 def reference_rows(engine: Engine, statements: Sequence[str]) -> List[List]:
@@ -119,12 +124,19 @@ def run_bench(scale: float, n_statements: int, seed: int) -> Dict:
     want = reference_rows(engine, statements)
 
     throughput: Dict[int, float] = {}
+    percentiles: Dict[int, Dict[str, float]] = {}
     rows = []
     for workers in WORKER_COUNTS:
-        got, elapsed = serve(engine, statements, workers, latency)
+        got, elapsed, latencies = serve(engine, statements, workers, latency)
         mismatches = sum(1 for g, w in zip(got, want) if g != w)
         qps = n_statements / elapsed
         throughput[workers] = qps
+        ordered = sorted(latencies)
+        percentiles[workers] = {
+            "p50_ms": ordered[len(ordered) // 2] * 1000,
+            "p95_ms": ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+            * 1000,
+        }
         rows.append(
             [
                 str(workers),
@@ -148,6 +160,7 @@ def run_bench(scale: float, n_statements: int, seed: int) -> Dict:
     )
     return {
         "throughput": throughput,
+        "percentiles": percentiles,
         "table": table,
         "latency": latency,
     }
@@ -161,7 +174,19 @@ def test_concurrent_throughput():
 
     n_statements = min(N_STATEMENTS, 240)
     bench = run_bench(SCALE, n_statements, DATA_SEED)
-    emit("bench_concurrent_throughput", bench["table"])
+    emit(
+        "bench_concurrent_throughput",
+        bench["table"],
+        metrics={
+            "ops_per_sec": {str(w): q for w, q in bench["throughput"].items()},
+            "statement_latency": {
+                str(w): p for w, p in bench["percentiles"].items()
+            },
+            "speedup_4_workers": bench["throughput"][4] / bench["throughput"][1],
+            "client_latency_ms": bench["latency"] * 1000,
+        },
+        config={"worker_counts": WORKER_COUNTS, "n_statements": n_statements},
+    )
     speedup = bench["throughput"][4] / bench["throughput"][1]
     assert speedup >= SPEEDUP_BAR, (
         f"4-worker speedup {speedup:.2f}x below the {SPEEDUP_BAR}x bar\n"

@@ -43,11 +43,25 @@ def test_fig3_workload_boxplot(benchmark, setting_reports):
         [s.value for s in reports],
         [BoxStats.of(r.select_totals()) for r in reports.values()],
     )
+    per_setting = {}
+    for setting, report in reports.items():
+        costs = sorted(report.select_modeled_costs())
+        wall = sorted(r.total_time for r in report.select_records())
+        n = len(costs)
+        per_setting[setting.value] = {
+            "total_modeled_cost": float(sum(costs)),
+            "modeled_cost_p50": float(costs[n // 2]),
+            "modeled_cost_p95": float(costs[min(n - 1, int(0.95 * n))]),
+            "wall_p50_ms": wall[n // 2] * 1000,
+            "wall_p95_ms": wall[min(n - 1, int(0.95 * n))] * 1000,
+            "avg_total_ms": report.avg_total * 1000,
+        }
     emit(
         "fig3_workload",
         "Wall-clock per-query totals (ms):\n" + wall_table
         + "\n\nModeled plan cost per query (kcost units):\n" + cost_table
         + "\n\nWall-clock box plot:\n" + plot,
+        metrics=per_setting,
     )
 
     total = {s: sum(r.select_modeled_costs()) for s, r in reports.items()}

@@ -59,6 +59,15 @@ def test_fig4_jits_vs_workload_stats(benchmark, setting_reports):
              "cost imp", "cost deg", "cost ratio"],
             rows,
         ),
+        metrics={
+            label: {
+                "improved": split.improved,
+                "degraded": split.degraded,
+                "cost_ratio": split.total_candidate
+                / max(split.total_baseline, 1e-9),
+            }
+            for label, split in splits.items()
+        },
     )
 
     early = splits["early (first 1/3)"]

@@ -44,6 +44,18 @@ def test_fig5_jits_vs_general_stats(benchmark, setting_reports):
                 ],
             ],
         ),
+        metrics={
+            "wall": {
+                "improved": wall.improved,
+                "degraded": wall.degraded,
+                "total_ratio": wall.total_candidate / wall.total_baseline,
+            },
+            "modeled_cost": {
+                "improved": cost.improved,
+                "degraded": cost.degraded,
+                "total_ratio": cost.total_candidate / cost.total_baseline,
+            },
+        },
     )
 
     # The deterministic comparison: more queries improve than degrade, and

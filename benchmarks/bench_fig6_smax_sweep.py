@@ -67,6 +67,16 @@ def test_fig6_smax_sweep(benchmark):
              "total modeled kcost"],
             rows,
         ),
+        metrics={
+            str(s_max): {
+                "avg_compile_ms": report.avg_compile * 1000,
+                "avg_execute_ms": report.avg_execution * 1000,
+                "avg_total_ms": report.avg_total * 1000,
+                "total_modeled_cost": sum(report.select_modeled_costs()),
+            }
+            for s_max, report in reports.items()
+        },
+        config={"n_statements": N_SWEEP, "s_max_values": list(S_MAX_VALUES)},
     )
 
     compile_ms = {s: r.avg_compile for s, r in reports.items()}

@@ -331,6 +331,16 @@ def test_server_throughput_and_fairness():
         "process, so wire cost would dominate at larger scales)\n"
         + bench["table"] + "\n\nfairness under a flooding client:\n"
         + fairness["table"],
+        metrics={
+            "ops_per_sec": {str(c): q for c, q in bench["qps"].items()},
+            "scaling_4_clients": bench["qps"][4] / bench["qps"][1],
+            "fairness": {
+                "solo_p95_ms": fairness["solo_p95"] * 1000,
+                "flood_p95_ms": fairness["flood_p95"] * 1000,
+                "busy_frames": fairness["busy"],
+            },
+        },
+        config={"capped_scale": scale, "client_counts": CLIENT_COUNTS},
     )
     scaling = bench["qps"][4] / bench["qps"][1]
     assert scaling >= SCALING_BAR, (

@@ -32,6 +32,13 @@ def test_table2_database_sizes(benchmark):
         format_table(
             ["Table", "Paper rows", f"Ours (x{SCALE})", "Columns"], rows
         ),
+        metrics={
+            name: {
+                "paper_rows": PAPER_SIZES[name],
+                "rows": db.table(name).row_count,
+            }
+            for name in ("car", "owner", "demographics", "accidents")
+        },
     )
     # Shape: proportions of Table 2 are preserved.
     ratio_car = db.table("car").row_count / db.table("owner").row_count

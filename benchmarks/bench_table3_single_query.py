@@ -72,6 +72,16 @@ def test_table3_single_query(benchmark):
              "Modeled kcost", "Rows"],
             rows,
         ),
+        metrics={
+            case: {
+                "compile_ms": result.compile_time * 1000,
+                "execute_ms": result.execution_time * 1000,
+                "total_ms": result.total_time * 1000,
+                "modeled_cost": result.modeled_execution_cost(),
+                "rows": result.row_count,
+            }
+            for case, result in results.items()
+        },
     )
 
     # Same answer everywhere.

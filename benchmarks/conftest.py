@@ -8,7 +8,9 @@ Every benchmark regenerates one table or figure of the paper. Knobs:
 * ``REPRO_SEED``        — data/workload seed (default 0/3).
 
 Each bench prints its table to stdout AND appends it to
-``benchmarks/results/<name>.txt`` so results survive pytest's capture.
+``benchmarks/results/<name>.txt`` so results survive pytest's capture,
+plus a machine-readable ``benchmarks/results/BENCH_<name>.json`` (metrics
++ run config) so the perf trajectory is trackable across PRs.
 
 Assertions target the *shape* of the paper's results (who wins, direction
 of trends). Wall-clock numbers are reported; assertions use the
@@ -17,6 +19,7 @@ deterministic modeled-cost metric wherever machine noise could flake.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -40,14 +43,35 @@ WORKLOAD_SEED = 3
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def emit(name: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/results/."""
+def emit(name: str, text: str, metrics=None, config=None) -> None:
+    """Print a result block and persist it under benchmarks/results/.
+
+    Writes the human-readable table to ``<name>.txt`` and a structured
+    ``BENCH_<name>.json`` ({bench, config, metrics}) next to it.
+    ``metrics`` is the bench's own measurement dict (ops/s, p50/p95,
+    counters, ...); ``config`` adds bench-specific knobs on top of the
+    shared scale/statements/seed envelope.
+    """
     banner = f"\n===== {name} (scale={SCALE}, statements={N_STATEMENTS}) ====="
     print(banner)
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     with open(RESULTS_DIR / f"{name}.txt", "w") as f:
         f.write(banner.strip() + "\n" + text + "\n")
+    payload = {
+        "bench": name,
+        "config": {
+            "scale": SCALE,
+            "statements": N_STATEMENTS,
+            "data_seed": DATA_SEED,
+            "workload_seed": WORKLOAD_SEED,
+            **(config or {}),
+        },
+        "metrics": metrics if metrics is not None else {},
+    }
+    with open(RESULTS_DIR / f"BENCH_{name}.json", "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True, default=float)
+        f.write("\n")
 
 
 @pytest.fixture(scope="session")

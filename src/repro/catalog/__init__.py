@@ -1,6 +1,6 @@
 """System catalog: general statistics and the RUNSTATS collection tool."""
 
-from .catalog import SystemCatalog, canonical_group
+from .catalog import CatalogSnapshot, SystemCatalog, canonical_group
 from .runstats import (
     collect_group_statistics,
     collect_workload_statistics,
@@ -18,6 +18,7 @@ from .statistics import (
 
 __all__ = [
     "SystemCatalog",
+    "CatalogSnapshot",
     "canonical_group",
     "run_runstats",
     "collect_group_statistics",

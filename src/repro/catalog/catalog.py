@@ -3,6 +3,15 @@
 The catalog never talks to the optimizer directly; the optimizer goes
 through :mod:`repro.optimizer.selectivity`, which layers QSS (when present)
 over catalog statistics over defaults.
+
+Concurrency: the catalog is RCU-published. All statistics live in one
+immutable :class:`CatalogSnapshot`; writers (RUNSTATS, JITS cardinality
+refresh, migration) copy the affected profile under the writer lock, build
+a new snapshot with a bumped ``version``, and atomically swap it in.
+Readers — the optimizer's selectivity path above all — load the current
+snapshot with a plain attribute read and never take a lock. ``version``
+doubles as the plan-cache invalidation epoch: a snapshot swap *is* the
+signal that cached plans may be stale.
 """
 
 from __future__ import annotations
@@ -24,42 +33,23 @@ def canonical_group(columns: Iterable[str]) -> Tuple[str, ...]:
     return tuple(sorted(c.lower() for c in columns))
 
 
-class SystemCatalog:
-    """All statistics the engine has persisted."""
+class CatalogSnapshot:
+    """One immutable, epoch-stamped view of every catalog statistic.
 
-    def __init__(self) -> None:
-        self._profiles: Dict[str, TableProfile] = {}
-        # Bumped on every statistics write; consumers (the engine's plan
-        # cache) key on it so plans built against superseded statistics
-        # are recompiled.
-        self.version = 0
-        # Guards profile/version mutation and snapshot-style reads.
-        # Statistics objects are replaced wholesale, never mutated in
-        # place, so point reads outside the lock see a consistent entry.
-        self._lock = threading.RLock()
+    The read API mirrors :class:`SystemCatalog`; a compilation that pins
+    a snapshot therefore sees one consistent statistics epoch end to end,
+    no matter what concurrent writers publish meanwhile.
+    """
 
-    def _profile(self, table: str) -> TableProfile:
-        return self._profiles.setdefault(table.lower(), TableProfile())
+    __slots__ = ("version", "_profiles")
 
-    # ------------------------------------------------------------------
-    # Table statistics
-    # ------------------------------------------------------------------
-    def set_table_stats(self, stats: TableStatistics) -> None:
-        with self._lock:
-            self.version += 1
-            self._profile(stats.table).table_stats = stats
+    def __init__(self, version: int, profiles: Dict[str, TableProfile]):
+        self.version = version
+        self._profiles = profiles
 
     def table_stats(self, table: str) -> Optional[TableStatistics]:
         profile = self._profiles.get(table.lower())
         return profile.table_stats if profile else None
-
-    # ------------------------------------------------------------------
-    # Column statistics
-    # ------------------------------------------------------------------
-    def set_column_stats(self, table: str, stats: ColumnStatistics) -> None:
-        with self._lock:
-            self.version += 1
-            self._profile(table).column_stats[stats.column.lower()] = stats
 
     def column_stats(self, table: str, column: str) -> Optional[ColumnStatistics]:
         profile = self._profiles.get(table.lower())
@@ -68,11 +58,99 @@ class SystemCatalog:
         return profile.column_stats.get(column.lower())
 
     def columns_with_stats(self, table: str) -> List[str]:
+        profile = self._profiles.get(table.lower())
+        if profile is None:
+            return []
+        return sorted(profile.column_stats)
+
+    def group_stats(
+        self, table: str, columns: Iterable[str]
+    ) -> Optional[ColumnGroupStatistics]:
+        profile = self._profiles.get(table.lower())
+        if profile is None:
+            return None
+        return profile.group_stats.get(canonical_group(columns))
+
+    def groups_with_stats(self, table: str) -> List[Tuple[str, ...]]:
+        profile = self._profiles.get(table.lower())
+        if profile is None:
+            return []
+        return sorted(profile.group_stats)
+
+    def has_any_stats(self, table: str) -> bool:
+        profile = self._profiles.get(table.lower())
+        return profile is not None and profile.table_stats is not None
+
+
+_EMPTY = CatalogSnapshot(0, {})
+
+
+class SystemCatalog:
+    """All statistics the engine has persisted."""
+
+    def __init__(self) -> None:
+        # The published snapshot. Swapped wholesale on every write; never
+        # mutated in place, so lock-free readers always see a consistent
+        # (profile, version) pair.
+        self._snapshot: CatalogSnapshot = _EMPTY
+        # Serializes writers only. Readers never touch it.
+        self._lock = threading.Lock()
+
+    @property
+    def version(self) -> int:
+        """Statistics epoch: bumps exactly when a new snapshot publishes."""
+        return self._snapshot.version
+
+    def snapshot(self) -> CatalogSnapshot:
+        """The current immutable view (pin it for one compilation)."""
+        return self._snapshot
+
+    def _publish(self, table: str, mutate) -> None:
+        """Copy-on-write the profile for ``table``, apply ``mutate``, swap.
+
+        The copy is shallow one level down: statistics objects themselves
+        are immutable by convention (writers always build replacements),
+        so copying the dicts that hold them is enough for RCU.
+        """
         with self._lock:
-            profile = self._profiles.get(table.lower())
-            if profile is None:
-                return []
-            return sorted(profile.column_stats)
+            current = self._snapshot
+            profiles = dict(current._profiles)
+            old = profiles.get(table.lower())
+            profile = TableProfile(
+                table_stats=old.table_stats if old else None,
+                column_stats=dict(old.column_stats) if old else {},
+                group_stats=dict(old.group_stats) if old else {},
+            )
+            mutate(profile)
+            profiles[table.lower()] = profile
+            self._snapshot = CatalogSnapshot(current.version + 1, profiles)
+
+    # ------------------------------------------------------------------
+    # Table statistics
+    # ------------------------------------------------------------------
+    def set_table_stats(self, stats: TableStatistics) -> None:
+        def mutate(profile: TableProfile) -> None:
+            profile.table_stats = stats
+
+        self._publish(stats.table, mutate)
+
+    def table_stats(self, table: str) -> Optional[TableStatistics]:
+        return self._snapshot.table_stats(table)
+
+    # ------------------------------------------------------------------
+    # Column statistics
+    # ------------------------------------------------------------------
+    def set_column_stats(self, table: str, stats: ColumnStatistics) -> None:
+        def mutate(profile: TableProfile) -> None:
+            profile.column_stats[stats.column.lower()] = stats
+
+        self._publish(table, mutate)
+
+    def column_stats(self, table: str, column: str) -> Optional[ColumnStatistics]:
+        return self._snapshot.column_stats(table, column)
+
+    def columns_with_stats(self, table: str) -> List[str]:
+        return self._snapshot.columns_with_stats(table)
 
     # ------------------------------------------------------------------
     # Column-group statistics (workload stats)
@@ -84,38 +162,33 @@ class SystemCatalog:
                 "column-group statistics need at least two columns; "
                 "single columns belong in column statistics"
             )
-        with self._lock:
-            self.version += 1
-            self._profile(stats.table).group_stats[key] = stats
+
+        def mutate(profile: TableProfile) -> None:
+            profile.group_stats[key] = stats
+
+        self._publish(stats.table, mutate)
 
     def group_stats(
         self, table: str, columns: Iterable[str]
     ) -> Optional[ColumnGroupStatistics]:
-        profile = self._profiles.get(table.lower())
-        if profile is None:
-            return None
-        return profile.group_stats.get(canonical_group(columns))
+        return self._snapshot.group_stats(table, columns)
 
     def groups_with_stats(self, table: str) -> List[Tuple[str, ...]]:
-        with self._lock:
-            profile = self._profiles.get(table.lower())
-            if profile is None:
-                return []
-            return sorted(profile.group_stats)
+        return self._snapshot.groups_with_stats(table)
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def clear_table(self, table: str) -> None:
         with self._lock:
-            self.version += 1
-            self._profiles.pop(table.lower(), None)
+            current = self._snapshot
+            profiles = dict(current._profiles)
+            profiles.pop(table.lower(), None)
+            self._snapshot = CatalogSnapshot(current.version + 1, profiles)
 
     def clear(self) -> None:
         with self._lock:
-            self.version += 1
-            self._profiles.clear()
+            self._snapshot = CatalogSnapshot(self._snapshot.version + 1, {})
 
     def has_any_stats(self, table: str) -> bool:
-        profile = self._profiles.get(table.lower())
-        return profile is not None and profile.table_stats is not None
+        return self._snapshot.has_any_stats(table)

@@ -2,7 +2,7 @@
 
 from .config import EngineConfig, StatsMode
 from .engine import Engine
-from .locks import AtomicCounter, RWLock
+from .locks import AtomicCounter, LockManager, RWLock
 from .result import PHASE_COMPILE, PHASE_EXECUTE, PHASE_FETCH, QueryResult
 from .session import Session
 
@@ -12,6 +12,7 @@ __all__ = [
     "StatsMode",
     "Session",
     "AtomicCounter",
+    "LockManager",
     "RWLock",
     "QueryResult",
     "PHASE_COMPILE",

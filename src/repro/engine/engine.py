@@ -9,10 +9,12 @@ does (compilation / execution / fetch).
 The engine is thread-safe and serves many clients at once. Each client
 holds a :class:`~repro.engine.session.Session` (``engine.session()``);
 ``engine.execute(sql)`` runs on a built-in default session for
-single-client use. Concurrency control is a database-level
-reader–writer lock (SELECT/EXPLAIN are readers, everything else is a
-writer) plus internally synchronized statistics stores — see the
-README's concurrency-model section.
+single-client use. Concurrency control is a two-level lock hierarchy
+(:class:`~repro.engine.locks.LockManager`: database intent lock +
+per-table reader–writer locks, database-exclusive only for DDL and
+whole-database statistics passes) plus RCU-published statistics stores,
+so the optimizer's statistics reads are lock-free — see the README's
+concurrency-model section.
 """
 
 from __future__ import annotations
@@ -48,7 +50,7 @@ from ..sql.qgm import QueryBlock
 from ..storage import Database
 from ..types import DataType
 from .config import EngineConfig, StatsMode
-from .locks import AtomicCounter, RWLock
+from .locks import AtomicCounter, LockManager, RWLock
 from .plancache import PlanCache
 from .result import PHASE_COMPILE, PHASE_EXECUTE, PHASE_FETCH, QueryResult
 from .session import Session
@@ -80,10 +82,23 @@ class Engine:
         self._clock = AtomicCounter()
         self._statements = AtomicCounter()
         self._session_ids = AtomicCounter()
-        # Database-level reader–writer lock: SELECT/EXPLAIN share it as
-        # readers, DML/DDL/RUNSTATS take it exclusively as writers.
-        self.rwlock = RWLock()
+        # Two-level lock hierarchy: database intent lock + per-table
+        # locks. SELECT/EXPLAIN read-lock their tables, DML write-locks
+        # its target, DDL/RUNSTATS take the database exclusively.
+        self.locks = LockManager(
+            granular=self.config.lock_granularity == "table"
+        )
         self._default_session = Session(self, session_id=0)
+
+    @property
+    def rwlock(self) -> RWLock:
+        """The database-level lock (compatibility alias).
+
+        Holding it in write mode still excludes every statement — table
+        locks are only taken under a shared database lock — so external
+        pause/drain code keeps working unchanged.
+        """
+        return self.locks.database
 
     @property
     def clock(self) -> int:
@@ -178,7 +193,7 @@ class Engine:
     def _dispatch_write(
         self, statement: ast.Statement, parse_time: float, now: int
     ) -> QueryResult:
-        """Run a non-SELECT statement. Caller holds the write lock."""
+        """Run a non-SELECT statement. Caller holds its lock scope."""
         if isinstance(statement, ast.InsertStatement):
             return self._execute_insert(statement, parse_time)
         if isinstance(statement, ast.UpdateStatement):
@@ -213,13 +228,34 @@ class Engine:
         """Plan text for a SELECT without executing it."""
         return self._default_session.explain(sql)
 
+    def _stats_epochs(self) -> Tuple[int, int, int, int]:
+        """The (catalog, archive, history, residual) publication epochs."""
+        jits = self.jits
+        return (
+            self.catalog.version,
+            jits.archive.version,
+            jits.history.version,
+            jits.residual_store.version,
+        )
+
     def stats_snapshot(self) -> Dict[str, object]:
         """A JSON-serializable snapshot of engine/JITS counters.
 
-        Every store read here is internally synchronized, so the snapshot
-        can be taken from any thread without the database lock; counters
-        from different stores may be a statement apart under load.
+        Reads one consistent RCU epoch: the statistics stores publish
+        immutable snapshots, so this seqlock-style loop — read the epoch
+        tuple, build, re-read, retry if any store published meanwhile —
+        never returns a torn view across archive/history/catalog. Under
+        sustained writes it falls back to the last attempt rather than
+        spinning forever.
         """
+        for _ in range(8):
+            before = self._stats_epochs()
+            snapshot = self._build_stats_snapshot()
+            if self._stats_epochs() == before:
+                break
+        return snapshot
+
+    def _build_stats_snapshot(self) -> Dict[str, object]:
         jits = self.jits
         snapshot: Dict[str, object] = {
             "engine": {
@@ -267,7 +303,7 @@ class Engine:
         return snapshot
 
     def _explain_select(self, statement: ast.SelectStatement, now: int) -> str:
-        """EXPLAIN pipeline. Caller holds the read lock."""
+        """EXPLAIN pipeline. Caller holds the read scope."""
         block = build_query_graph(statement, self.database)
         profile, _ = self.jits.before_optimize(block, now)
         optimized = Optimizer(self._stats_context(profile, now)).optimize(block)
@@ -277,9 +313,13 @@ class Engine:
     # SELECT pipeline
     # ------------------------------------------------------------------
     def _stats_context(self, profile, now: int) -> StatsContext:
+        # Pin one catalog epoch for the whole compilation: estimation
+        # reads hit the immutable snapshot (plain attribute loads), and a
+        # concurrent migration/RUNSTATS publishing mid-optimize cannot
+        # show this query a mix of old and new statistics.
         return StatsContext(
             database=self.database,
-            catalog=self.catalog,
+            catalog=self.catalog.snapshot(),
             profile=profile,
             archive=self.jits.archive if self.config.jits.enabled else None,
             residuals=(
@@ -323,7 +363,7 @@ class Engine:
     def _execute_select(
         self, statement: ast.SelectStatement, parse_time: float, now: int
     ) -> QueryResult:
-        """SELECT pipeline. Caller holds the read lock."""
+        """SELECT pipeline. Caller holds the read scope."""
         compile_started = time.perf_counter()
         optimized = None
         template = fingerprint = tables = None
@@ -538,7 +578,7 @@ class Engine:
         self, tables: Optional[Sequence[str]] = None
     ) -> float:
         """RUNSTATS on all (or the given) tables; returns elapsed seconds."""
-        with self.rwlock.write_locked():
+        with self.locks.exclusive():
             return self._collect_general_statistics_locked(tables)
 
     def _collect_general_statistics_locked(
@@ -560,7 +600,7 @@ class Engine:
         column group occurring in any query gets a multi-dimensional
         histogram, built from the full data, once, up front.
         """
-        with self.rwlock.write_locked():
+        with self.locks.exclusive():
             return self._collect_workload_column_groups_locked(statements)
 
     def _collect_workload_column_groups_locked(
@@ -593,9 +633,9 @@ class Engine:
         """Set up initial statistics per the paper's experiment settings."""
         if mode is StatsMode.NONE:
             return
-        # One write-lock span for the whole setup (the lock is not
+        # One exclusive span for the whole setup (the lock is not
         # reentrant, so the locked helpers are called directly).
-        with self.rwlock.write_locked():
+        with self.locks.exclusive():
             self._collect_general_statistics_locked()
             if mode is StatsMode.WORKLOAD:
                 self._collect_workload_column_groups_locked(workload)

@@ -1,27 +1,34 @@
 """Concurrency primitives for the multi-client engine.
 
-Two building blocks back the session layer:
+Three building blocks back the session layer:
 
 * :class:`AtomicCounter` — the engine's logical statement clock. Every
   statement draws a unique, monotonically increasing timestamp from it;
   under concurrency the draw order *is* the serialization order of the
   JITS bookkeeping (``now`` values never repeat or go backwards).
-* :class:`RWLock` — the database-level reader–writer lock. SELECT and
-  EXPLAIN compile and execute concurrently as readers (the hot numpy
-  kernels release the GIL); DML, DDL, RUNSTATS and statistics migration
-  take the writer side and run exclusively.
+* :class:`RWLock` — a writer-preferring reader–writer lock, used both as
+  the database *structure* lock and as each table's data lock.
+* :class:`LockManager` — the two-level hierarchy the engine actually
+  acquires through. Every statement first takes the database lock in a
+  shared ("intent") mode, then the per-table locks it needs in sorted
+  name order; database-exclusive mode (DDL, RUNSTATS, statistics setup)
+  takes only the database lock in write mode and therefore excludes
+  every other statement.
 
-The RW lock is writer-preferring: once a writer is waiting, new readers
-queue behind it, so a stream of SELECTs cannot starve DML. Neither side
-is reentrant — the engine acquires the lock exactly once per statement
-and never nests acquisitions (see the lock-order notes in the README's
-concurrency section).
+Deadlock freedom: the database lock is always acquired before any table
+lock, table locks are always acquired in sorted name order, and no code
+path acquires a second batch of locks while holding a first — so the
+wait-for graph cannot contain a cycle. Writer preference at both levels
+means neither a waiting exclusive operation nor a waiting table writer
+can be starved by a stream of readers. Nothing here is reentrant — the
+engine acquires exactly one lock scope per statement.
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional
 
 
 class AtomicCounter:
@@ -115,3 +122,105 @@ class RWLock:
             yield
         finally:
             self.release_write()
+
+
+class LockManager:
+    """Two-level (database, table) lock hierarchy for statement execution.
+
+    Scopes, from weakest to strongest:
+
+    * :meth:`read_tables` — SELECT/EXPLAIN: database shared + read locks
+      on every referenced table. Concurrent with everything except
+      writers on the same tables and exclusive operations.
+    * :meth:`write_tables` — DML: database shared + write locks on the
+      target tables (sorted order). DML on *disjoint* tables runs
+      concurrently; DML on the same table serializes.
+    * :meth:`exclusive` — DDL, RUNSTATS and statistics setup: the
+      database lock in write mode. Excludes every other statement, so
+      cross-table invariants (the table dict itself, whole-database
+      statistics passes) never see partial state.
+
+    With ``granular=False`` the manager degrades to the pre-existing
+    database-level behaviour (reads share one lock, every write is
+    exclusive) — the baseline the lock-granularity benchmark compares
+    against.
+    """
+
+    def __init__(self, granular: bool = True):
+        self.granular = granular
+        # Database lock: shared ("intent") mode for per-table statements,
+        # write mode for exclusive operations.
+        self.database = RWLock()
+        self._table_locks: Dict[str, RWLock] = {}
+        self._registry = threading.Lock()
+
+    def table_lock(self, name: str) -> RWLock:
+        """The lock for one table, created on first use.
+
+        Locks are keyed by lower-cased name and never discarded — a
+        dropped-and-recreated table reuses its lock, which is harmless
+        and keeps the registry race-free.
+        """
+        key = name.lower()
+        lock = self._table_locks.get(key)
+        if lock is None:
+            with self._registry:
+                lock = self._table_locks.setdefault(key, RWLock())
+        return lock
+
+    def _sorted_locks(self, names: Iterable[str]) -> List[RWLock]:
+        return [self.table_lock(n) for n in sorted({n.lower() for n in names})]
+
+    @contextmanager
+    def read_tables(self, names: Optional[Iterable[str]]):
+        """Reader scope over ``names``; ``None`` falls back to exclusive.
+
+        The fallback covers statements whose table set cannot be
+        determined before binding (unknown tables, odd FROM shapes) —
+        they are about to raise a binding error anyway, and exclusive
+        mode is always safe.
+        """
+        if names is None:
+            with self.database.write_locked():
+                yield
+            return
+        if not self.granular:
+            with self.database.read_locked():
+                yield
+            return
+        self.database.acquire_read()
+        held: List[RWLock] = []
+        try:
+            for lock in self._sorted_locks(names):
+                lock.acquire_read()
+                held.append(lock)
+            yield
+        finally:
+            for lock in reversed(held):
+                lock.release_read()
+            self.database.release_read()
+
+    @contextmanager
+    def write_tables(self, names: Iterable[str]):
+        """Writer scope over ``names`` (DML); sorted-order acquisition."""
+        if not self.granular:
+            with self.database.write_locked():
+                yield
+            return
+        self.database.acquire_read()
+        held: List[RWLock] = []
+        try:
+            for lock in self._sorted_locks(names):
+                lock.acquire_write()
+                held.append(lock)
+            yield
+        finally:
+            for lock in reversed(held):
+                lock.release_write()
+            self.database.release_read()
+
+    @contextmanager
+    def exclusive(self):
+        """Database-exclusive scope (DDL, RUNSTATS, statistics setup)."""
+        with self.database.write_locked():
+            yield

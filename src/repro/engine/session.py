@@ -5,15 +5,18 @@ are cheap, single-threaded objects (one per client thread); the engine
 they share is thread-safe. Each statement a session executes:
 
 1. draws a unique logical timestamp from the engine's atomic clock,
-2. takes the database reader–writer lock — SELECT and EXPLAIN on the
-   reader side, DML/DDL on the writer side,
+2. takes its lock scope from the engine's
+   :class:`~repro.engine.locks.LockManager` — SELECT and EXPLAIN
+   read-lock the tables they reference, DML write-locks its target
+   table (so writes to *disjoint* tables run concurrently), and DDL
+   takes the database exclusively,
 3. (writers) routes UDI activity through the session's private
    :class:`~repro.storage.table.UDIShard` and flushes it at the
-   statement boundary while still holding the write lock, so readers
-   observe a statement's UDI deltas all-or-nothing.
+   statement boundary while still holding the table write lock, so
+   readers observe a statement's UDI deltas all-or-nothing.
 
-Statistics stores (catalog, QSS archive, history, caches) are internally
-synchronized and deliberately *not* covered by the database lock: JITS
+Statistics stores (catalog, QSS archive, history, caches) are
+RCU-published and deliberately *not* covered by the data locks: JITS
 collection, feedback and migration may run on the reader path.
 """
 
@@ -54,8 +57,17 @@ class Session:
         if self.closed:
             raise ReproError(f"session {self.session_id} is closed")
 
+    # Statements whose writes stay within one named table: they take that
+    # table's write lock. Everything else (DDL, index builds) changes the
+    # database structure and runs database-exclusive.
+    _DML_TYPES = (
+        ast.InsertStatement,
+        ast.UpdateStatement,
+        ast.DeleteStatement,
+    )
+
     def execute(self, sql: str) -> QueryResult:
-        """Execute one SQL statement under the database lock."""
+        """Execute one SQL statement under its lock scope."""
         self._check_open()
         engine = self.engine
         started = time.perf_counter()
@@ -64,22 +76,34 @@ class Session:
         now = engine._clock.next()
         engine._statements.next()
         if isinstance(statement, ast.SelectStatement):
-            with engine.rwlock.read_locked():
+            tables = engine._statement_tables(statement)
+            with engine.locks.read_tables(tables):
                 result = engine._execute_select(statement, parse_time, now)
+        elif isinstance(statement, self._DML_TYPES):
+            with engine.locks.write_tables((statement.table,)):
+                result = self._run_write(engine, statement, parse_time, now)
         else:
-            with engine.rwlock.write_locked():
-                try:
-                    with udi_shard_scope(self.shard):
-                        result = engine._dispatch_write(
-                            statement, parse_time, now
-                        )
-                finally:
-                    # Flush inside the write lock, also when the statement
-                    # failed: whatever it already applied to the data must
-                    # reach the UDI counters before readers run, and a
-                    # clean shard keeps the session usable afterwards.
-                    self.shard.flush()
+            with engine.locks.exclusive():
+                result = self._run_write(engine, statement, parse_time, now)
         self.statements_executed += 1
+        return result
+
+    def _run_write(self, engine, statement, parse_time: float, now: int):
+        """Write-statement body; caller holds the statement's lock scope."""
+        try:
+            with udi_shard_scope(self.shard):
+                result = engine._dispatch_write(statement, parse_time, now)
+        finally:
+            # Flush inside the lock scope, also when the statement
+            # failed: whatever it already applied to the data must
+            # reach the UDI counters before readers run, and a
+            # clean shard keeps the session usable afterwards.
+            self.shard.flush()
+            # Durable-commit cost (when configured) is paid before the
+            # locks release, like a log force: it is the lock-hold time
+            # the granularity benchmark overlaps across tables.
+            if engine.config.commit_latency > 0.0:
+                time.sleep(engine.config.commit_latency)
         return result
 
     def execute_all(self, statements: Sequence[str]) -> List[QueryResult]:
@@ -94,7 +118,7 @@ class Session:
         if not isinstance(statement, ast.SelectStatement):
             raise ReproError("EXPLAIN supports SELECT statements only")
         now = engine._clock.next()
-        with engine.rwlock.read_locked():
+        with engine.locks.read_tables(engine._statement_tables(statement)):
             return engine._explain_select(statement, now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -37,6 +37,47 @@ DEFAULT_MAX_CONSTRAINTS = 24
 _ALIGN_TOL = 1e-9
 
 
+class _NullLock:
+    """No-op stand-in for the histogram lock on frozen (immutable) copies.
+
+    Frozen copies are published RCU-style to lock-free readers; their
+    arrays never change, so estimation needs no mutual exclusion at all.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def acquire(self):  # pragma: no cover - RLock API compatibility
+        pass
+
+    def release(self):  # pragma: no cover - RLock API compatibility
+        pass
+
+
+_NULL_LOCK = _NullLock()
+
+
+class _LRUCell:
+    """Mutable recency cell shared between a histogram and its frozen copies.
+
+    ``touch`` is a plain int store (GIL-atomic); a lost race between two
+    concurrent touches costs at most one LRU recency update, which the
+    archive's eviction heuristic tolerates. Sharing the cell lets
+    lock-free readers of a *published* copy keep the *master* entry's
+    recency current without taking the archive lock.
+    """
+
+    __slots__ = ("last_used",)
+
+    def __init__(self, now: int):
+        self.last_used = int(now)
+
+
 @dataclass
 class GridConstraint:
     """An observed fact: ``count(region) == target`` as of ``timestamp``."""
@@ -83,8 +124,10 @@ class AdaptiveGridHistogram:
         # constraint — no maximum-entropy reconciliation of older facts.
         self.calibrate = calibrate
         self.created_at = now
-        self.last_used = now
+        self._lru = _LRUCell(now)
         self._sequence = 0
+        # True on RCU-published copies: arrays are read-only snapshots.
+        self.frozen = False
         # True while deferred observations await a recalibration pass.
         self.dirty = False
         # Bumped whenever the cell grid changes shape (boundary insert,
@@ -263,6 +306,10 @@ class AdaptiveGridHistogram:
         self._check_ndim(region)
         if count < 0:
             raise StatisticsError("observed count must be non-negative")
+        if self.frozen:
+            raise StatisticsError(
+                "cannot observe into a frozen histogram snapshot"
+            )
         with self._hist_lock:
             self._observe_locked(region, count, total, now, calibrate_now)
 
@@ -320,7 +367,7 @@ class AdaptiveGridHistogram:
             self.dirty = True
         self._stamp(clipped, now)
         self._merge_to_budget()
-        self.last_used = max(self.last_used, now)
+        self.touch(now)
 
     def recalibrate(self) -> bool:
         """Run the deferred max-entropy pass; True if anything was dirty."""
@@ -330,9 +377,45 @@ class AdaptiveGridHistogram:
             self._calibrate()
             return True
 
+    @property
+    def last_used(self) -> int:
+        return self._lru.last_used
+
     def touch(self, now: int) -> None:
-        """Record optimizer use (drives the archive's LRU eviction)."""
-        self.last_used = max(self.last_used, now)
+        """Record optimizer use (drives the archive's LRU eviction).
+
+        Lock-free: the recency cell is shared with every frozen copy, so
+        touching a published snapshot keeps the master entry recent.
+        """
+        cell = self._lru
+        if now > cell.last_used:
+            cell.last_used = int(now)
+
+    def freeze(self) -> "AdaptiveGridHistogram":
+        """An immutable copy for RCU publication.
+
+        Counts, timestamps, boundaries and constraints are copied (and
+        the arrays marked read-only); the recency cell is shared with the
+        master so lock-free readers still drive LRU eviction. The copy
+        swaps its lock for a no-op, making estimation a plain array read.
+        """
+        import copy
+
+        with self._hist_lock:
+            clone = copy.copy(self)
+            clone.boundaries = [b.copy() for b in self.boundaries]
+            clone.counts = self.counts.copy()
+            clone.timestamps = self.timestamps.copy()
+            clone.constraints = list(self.constraints)
+            clone._cells_cache = {}
+            clone._cells_cache_version = -1
+        for array in clone.boundaries:
+            array.setflags(write=False)
+        clone.counts.setflags(write=False)
+        clone.timestamps.setflags(write=False)
+        clone.frozen = True
+        clone._hist_lock = _NULL_LOCK
+        return clone
 
     def freshness(self, region: Region) -> int:
         """Oldest timestamp among cells overlapping ``region``."""

@@ -6,13 +6,25 @@ bounded by a space budget. Eviction follows the paper (Section 3.4): when
 the dedicated space is full, remove the histograms that are almost
 uniformly distributed (they say nothing the optimizer's default assumption
 doesn't); ties broken by LRU.
+
+Concurrency: the archive is RCU-published. Writers (observe, the batched
+recalibration pass, drops) mutate the private master entries under the
+archive lock, then publish a new immutable :class:`ArchiveSnapshot` whose
+histograms are frozen copies. The optimizer's read path — ``lookup`` /
+``mark_used`` on every selectivity estimate — is a plain attribute load of
+the current snapshot plus dict probes: no lock, no contention with
+concurrent collection. The snapshot's ``version`` is the archive's
+statistics epoch; the engine's plan cache keys on it, so a publication is
+also the cache-invalidation signal. The writer cost is the copy-on-publish
+of the one changed histogram plus a shallow dict copy — paid per observe,
+amortized over every lock-free read in between.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..histograms import AdaptiveGridHistogram, Region
 from ..storage import Database
@@ -31,6 +43,37 @@ class ArchiveEntry:
     table: str
     columns: ColumnGroup
     histogram: AdaptiveGridHistogram
+
+
+class ArchiveSnapshot:
+    """One immutable, epoch-stamped view of the archive.
+
+    ``entries`` maps archive keys to *frozen* histogram copies; counters
+    are captured at publication time, so a reader holding one snapshot
+    sees a single consistent statistics epoch.
+    """
+
+    __slots__ = (
+        "entries",
+        "version",
+        "total_cells",
+        "evictions",
+        "deferred_recalibrations",
+    )
+
+    def __init__(
+        self,
+        entries: Mapping[Tuple[str, ColumnGroup], AdaptiveGridHistogram],
+        version: int,
+        total_cells: int,
+        evictions: int,
+        deferred_recalibrations: int,
+    ):
+        self.entries = entries
+        self.version = version
+        self.total_cells = total_cells
+        self.evictions = evictions
+        self.deferred_recalibrations = deferred_recalibrations
 
 
 class QSSArchive:
@@ -52,58 +95,110 @@ class QSSArchive:
         # histogram dirty; the IPF pass runs batched at tick()/migration
         # boundaries (or lazily on the first lookup of a dirty histogram).
         self.deferred_calibration = deferred_calibration
+        # Master (writer-side) entries; mutated only under the lock.
         self._entries: Dict[Tuple[str, ColumnGroup], ArchiveEntry] = {}
         self._dirty: set = set()
+        # Keys whose master histogram moved since the last publication;
+        # only these are re-frozen when a snapshot is built.
+        self._changed: set = set()
         self.evictions = 0
-        # Bumped on every observe; plan caches key on it so cached plans
-        # are invalidated when new QSS land.
-        self.version = 0
+        # Bumped on every publication; plan caches key on it so cached
+        # plans are invalidated when new QSS land.
+        self._version = 0
         self.deferred_recalibrations = 0
-        # One lock for the whole archive: concurrent compilations observe,
-        # look up, and (deferred-calibration mode) recalibrate histograms;
-        # the lock makes each such operation atomic and guarantees an IPF
-        # pass over a dirty histogram runs exactly once. Reentrant because
-        # observe() cascades into budget enforcement.
+        # Serializes writers (observe / recalibrate / drop) and their
+        # publication step. Readers go through the published snapshot and
+        # never take it. Reentrant because observe() cascades into budget
+        # enforcement.
         self._lock = threading.RLock()
+        self._snapshot = ArchiveSnapshot({}, 0, 0, 0, 0)
+
+    @property
+    def version(self) -> int:
+        """Statistics epoch: bumps exactly when a new snapshot publishes."""
+        return self._snapshot.version
+
+    def snapshot(self) -> ArchiveSnapshot:
+        """The current immutable view (pin it for one compilation)."""
+        return self._snapshot
+
+    def _publish(self) -> None:
+        """Swap in a new snapshot reflecting the master entries.
+
+        Caller holds the lock. Unchanged histograms reuse their previous
+        frozen copies; only entries whose master histogram moved since the
+        last publication are re-frozen (the copy-on-publish cost).
+        """
+        previous = self._snapshot.entries
+        entries: Dict[Tuple[str, ColumnGroup], AdaptiveGridHistogram] = {}
+        for key, entry in self._entries.items():
+            frozen = previous.get(key)
+            if frozen is None or key in self._changed:
+                frozen = entry.histogram.freeze()
+            entries[key] = frozen
+        self._changed.clear()
+        self._snapshot = ArchiveSnapshot(
+            entries=entries,
+            version=self._version,
+            total_cells=sum(
+                e.histogram.n_cells for e in self._entries.values()
+            ),
+            evictions=self.evictions,
+            deferred_recalibrations=self.deferred_recalibrations,
+        )
 
     # ------------------------------------------------------------------
-    # Lookup
+    # Lookup (the optimizer's lock-free read path)
     # ------------------------------------------------------------------
     def lookup(
         self, table: str, columns: Iterable[str]
     ) -> Optional[AdaptiveGridHistogram]:
         key = self._key(table, columns)
+        hist = self._snapshot.entries.get(key)
+        if hist is None:
+            return None
+        if hist.dirty:
+            # Slow path: a deferred observation has not been calibrated
+            # yet. Calibrate the master once under the lock and publish a
+            # clean copy — readers never see uncalibrated counts.
+            return self._recalibrate_one(key) or hist
+        return hist
+
+    def _recalibrate_one(
+        self, key: Tuple[str, ColumnGroup]
+    ) -> Optional[AdaptiveGridHistogram]:
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                return None
-            if key in self._dirty:
-                # Readers always see calibrated counts, even between batches.
-                self._dirty.discard(key)
-                if entry.histogram.recalibrate():
-                    self.deferred_recalibrations += 1
-            return entry.histogram
+            if entry is None:  # raced with a drop/eviction
+                return self._snapshot.entries.get(key)
+            self._dirty.discard(key)
+            if entry.histogram.recalibrate():
+                self.deferred_recalibrations += 1
+                self._changed.add(key)
+                self._publish()
+            return self._snapshot.entries.get(key)
 
     def mark_used(self, table: str, columns: Iterable[str], now: int) -> None:
-        with self._lock:
-            entry = self._entries.get(self._key(table, columns))
-            if entry is not None:
-                entry.histogram.touch(now)
+        # Lock-free: the frozen copy shares its recency cell with the
+        # master histogram, so touching it drives LRU eviction directly.
+        hist = self._snapshot.entries.get(self._key(table, columns))
+        if hist is not None:
+            hist.touch(now)
 
     def has(self, table: str, columns: Iterable[str]) -> bool:
-        return self._key(table, columns) in self._entries
+        return self._key(table, columns) in self._snapshot.entries
 
     def entries(self) -> List[ArchiveEntry]:
+        """Master entries (writer side) — for migration and diagnostics."""
         with self._lock:
             return list(self._entries.values())
 
     @property
     def total_cells(self) -> int:
-        with self._lock:
-            return sum(e.histogram.n_cells for e in self._entries.values())
+        return self._snapshot.total_cells
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._snapshot.entries)
 
     # ------------------------------------------------------------------
     # Updates
@@ -121,7 +216,8 @@ class QSSArchive:
 
         Creates the histogram on first touch (domain from current column
         min/max), then applies the max-entropy update. Regions must use the
-        canonical (sorted) column order.
+        canonical (sorted) column order. Returns the live master histogram;
+        readers get the frozen copy published by the same call.
         """
         key = self._key(table, columns)
         with self._lock:
@@ -143,8 +239,10 @@ class QSSArchive:
             )
             if self.deferred_calibration:
                 self._dirty.add(key)
-            self.version += 1
+            self._version += 1
+            self._changed.add(key)
             self._enforce_budget(protect=key)
+            self._publish()
             return entry.histogram
 
     def recalibrate_dirty(self) -> int:
@@ -154,14 +252,19 @@ class QSSArchive:
         serialized by the archive lock; whoever arrives first drains the
         dirty set, so each histogram gets exactly one IPF pass per batch.
         """
+        if not self._dirty:
+            return 0
         with self._lock:
             recalibrated = 0
             for key in list(self._dirty):
                 entry = self._entries.get(key)
                 if entry is not None and entry.histogram.recalibrate():
                     recalibrated += 1
+                    self._changed.add(key)
             self._dirty.clear()
             self.deferred_recalibrations += recalibrated
+            if recalibrated:
+                self._publish()
             return recalibrated
 
     def _create_histogram(
@@ -180,8 +283,11 @@ class QSSArchive:
     # ------------------------------------------------------------------
     # Space management
     # ------------------------------------------------------------------
+    def _master_cells(self) -> int:
+        return sum(e.histogram.n_cells for e in self._entries.values())
+
     def _enforce_budget(self, protect: Tuple[str, ColumnGroup]) -> None:
-        while self.total_cells > self.cell_budget and len(self._entries) > 1:
+        while self._master_cells() > self.cell_budget and len(self._entries) > 1:
             victim = self._pick_victim(protect)
             if victim is None:
                 break
@@ -212,7 +318,11 @@ class QSSArchive:
         key = self._key(table, columns)
         with self._lock:
             self._dirty.discard(key)
-            return self._entries.pop(key, None) is not None
+            dropped = self._entries.pop(key, None) is not None
+            if dropped:
+                self._version += 1
+                self._publish()
+            return dropped
 
     def drop_table(self, table: str) -> int:
         with self._lock:
@@ -220,6 +330,9 @@ class QSSArchive:
             for key in keys:
                 del self._entries[key]
                 self._dirty.discard(key)
+            if keys:
+                self._version += 1
+                self._publish()
             return len(keys)
 
     @staticmethod

@@ -287,8 +287,10 @@ class JustInTimeStatistics:
             return 0
         # Claim the heartbeat under the lock so concurrent statements
         # crossing the interval boundary run exactly one migration pass,
-        # but run the pass itself outside it (migration takes the archive
-        # and catalog locks internally).
+        # but run the pass itself outside it. Migration never needs the
+        # engine's data locks: it reads the archive masters under the
+        # archive writer lock and publishes new catalog snapshots, so it
+        # is safe to run from a reader-path statement.
         with self._lock:
             if now - self._last_migration < interval:
                 return 0

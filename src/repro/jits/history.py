@@ -6,19 +6,29 @@ times that combination was used (``count``), and the ``errorfactor`` —
 estimated divided by actual selectivity — the feedback system observed.
 
 This is Table 1 of the paper, as a data structure.
+
+Concurrency: the history is RCU-published. ``record`` (feedback from a
+finished statement) builds a *replacement* entry, copies the entry dict
+under the writer lock and swaps in a new epoch-stamped snapshot; the
+sensitivity-analysis scans (``entries_for_group`` / ``entries_using_stat``)
+iterate the published dict lock-free. Entries are never mutated after
+publication, so a scan always sees internally consistent (count,
+errorfactor) pairs.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 ColumnGroup = Tuple[str, ...]
 
 # New error observations are folded into the stored errorfactor with
 # exponential smoothing so an entry tracks recent behaviour.
 _SMOOTHING = 0.5
+
+_HistoryKey = Tuple[str, ColumnGroup, Tuple[ColumnGroup, ...]]
 
 
 def canonical_colgroup(columns: Iterable[str]) -> ColumnGroup:
@@ -52,20 +62,38 @@ class HistoryEntry:
         return min(self.errorfactor, 1.0 / self.errorfactor)
 
 
+class HistorySnapshot:
+    """One immutable, epoch-stamped view of every history entry."""
+
+    __slots__ = ("version", "entries")
+
+    def __init__(self, version: int, entries: Mapping[_HistoryKey, HistoryEntry]):
+        self.version = version
+        self.entries = entries
+
+
+_EMPTY = HistorySnapshot(0, {})
+
+
 class StatHistory:
     """All history entries, indexed for the two lookups the paper needs."""
 
     def __init__(self) -> None:
-        self._entries: Dict[
-            Tuple[str, ColumnGroup, Tuple[ColumnGroup, ...]], HistoryEntry
-        ] = {}
-        # Feedback from concurrently executing statements records here
-        # while other compilations scan for sensitivity scores; the lock
-        # keeps iteration and insertion from interleaving.
+        self._snapshot: HistorySnapshot = _EMPTY
+        # Serializes writers only; readers scan the published snapshot.
         self._lock = threading.Lock()
 
+    @property
+    def version(self) -> int:
+        """Statistics epoch: bumps exactly when a new snapshot publishes."""
+        return self._snapshot.version
+
+    def snapshot(self) -> HistorySnapshot:
+        """The current immutable view (pin it for one compilation)."""
+        return self._snapshot
+
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._snapshot.entries)
 
     def record(
         self,
@@ -74,25 +102,37 @@ class StatHistory:
         statlist: Iterable[Iterable[str]],
         errorfactor: float,
     ) -> HistoryEntry:
-        """Insert or update the entry for (table, colgrp, statlist)."""
+        """Insert or update the entry for (table, colgrp, statlist).
+
+        The previous entry (if any) is replaced, never mutated — readers
+        holding an older snapshot keep a consistent view.
+        """
         table = table.lower()
         group = canonical_colgroup(colgrp)
         stats = canonical_statlist(statlist)
         key = (table, group, stats)
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
+            current = self._snapshot
+            old = current.entries.get(key)
+            if old is None:
                 entry = HistoryEntry(
                     table=table, colgrp=group, statlist=stats, count=1,
                     errorfactor=errorfactor,
                 )
-                self._entries[key] = entry
             else:
-                entry.count += 1
-                entry.errorfactor = (
-                    _SMOOTHING * errorfactor
-                    + (1.0 - _SMOOTHING) * entry.errorfactor
+                entry = HistoryEntry(
+                    table=table,
+                    colgrp=group,
+                    statlist=stats,
+                    count=old.count + 1,
+                    errorfactor=(
+                        _SMOOTHING * errorfactor
+                        + (1.0 - _SMOOTHING) * old.errorfactor
+                    ),
                 )
+            entries = dict(current.entries)
+            entries[key] = entry
+            self._snapshot = HistorySnapshot(current.version + 1, entries)
             return entry
 
     def entries_for_group(
@@ -101,12 +141,11 @@ class StatHistory:
         """All entries whose target column group matches (Alg. 3 line 3)."""
         table = table.lower()
         group = canonical_colgroup(colgrp)
-        with self._lock:
-            return [
-                e
-                for e in self._entries.values()
-                if e.table == table and e.colgrp == group
-            ]
+        return [
+            e
+            for e in self._snapshot.entries.values()
+            if e.table == table and e.colgrp == group
+        ]
 
     def entries_using_stat(
         self, table: str, colgrp: Iterable[str]
@@ -114,17 +153,14 @@ class StatHistory:
         """Entries with this column group in their statlist (Alg. 4 line 6)."""
         table = table.lower()
         group = canonical_colgroup(colgrp)
-        with self._lock:
-            return [
-                e
-                for e in self._entries.values()
-                if e.table == table and group in e.statlist
-            ]
+        return [
+            e
+            for e in self._snapshot.entries.values()
+            if e.table == table and group in e.statlist
+        ]
 
     def all_entries(self) -> List[HistoryEntry]:
-        with self._lock:
-            return list(self._entries.values())
+        return list(self._snapshot.entries.values())
 
     def total_count(self) -> int:
-        with self._lock:
-            return sum(e.count for e in self._entries.values())
+        return sum(e.count for e in self._snapshot.entries.values())

@@ -46,7 +46,9 @@ def migrate_archive_to_catalog(
                 ColumnGroupStatistics(
                     table=entry.table,
                     columns=entry.columns,
-                    histogram=_snapshot(entry.histogram),
+                    # Frozen copy — later archive updates publish new
+                    # snapshots and never mutate what the catalog holds.
+                    histogram=entry.histogram.freeze(),
                     collected_at=now,
                 )
             )
@@ -100,21 +102,3 @@ def _migrate_single_column(entry, catalog: SystemCatalog, database, now) -> int:
         )
     catalog.set_column_stats(entry.table, replacement)
     return 1
-
-
-def _snapshot(histogram):
-    """Deep-enough copy so later archive updates don't mutate the catalog."""
-    import copy
-
-    with histogram._hist_lock:
-        clone = copy.copy(histogram)
-        clone.boundaries = [b.copy() for b in histogram.boundaries]
-        clone.counts = histogram.counts.copy()
-        clone.timestamps = histogram.timestamps.copy()
-        clone.constraints = list(histogram.constraints)
-    # The published copy is private to the catalog; give it its own lock
-    # rather than sharing the live histogram's.
-    import threading
-
-    clone._hist_lock = threading.RLock()
-    return clone

@@ -12,13 +12,21 @@ keyed by the predicate's normalized text, bounded by LRU eviction.
 Residual selectivities are measured on the same sample a marked table's
 predicate groups use, so they are only refreshed when the sensitivity
 analysis samples the table anyway.
+
+Concurrency: RCU-published like the other statistics stores. ``record``
+(and eviction) copy the entry dict under the writer lock and swap in a new
+epoch-stamped snapshot; ``lookup`` — on the optimizer's estimation path —
+probes the published dict lock-free. Entries are shared between snapshots,
+and a lookup's LRU touch is a plain (GIL-atomic) field store on the shared
+entry, so recency still reaches the eviction scan without readers ever
+taking the lock.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..predicates.residualkey import residual_key  # re-exported
 
@@ -34,6 +42,19 @@ class ResidualEntry:
     last_used: int
 
 
+class _ResidualSnapshot:
+    __slots__ = ("version", "entries")
+
+    def __init__(
+        self, version: int, entries: Mapping[Tuple[str, str], ResidualEntry]
+    ):
+        self.version = version
+        self.entries = entries
+
+
+_EMPTY = _ResidualSnapshot(0, {})
+
+
 class ResidualStatisticsStore:
     """LRU-bounded map: (table, normalized predicate text) -> selectivity."""
 
@@ -41,45 +62,63 @@ class ResidualStatisticsStore:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._entries: Dict[Tuple[str, str], ResidualEntry] = {}
+        self._snapshot: _ResidualSnapshot = _EMPTY
         self.evictions = 0
-        # Concurrent compilations record and look up residuals; the lock
-        # keeps LRU eviction scans consistent with insertions.
+        # Serializes writers (record / eviction / drop); lookups read the
+        # published snapshot and never take it.
         self._lock = threading.Lock()
 
+    @property
+    def version(self) -> int:
+        """Statistics epoch: bumps exactly when a new snapshot publishes."""
+        return self._snapshot.version
+
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._snapshot.entries)
 
     def record(self, table: str, key: str, selectivity: float, now: int) -> None:
         with self._lock:
-            entry = self._entries.get((table.lower(), key))
+            current = self._snapshot
+            entry = current.entries.get((table.lower(), key))
             if entry is not None:
+                # In-place refresh of the shared entry: field stores are
+                # GIL-atomic, and selectivity/collected_at always move
+                # together under the writer lock.
                 entry.selectivity = selectivity
                 entry.collected_at = now
                 entry.last_used = max(entry.last_used, now)
+                entries = dict(current.entries)
             else:
-                self._entries[(table.lower(), key)] = ResidualEntry(
+                entries = dict(current.entries)
+                entries[(table.lower(), key)] = ResidualEntry(
                     selectivity=selectivity, collected_at=now, last_used=now
                 )
-                self._evict_to_capacity()
+                self._evict_to_capacity(entries)
+            self._snapshot = _ResidualSnapshot(current.version + 1, entries)
 
     def lookup(self, table: str, key: str, now: int) -> Optional[float]:
-        with self._lock:
-            entry = self._entries.get((table.lower(), key))
-            if entry is None:
-                return None
-            entry.last_used = max(entry.last_used, now)
-            return entry.selectivity
+        entry = self._snapshot.entries.get((table.lower(), key))
+        if entry is None:
+            return None
+        # Lock-free LRU touch on the shared entry; a lost race with a
+        # concurrent touch only costs a slightly stale recency.
+        if now > entry.last_used:
+            entry.last_used = now
+        return entry.selectivity
 
-    def _evict_to_capacity(self) -> None:
-        while len(self._entries) > self.capacity:
-            victim = min(self._entries.items(), key=lambda kv: kv[1].last_used)[0]
-            del self._entries[victim]
+    def _evict_to_capacity(self, entries: Dict[Tuple[str, str], ResidualEntry]) -> None:
+        while len(entries) > self.capacity:
+            victim = min(entries.items(), key=lambda kv: kv[1].last_used)[0]
+            del entries[victim]
             self.evictions += 1
 
     def drop_table(self, table: str) -> int:
         with self._lock:
-            keys = [k for k in self._entries if k[0] == table.lower()]
-            for key in keys:
-                del self._entries[key]
+            current = self._snapshot
+            keys = [k for k in current.entries if k[0] == table.lower()]
+            if keys:
+                entries = dict(current.entries)
+                for key in keys:
+                    del entries[key]
+                self._snapshot = _ResidualSnapshot(current.version + 1, entries)
             return len(keys)

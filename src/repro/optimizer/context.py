@@ -61,10 +61,16 @@ class QSSProfile:
 
 @dataclass
 class StatsContext:
-    """Everything the selectivity estimator may consult."""
+    """Everything the selectivity estimator may consult.
+
+    ``catalog`` accepts either a live :class:`SystemCatalog` or one of
+    its immutable :class:`~repro.catalog.CatalogSnapshot` views (the read
+    API is shared); the engine pins a snapshot per compilation so every
+    estimate in one optimization sees one statistics epoch, lock-free.
+    """
 
     database: Database
-    catalog: SystemCatalog
+    catalog: SystemCatalog  # or CatalogSnapshot (same read API)
     profile: Optional[QSSProfile] = None
     archive: Optional[object] = None  # repro.jits.archive.QSSArchive
     residuals: Optional[object] = None  # repro.jits.residuals store

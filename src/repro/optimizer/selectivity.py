@@ -6,6 +6,12 @@ independence assumptions a traditional optimizer falls back on. The
 returned :class:`SelectivityEstimate` also records *which* statistics were
 combined (the ``statlist``), because the JITS StatHistory needs exactly
 that provenance (paper Section 3.3.1).
+
+This is the engine's statistics *read path*, and it is lock-free: the
+context's catalog is an immutable epoch snapshot pinned per compilation,
+and archive/residual lookups probe RCU-published snapshots (frozen
+histograms with no-op locks). Concurrent collection and migration publish
+new snapshots without ever blocking an estimate here.
 """
 
 from __future__ import annotations

@@ -3,9 +3,10 @@
 The server owns one :class:`~repro.engine.engine.Engine` and a bounded
 thread pool. Each accepted connection gets its own
 :class:`~repro.engine.session.Session`; statements run in the pool via
-``run_in_executor`` so the database reader–writer lock and per-session
-UDI-shard semantics are exactly those of in-process clients. The event
-loop itself never executes SQL — it only frames, schedules and replies.
+``run_in_executor`` so the engine's two-level lock hierarchy (database
+intent + per-table locks) and per-session UDI-shard semantics are
+exactly those of in-process clients. The event loop itself never
+executes SQL — it only frames, schedules and replies.
 
 Admission control and fairness:
 

@@ -3,6 +3,12 @@
 This is the engine's physical root object. The system catalog
 (:mod:`repro.catalog`) holds *statistics about* these tables; the database
 holds the tables themselves.
+
+The table dict is not internally synchronized: the engine's
+:class:`~repro.engine.locks.LockManager` guarantees that structural
+mutations (create/drop table, index builds) only run database-exclusive,
+while per-table statements hold the database lock in shared mode — so a
+statement's name lookups here never race a structural change.
 """
 
 from __future__ import annotations

@@ -27,7 +27,7 @@ class UDIShard:
     session installs its shard for the duration of one statement (via
     :func:`udi_shard_scope`), the table mutators deposit their row deltas
     into it, and the session flushes the shard at the statement boundary
-    while still holding the database write lock. Statistics readers
+    while still holding the target table's write lock. Statistics readers
     therefore see UDI totals move in statement-atomic steps, never a
     half-applied statement.
     """
