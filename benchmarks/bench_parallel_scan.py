@@ -1,0 +1,241 @@
+"""Process-parallel table scans: 4-worker pool vs the sequential engine.
+
+Both engines run the identical scan-heavy workload over the identical
+car database with the identical modeled per-row scan cost
+(``EngineConfig.scan_cost_per_row``, the scan-path analogue of the
+lock-granularity bench's ``commit_latency``: a deterministic cost both
+engines pay per scanned row, so the measured speedup is the worker
+overlap, not host-core count). The sequential engine is
+``scan_workers=0`` — the same sharded kernels, run in-process over a
+single shard; the parallel engine shards every scan across a 4-worker
+forkserver pool attached to the shared-memory column exports.
+
+Bars:
+
+* aggregate throughput speedup >= 2.5x at 4 workers;
+* every query's result set byte-identical to the sequential engine
+  (result-match ratio exactly 1.00) — sharding is an execution strategy,
+  never a semantics change.
+
+Run under pytest (the usual path) or standalone:
+
+    python bench_parallel_scan.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+from repro import Engine, EngineConfig
+from repro.workload import build_car_database, format_table
+
+SCAN_WORKERS = 4
+SCAN_COST_PER_ROW = 2e-6  # seconds per scanned row, paid by both engines
+PARALLEL_THRESHOLD = 512
+SPEEDUP_BAR = 2.5  # parallel vs sequential aggregate throughput
+RESULT_MATCH_BAR = 1.0  # fraction of queries with identical result sets
+
+# Scan-heavy workload: every predicate targets an unindexed column, so
+# each query is a full SeqScan of its table (price/year/salary/damage
+# carry sorted indexes and would divert to index scans).
+QUERIES = [
+    "SELECT COUNT(*) FROM car WHERE make = 'Toyota'",
+    "SELECT COUNT(*) FROM car WHERE color IN ('red', 'blue')",
+    "SELECT id FROM car WHERE make = 'Honda' AND color = 'white'",
+    "SELECT COUNT(*) FROM car WHERE model IN ('Camry', 'Civic', 'F150')",
+    "SELECT COUNT(*) FROM owner WHERE age BETWEEN 30 AND 60",
+    "SELECT id FROM owner WHERE gender = 'F' AND age < 25",
+    "SELECT COUNT(*) FROM owner WHERE age > 65",
+    "SELECT COUNT(*) FROM accidents WHERE severity >= 3",
+    "SELECT AVG(damage) FROM accidents WHERE severity = 2",
+    "SELECT COUNT(*) FROM accidents WHERE year BETWEEN 1998 AND 2003",
+    "SELECT COUNT(*) FROM demographics WHERE education = 'phd'",
+    "SELECT COUNT(*) FROM demographics WHERE city IN ('Ottawa', 'Toronto')",
+]
+
+
+def build_engine(
+    workers: int, scale: float, seed: int, cost_per_row: float
+) -> Engine:
+    db, _ = build_car_database(scale=scale, seed=seed)
+    config = EngineConfig.traditional()
+    config.scan_workers = workers
+    config.scan_cost_per_row = cost_per_row
+    config.parallel_threshold_rows = PARALLEL_THRESHOLD
+    return Engine(db, config)
+
+
+def run_engine(engine: Engine, rounds: int) -> Dict:
+    """Canonical per-query results (round 1) plus timed throughput."""
+    results = {sql: sorted(map(repr, engine.execute(sql).rows))
+               for sql in QUERIES}
+    started = time.perf_counter()
+    n = 0
+    for _ in range(rounds):
+        for sql in QUERIES:
+            engine.execute(sql)
+            n += 1
+    elapsed = time.perf_counter() - started
+    return {
+        "results": results,
+        "elapsed": elapsed,
+        "queries_per_sec": n / elapsed,
+        "parallel": engine.stats_snapshot().get("parallel", {}),
+    }
+
+
+def run_bench(
+    scale: float,
+    seed: int,
+    rounds: int,
+    cost_per_row: float = SCAN_COST_PER_ROW,
+    workers: int = SCAN_WORKERS,
+) -> Dict:
+    runs = {}
+    for label, n_workers in (("sequential", 0), (f"{workers}w", workers)):
+        engine = build_engine(n_workers, scale, seed, cost_per_row)
+        try:
+            runs[label] = run_engine(engine, rounds)
+        finally:
+            engine.shutdown()
+
+    par_label = f"{workers}w"
+    matched = sum(
+        runs[par_label]["results"][sql] == runs["sequential"]["results"][sql]
+        for sql in QUERIES
+    )
+    result_match_ratio = matched / len(QUERIES)
+    speedup = (
+        runs[par_label]["queries_per_sec"]
+        / runs["sequential"]["queries_per_sec"]
+    )
+
+    par_stats = runs[par_label]["parallel"]
+    rows = [
+        [
+            label,
+            f"{run['elapsed']:.3f}",
+            f"{run['queries_per_sec']:.1f}",
+            str(run["parallel"].get("parallel_calls", 0)),
+            str(run["parallel"].get("inline_calls", 0)),
+            str(run["parallel"].get("fallbacks", 0)),
+        ]
+        for label, run in runs.items()
+    ]
+    table = (
+        f"Scan-heavy workload, {len(QUERIES)} queries x {rounds} rounds "
+        f"(modeled scan cost {cost_per_row * 1e6:.1f} us/row):\n"
+        + format_table(
+            ["engine", "elapsed_s", "queries/s", "pool calls",
+             "inline calls", "fallbacks"],
+            rows,
+        )
+        + f"\n{workers}-worker speedup: {speedup:.2f}x (bar {SPEEDUP_BAR}x)"
+        + f"\nresult-match ratio vs sequential: {result_match_ratio:.2f} "
+        f"(bar {RESULT_MATCH_BAR:.2f})"
+        + f"\ntables exported: {par_stats.get('tables_exported', 0)}, "
+        f"worker respawns: {par_stats.get('worker_respawns', 0)}"
+    )
+    return {
+        "runs": runs,
+        "speedup": speedup,
+        "result_match_ratio": result_match_ratio,
+        "table": table,
+    }
+
+
+def check_bars(bench: Dict, speedup_bar: float = SPEEDUP_BAR) -> List[str]:
+    failures = []
+    if bench["speedup"] < speedup_bar:
+        failures.append(
+            f"4-worker speedup {bench['speedup']:.2f}x < {speedup_bar}x"
+        )
+    if bench["result_match_ratio"] < RESULT_MATCH_BAR:
+        failures.append(
+            f"result-match ratio {bench['result_match_ratio']:.2f} < "
+            f"{RESULT_MATCH_BAR:.2f}"
+        )
+    par = bench["runs"][[k for k in bench["runs"] if k != "sequential"][0]]
+    if par["parallel"].get("fallbacks", 0):
+        failures.append(
+            f"parallel engine fell back {par['parallel']['fallbacks']} time(s)"
+        )
+    return failures
+
+
+def json_metrics(bench: Dict) -> Dict:
+    return {
+        "engines": {
+            label: {
+                "elapsed_s": run["elapsed"],
+                "queries_per_sec": run["queries_per_sec"],
+                "parallel_calls": run["parallel"].get("parallel_calls", 0),
+                "inline_calls": run["parallel"].get("inline_calls", 0),
+                "fallbacks": run["parallel"].get("fallbacks", 0),
+            }
+            for label, run in bench["runs"].items()
+        },
+        "speedup_4_workers": bench["speedup"],
+        "result_match_ratio": bench["result_match_ratio"],
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+def test_parallel_scan():
+    from conftest import DATA_SEED, SCALE, emit
+
+    bench = run_bench(min(SCALE, 0.02), DATA_SEED, rounds=2)
+    emit(
+        "bench_parallel_scan",
+        bench["table"],
+        metrics=json_metrics(bench),
+        config={
+            "scan_workers": SCAN_WORKERS,
+            "scan_cost_per_row": SCAN_COST_PER_ROW,
+            "parallel_threshold_rows": PARALLEL_THRESHOLD,
+            "queries": len(QUERIES),
+        },
+    )
+    failures = check_bars(bench)
+    assert not failures, "\n".join(failures) + "\n" + bench["table"]
+
+
+# ----------------------------------------------------------------------
+# standalone entry point (CI smoke)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scale / one round: verify identical results and that "
+        "the overlap materializes, with a relaxed speedup bar",
+    )
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    scale = 0.005 if args.smoke else args.scale
+    rounds = 1 if args.smoke else args.rounds
+    cost = 1e-5 if args.smoke else SCAN_COST_PER_ROW
+    bench = run_bench(scale, args.seed, rounds, cost_per_row=cost)
+    print(bench["table"])
+    failures = check_bars(bench, speedup_bar=1.5 if args.smoke else SPEEDUP_BAR)
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print(
+        f"OK: speedup {bench['speedup']:.2f}x, result-match ratio "
+        f"{bench['result_match_ratio']:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,21 +43,34 @@ WORKLOAD_SEED = 3
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _atomic_write(path: Path, content: str) -> None:
+    """Write via a same-directory temp file + rename, so an interrupted
+    or partial benchmark run never truncates a previous good result."""
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    with open(tmp, "w") as f:
+        f.write(content)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
 def emit(name: str, text: str, metrics=None, config=None) -> None:
     """Print a result block and persist it under benchmarks/results/.
 
     Writes the human-readable table to ``<name>.txt`` and a structured
-    ``BENCH_<name>.json`` ({bench, config, metrics}) next to it.
-    ``metrics`` is the bench's own measurement dict (ops/s, p50/p95,
-    counters, ...); ``config`` adds bench-specific knobs on top of the
-    shared scale/statements/seed envelope.
+    ``BENCH_<name>.json`` ({bench, config, metrics}) next to it, both
+    atomically (temp file + rename). ``metrics`` is the bench's own
+    measurement dict (ops/s, p50/p95, counters, ...); ``config`` adds
+    bench-specific knobs on top of the shared scale/statements/seed
+    envelope.
     """
     banner = f"\n===== {name} (scale={SCALE}, statements={N_STATEMENTS}) ====="
     print(banner)
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    with open(RESULTS_DIR / f"{name}.txt", "w") as f:
-        f.write(banner.strip() + "\n" + text + "\n")
+    _atomic_write(
+        RESULTS_DIR / f"{name}.txt", banner.strip() + "\n" + text + "\n"
+    )
     payload = {
         "bench": name,
         "config": {
@@ -69,9 +82,10 @@ def emit(name: str, text: str, metrics=None, config=None) -> None:
         },
         "metrics": metrics if metrics is not None else {},
     }
-    with open(RESULTS_DIR / f"BENCH_{name}.json", "w") as f:
-        json.dump(payload, f, indent=2, sort_keys=True, default=float)
-        f.write("\n")
+    _atomic_write(
+        RESULTS_DIR / f"BENCH_{name}.json",
+        json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -55,11 +55,16 @@ def run_runstats(
     n_frequent: int = DEFAULT_N_FREQUENT,
     sample_size: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    parallel=None,
 ) -> TableStatistics:
     """Collect statistics on one table and store them in the catalog.
 
     ``sample_size=None`` scans the full table (exact statistics). With a
     sample, distinct counts and histograms are scaled up from the sample.
+    ``parallel`` (a ``ParallelScanManager``) shards the per-column
+    distribution passes across the worker pool — one task per column over
+    the same parent-drawn sample rows, so statistics are identical either
+    way.
     """
     table = database.table(table_name)
     cardinality = table.row_count
@@ -85,12 +90,81 @@ def run_runstats(
         names = list(columns) if columns is not None else list(
             table.schema.column_names()
         )
-        for name in names:
-            stats = _column_statistics(
-                table, name, rows, scale, now, n_buckets, n_frequent
+        raw_by_name = None
+        if parallel is not None:
+            integral_by_name = {
+                name: table.schema.column(name).dtype is not DataType.FLOAT
+                for name in names
+            }
+            raw_by_name = parallel.column_statistics(
+                table,
+                names,
+                rows,
+                scale,
+                n_buckets,
+                n_frequent,
+                integral_by_name,
             )
+        for name in names:
+            if raw_by_name is not None:
+                stats = ColumnStatistics(
+                    column=name,
+                    dtype=table.schema.column(name).dtype,
+                    collected_at=now,
+                    **raw_by_name[name],
+                )
+            else:
+                stats = _column_statistics(
+                    table, name, rows, scale, now, n_buckets, n_frequent
+                )
             catalog.set_column_stats(table.name, stats)
     return table_stats
+
+
+def column_stats_raw(
+    data: np.ndarray,
+    integral: bool,
+    scale: float,
+    n_buckets: int,
+    n_frequent: int,
+) -> dict:
+    """Distribution statistics of one physical column array.
+
+    Pure function over the (already row-filtered) physical values —
+    shared by the sequential path below and the process-parallel
+    ``column_stats`` kernel, so both compute identical statistics.
+    Returns ``ColumnStatistics`` field values keyed by name.
+    """
+    data = data.astype(np.float64)
+    if len(data) == 0:
+        return dict(
+            n_distinct=0.0,
+            min_value=0.0,
+            max_value=0.0,
+            row_count=0.0,
+            frequent_values=[],
+            histogram=None,
+        )
+    ndv = float(len(np.unique(data)))
+    if scale > 1.0:
+        # First-order unique-count scale-up; exact enough for the cost
+        # model (the paper's point is *correlations*, not NDV accuracy).
+        ndv = min(ndv * scale, float(len(data)) * scale)
+    histogram = EquiDepthHistogram.build(
+        data, n_buckets=n_buckets, integral=integral
+    )
+    if scale > 1.0:
+        histogram = histogram.scaled(scale)
+    return dict(
+        n_distinct=ndv,
+        min_value=float(data.min()),
+        max_value=float(data.max()),
+        row_count=float(len(data)) * scale,
+        frequent_values=[
+            (v, c * scale) for v, c in top_frequent_values(data, n_frequent)
+        ],
+        histogram=histogram,
+    )
 
 
 def _column_statistics(
@@ -106,42 +180,14 @@ def _column_statistics(
     data = table.column_data(column)
     if rows is not None:
         data = data[rows]
-    data = data.astype(np.float64)
-    if len(data) == 0:
-        return ColumnStatistics(
-            column=column,
-            dtype=dtype,
-            n_distinct=0.0,
-            min_value=0.0,
-            max_value=0.0,
-            row_count=0.0,
-            collected_at=now,
-        )
-    ndv = float(len(np.unique(data)))
-    if scale > 1.0:
-        # First-order unique-count scale-up; exact enough for the cost
-        # model (the paper's point is *correlations*, not NDV accuracy).
-        ndv = min(ndv * scale, float(len(data)) * scale)
-    histogram = None
-    if len(data) > 0:
-        histogram = EquiDepthHistogram.build(
-            data, n_buckets=n_buckets, integral=dtype is not DataType.FLOAT
-        )
-        if scale > 1.0:
-            histogram = histogram.scaled(scale)
-    return ColumnStatistics(
-        column=column,
-        dtype=dtype,
-        n_distinct=ndv,
-        min_value=float(data.min()),
-        max_value=float(data.max()),
-        row_count=float(len(data)) * scale,
-        frequent_values=[
-            (v, c * scale) for v, c in top_frequent_values(data, n_frequent)
-        ],
-        histogram=histogram,
-        collected_at=now,
+    raw = column_stats_raw(
+        data,
+        integral=dtype is not DataType.FLOAT,
+        scale=scale,
+        n_buckets=n_buckets,
+        n_frequent=n_frequent,
     )
+    return ColumnStatistics(column=column, dtype=dtype, collected_at=now, **raw)
 
 
 def collect_group_statistics(

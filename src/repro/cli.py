@@ -65,6 +65,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="run multiple -e statements across N concurrent client "
         "sessions (results print in statement order)",
     )
+    parser.add_argument(
+        "--scan-workers", type=int, default=0, metavar="N",
+        help="process-parallel scan worker pool size (0 disables; scans "
+        "shard across N forkserver workers over shared-memory columns)",
+    )
+    parser.add_argument(
+        "--parallel-threshold", type=int, default=None, metavar="ROWS",
+        help="minimum scanned row count before scans go parallel "
+        "(default 32768)",
+    )
     return parser
 
 
@@ -81,6 +91,10 @@ def make_engine(args: argparse.Namespace) -> Engine:
             config.jits.sample_cache_enabled = False
             config.jits.mask_cache_enabled = False
             config.jits.deferred_calibration = False
+    config.scan_workers = max(0, getattr(args, "scan_workers", 0) or 0)
+    threshold = getattr(args, "parallel_threshold", None)
+    if threshold is not None:
+        config.parallel_threshold_rows = threshold
     return Engine(db, config)
 
 
@@ -185,6 +199,15 @@ def print_stats(engine: Engine, out) -> None:
         out.write(
             f"plan cache: {pc.hits} hit(s), {pc.misses} miss(es), "
             f"{pc.invalidations} invalidation(s), {len(pc)} plan(s)\n"
+        )
+    if engine.parallel is not None:
+        par = engine.parallel.stats()
+        out.write(
+            f"parallel scans [{par['process_path']}]: "
+            f"{par['parallel_calls']} pooled, {par['inline_calls']} inline, "
+            f"{par['fallbacks']} fallback(s), "
+            f"{par['tables_exported']} table export(s), "
+            f"{par['worker_respawns']} respawn(s)\n"
         )
 
 

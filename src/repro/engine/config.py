@@ -52,6 +52,20 @@ class EngineConfig:
     # concurrency benchmarks set it so lock-hold overlap is measurable on
     # hosts with few cores (same spirit as fetch_overhead above).
     commit_latency: float = 0.0
+    # Process-parallel scans (default off). With scan_workers > 0 the
+    # engine keeps a forkserver worker pool attached to shared-memory
+    # column exports; predicate scans, DML WHERE targeting, JITS sample
+    # selectivity evaluation and RUNSTATS column passes shard across the
+    # workers once the scanned row count reaches parallel_threshold_rows.
+    # Any pool/shm failure falls back in-process with a warning.
+    scan_workers: int = 0
+    parallel_threshold_rows: int = 32768
+    # Modeled per-row scan cost (seconds) paid inside the scan kernels —
+    # the scan-path analogue of commit_latency, making worker overlap
+    # measurable on few-core hosts. With scan_workers=0 the cost is still
+    # paid in-process: that is the parallel-scan benchmark's sequential
+    # baseline, so both engines do identical modeled work.
+    scan_cost_per_row: float = 0.0
 
     def __post_init__(self) -> None:
         if self.lock_granularity not in ("table", "database"):
@@ -78,6 +92,19 @@ class EngineConfig:
         if self.fetch_overhead < 0.0:
             raise ConfigError(
                 f"fetch_overhead must be >= 0, got {self.fetch_overhead}"
+            )
+        if self.scan_workers < 0:
+            raise ConfigError(
+                f"scan_workers must be >= 0, got {self.scan_workers}"
+            )
+        if self.parallel_threshold_rows < 1:
+            raise ConfigError(
+                "parallel_threshold_rows must be >= 1, "
+                f"got {self.parallel_threshold_rows}"
+            )
+        if self.scan_cost_per_row < 0.0:
+            raise ConfigError(
+                f"scan_cost_per_row must be >= 0, got {self.scan_cost_per_row}"
             )
 
     @staticmethod

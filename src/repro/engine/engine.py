@@ -34,6 +34,7 @@ from ..catalog import (
 from ..errors import BindingError, ConfigError, ExecutionError, ReproError
 from ..executor import PlanExecutor, collect_feedback
 from ..executor.expr import eval_expr
+from ..executor.parallel import ParallelScanManager
 from ..executor.vector import Batch, batch_from_table
 from ..jits import (
     CompilationReport,
@@ -68,8 +69,28 @@ class Engine:
         self.config = config or EngineConfig.traditional()
         self.catalog = SystemCatalog()
         self.rng = make_rng(self.config.seed)
+        # Process-parallel scan machinery. Also built (poolless) when only
+        # the modeled scan cost is set: that is the sequential baseline of
+        # the parallel-scan benchmark, running the same sharded kernels
+        # in-process.
+        self.parallel: Optional[ParallelScanManager] = (
+            ParallelScanManager(
+                workers=self.config.scan_workers,
+                threshold_rows=self.config.parallel_threshold_rows,
+                cost_per_row=self.config.scan_cost_per_row,
+            )
+            if (
+                self.config.scan_workers > 0
+                or self.config.scan_cost_per_row > 0.0
+            )
+            else None
+        )
         self.jits = JustInTimeStatistics(
-            self.database, self.catalog, self.config.jits, self.rng
+            self.database,
+            self.catalog,
+            self.config.jits,
+            self.rng,
+            parallel=self.parallel,
         )
         self.plan_cache: Optional[PlanCache] = (
             PlanCache(self.config.plan_cache_size)
@@ -115,6 +136,16 @@ class Engine:
     def session(self) -> Session:
         """A new client session; one per concurrent client thread."""
         return Session(self, self._session_ids.next())
+
+    def shutdown(self) -> None:
+        """Release external resources (worker pool, shared memory).
+
+        Idempotent; also runs via atexit hooks inside the parallel
+        manager, but tests and long-lived embedders should call it so
+        /dev/shm segments are unlinked promptly.
+        """
+        if self.parallel is not None:
+            self.parallel.close()
 
     def execute(self, sql: str) -> QueryResult:
         """Execute one SQL statement and report per-phase timings.
@@ -208,6 +239,8 @@ class Engine:
             self.jits.drop_table(statement.table)
             if self.plan_cache is not None:
                 self.plan_cache.drop_table(statement.table)
+            if self.parallel is not None:
+                self.parallel.release_table(statement.table)
             return QueryResult(
                 statement_type="ddl", timings={PHASE_COMPILE: parse_time}
             )
@@ -300,6 +333,8 @@ class Engine:
                 "invalidations": cache.invalidations,
                 "plans": len(cache),
             }
+        if self.parallel is not None:
+            snapshot["parallel"] = self.parallel.stats()
         return snapshot
 
     def _explain_select(self, statement: ast.SelectStatement, now: int) -> str:
@@ -398,7 +433,9 @@ class Engine:
         compile_time = parse_time + (time.perf_counter() - compile_started)
 
         execute_started = time.perf_counter()
-        execution = PlanExecutor(self.database).execute(optimized)
+        execution = PlanExecutor(
+            self.database, parallel=self.parallel
+        ).execute(optimized)
         execute_time = time.perf_counter() - execute_started
 
         fetch_started = time.perf_counter()
@@ -471,8 +508,13 @@ class Engine:
         if where is None:
             rows = np.arange(table.row_count, dtype=np.int64)
         else:
-            mask = group_mask(table, block.local_predicates_for(alias))
-            rows = np.flatnonzero(mask).astype(np.int64)
+            predicates = block.local_predicates_for(alias)
+            rows = None
+            if self.parallel is not None:
+                rows = self.parallel.scan_rows(table, predicates)
+            if rows is None:
+                mask = group_mask(table, predicates)
+                rows = np.flatnonzero(mask).astype(np.int64)
             residuals = block.scan_residuals.get(alias, [])
             if residuals:
                 batch = batch_from_table(table, alias, rows)
@@ -588,7 +630,13 @@ class Engine:
         names = tables if tables is not None else self.database.table_names()
         now = self._clock.next()
         for name in names:
-            run_runstats(self.database, self.catalog, name, now=now)
+            run_runstats(
+                self.database,
+                self.catalog,
+                name,
+                now=now,
+                parallel=self.parallel,
+            )
         return time.perf_counter() - started
 
     def collect_workload_column_groups(

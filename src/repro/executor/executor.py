@@ -85,8 +85,11 @@ class ExecutionResult:
 class PlanExecutor:
     """Executes one optimized query (including derived-table children)."""
 
-    def __init__(self, database: Database):
+    def __init__(self, database: Database, parallel=None):
         self.database = database
+        # Optional ParallelScanManager: when set, predicate SeqScans that
+        # clear its row threshold shard across worker processes.
+        self.parallel = parallel
         self._observations: Dict[str, ScanObservation] = {}
 
     def execute(self, optimized: OptimizedQuery) -> ExecutionResult:
@@ -177,8 +180,12 @@ class PlanExecutor:
         table = self.database.table(node.table_name)
         node.actual_base_rows = table.row_count
         if node.predicates:
-            mask = group_mask(table, node.predicates)
-            rows = np.flatnonzero(mask).astype(np.int64)
+            rows = None
+            if self.parallel is not None:
+                rows = self.parallel.scan_rows(table, node.predicates)
+            if rows is None:
+                mask = group_mask(table, node.predicates)
+                rows = np.flatnonzero(mask).astype(np.int64)
         else:
             rows = np.arange(table.row_count, dtype=np.int64)
         return self._scan_output(node, block, table, rows)
@@ -234,7 +241,7 @@ class PlanExecutor:
 
     def _exec_derived(self, node: DerivedScan, block: QueryBlock) -> Batch:
         child_block: QueryBlock = node.child_block
-        child_executor = PlanExecutor(self.database)
+        child_executor = PlanExecutor(self.database, parallel=self.parallel)
         child_executor._required = _required_columns(child_block)
         child_batch = child_executor._exec(node.child_plan, child_block)
         self._observations.update(child_executor._observations)

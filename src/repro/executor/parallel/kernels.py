@@ -1,0 +1,261 @@
+"""Sharded scan / aggregate / sample-selectivity kernels.
+
+A kernel is a module-level function taking ``(arrays, **kwargs)`` where
+``arrays`` maps lower-case column names to physical numpy arrays — either
+zero-copy shared-memory views inside a worker process or the live column
+views when the manager runs the same kernels in-process. Tasks name
+kernels via the :data:`KERNELS` registry (no function pickling), and all
+other arguments are plain picklable values.
+
+Predicates cross the process boundary as :class:`PhysPredicate`: the
+parent lowers each ``LocalPredicate`` to already-encoded physical values
+(:func:`encode_predicates`), so workers never touch string dictionaries
+and the shard masks are byte-identical to what
+``repro.predicates.evaluate`` computes in-process.
+
+``cost_per_row`` is the modeled per-row scan cost (seconds) from
+``EngineConfig.scan_cost_per_row`` — the scan-path analogue of
+``commit_latency``: both the sequential baseline and the worker shards
+pay it, so benchmark speedups measure genuine overlap on few-core hosts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...predicates.predicate import LocalPredicate, PredOp
+from ...types import DataType
+
+
+@dataclass(frozen=True)
+class PhysPredicate:
+    """A local predicate lowered to physical form.
+
+    ``op`` is the :class:`PredOp` name; ``values`` are the encoded
+    physical values (floats, exactly what ``evaluate._encode`` produces).
+    ``empty`` marks an EQ/NE/IN predicate whose string value is missing
+    from the dictionary: unsatisfiable for EQ/IN, tautological for NE.
+    """
+
+    column: str
+    op: str
+    values: Tuple[float, ...] = ()
+    empty: bool = False
+
+
+def encode_predicate(table, predicate: LocalPredicate) -> Optional[PhysPredicate]:
+    """Lower one predicate, or None when it is not shardable (range
+    comparison on a string column — the sequential path owns that error)."""
+    column = predicate.column.lower()
+    col = table.column(column)
+    dtype = table.schema.column(column).dtype
+    op = predicate.op
+    if op in (PredOp.EQ, PredOp.NE):
+        phys = col.lookup_value(predicate.value)
+        if phys is None:
+            return PhysPredicate(column, op.name, empty=True)
+        return PhysPredicate(column, op.name, (float(phys),))
+    if op is PredOp.IN:
+        wanted = []
+        for value in predicate.values:
+            phys = col.lookup_value(value)
+            if phys is not None:
+                wanted.append(float(phys))
+        if not wanted:
+            return PhysPredicate(column, op.name, empty=True)
+        return PhysPredicate(column, op.name, tuple(wanted))
+    if dtype is DataType.STRING:
+        return None  # dictionary codes do not follow string order
+    lo = float(col.lookup_value(predicate.values[0]))
+    if op is PredOp.BETWEEN:
+        hi = float(col.lookup_value(predicate.values[1]))
+        return PhysPredicate(column, op.name, (lo, hi))
+    return PhysPredicate(column, op.name, (lo,))
+
+
+def encode_predicates(
+    table, predicates: Sequence[LocalPredicate]
+) -> Optional[Tuple[PhysPredicate, ...]]:
+    """Lower a predicate list; None if any member is not shardable."""
+    out = []
+    for predicate in predicates:
+        phys = encode_predicate(table, predicate)
+        if phys is None:
+            return None
+        out.append(phys)
+    return tuple(out)
+
+
+def predicate_mask(data: np.ndarray, pred: PhysPredicate) -> np.ndarray:
+    """Boolean mask over ``data``; mirrors ``evaluate.predicate_mask``."""
+    op = pred.op
+    if op == "EQ" or op == "NE":
+        if pred.empty:
+            base = np.zeros(len(data), dtype=bool)
+            return ~base if op == "NE" else base
+        mask = data == pred.values[0]
+        return ~mask if op == "NE" else mask
+    if op == "IN":
+        if pred.empty:
+            return np.zeros(len(data), dtype=bool)
+        return np.isin(data, np.asarray(pred.values, dtype=data.dtype))
+    lo = pred.values[0]
+    if op == "BETWEEN":
+        return (data >= lo) & (data <= pred.values[1])
+    if op == "LT":
+        return data < lo
+    if op == "LE":
+        return data <= lo
+    if op == "GT":
+        return data > lo
+    if op == "GE":
+        return data >= lo
+    raise AssertionError(f"unhandled physical predicate op {op}")
+
+
+def _pay(cost_per_row: float, n_rows: int) -> None:
+    if cost_per_row > 0.0 and n_rows > 0:
+        time.sleep(cost_per_row * n_rows)
+
+
+def scan_shard(
+    arrays: Dict[str, np.ndarray],
+    preds: Tuple[PhysPredicate, ...],
+    start: int,
+    stop: int,
+    cost_per_row: float = 0.0,
+) -> np.ndarray:
+    """Global row positions in ``[start, stop)`` matching every predicate.
+
+    Shards partition ``[0, n_rows)``, so concatenating shard results in
+    order reproduces ``np.flatnonzero(group_mask(...))`` exactly.
+    """
+    _pay(cost_per_row, stop - start)
+    mask: Optional[np.ndarray] = None
+    for pred in preds:
+        m = predicate_mask(arrays[pred.column][start:stop], pred)
+        mask = m if mask is None else (mask & m)
+    if mask is None:
+        return np.arange(start, stop, dtype=np.int64)
+    return (np.flatnonzero(mask) + start).astype(np.int64)
+
+
+def masks_shard(
+    arrays: Dict[str, np.ndarray],
+    preds: Tuple[PhysPredicate, ...],
+    rows: np.ndarray,
+    cost_per_row: float = 0.0,
+) -> List[np.ndarray]:
+    """One boolean mask per predicate over the given row positions (the
+    QSS sample-selectivity kernel; shards split the sample rows)."""
+    rows = np.asarray(rows, dtype=np.int64)
+    _pay(cost_per_row, len(rows) * max(1, len(preds)))
+    out = []
+    for pred in preds:
+        out.append(predicate_mask(arrays[pred.column][rows], pred))
+    return out
+
+
+def aggregate_shard(
+    arrays: Dict[str, np.ndarray],
+    preds: Tuple[PhysPredicate, ...],
+    start: int,
+    stop: int,
+    specs: Tuple[Tuple[str, str], ...],
+    cost_per_row: float = 0.0,
+) -> List[Tuple[float, Optional[float]]]:
+    """Partial aggregates over the shard's matching rows.
+
+    ``specs`` is ``((func, column), ...)`` with func in count/sum/min/max;
+    each partial is ``(matching_row_count, value)`` (value None when the
+    shard matched nothing), merged by :func:`merge_aggregates`.
+    """
+    idx = scan_shard(arrays, preds, start, stop, cost_per_row)
+    partials: List[Tuple[float, Optional[float]]] = []
+    n = float(len(idx))
+    for func, column in specs:
+        if func == "count":
+            partials.append((n, n))
+            continue
+        data = arrays[column][idx]
+        if len(data) == 0:
+            partials.append((n, None))
+        elif func == "sum":
+            partials.append((n, float(data.sum())))
+        elif func == "min":
+            partials.append((n, float(data.min())))
+        elif func == "max":
+            partials.append((n, float(data.max())))
+        else:
+            raise AssertionError(f"unhandled aggregate {func}")
+    return partials
+
+
+def merge_aggregates(
+    specs: Tuple[Tuple[str, str], ...],
+    partials_list: Sequence[List[Tuple[float, Optional[float]]]],
+) -> List[Optional[float]]:
+    """Parent-side merge of :func:`aggregate_shard` partials."""
+    merged: List[Optional[float]] = []
+    for i, (func, _) in enumerate(specs):
+        values = [p[i][1] for p in partials_list if p[i][1] is not None]
+        if func == "count":
+            merged.append(float(sum(values)))
+        elif not values:
+            merged.append(None)
+        elif func == "sum":
+            merged.append(float(sum(values)))
+        elif func == "min":
+            merged.append(min(values))
+        elif func == "max":
+            merged.append(max(values))
+    return merged
+
+
+def column_stats_shard(
+    arrays: Dict[str, np.ndarray],
+    column: str,
+    rows: Optional[np.ndarray],
+    integral: bool,
+    scale: float,
+    n_buckets: int,
+    n_frequent: int,
+    cost_per_row: float = 0.0,
+) -> dict:
+    """One column's RUNSTATS distribution pass (the per-column task unit).
+
+    Delegates to ``catalog.runstats.column_stats_raw`` so the sequential
+    and parallel paths compute identical statistics.
+    """
+    from ...catalog.runstats import column_stats_raw
+
+    data = arrays[column]
+    if rows is not None:
+        data = data[np.asarray(rows, dtype=np.int64)]
+    _pay(cost_per_row, len(data))
+    return column_stats_raw(
+        data,
+        integral=integral,
+        scale=scale,
+        n_buckets=n_buckets,
+        n_frequent=n_frequent,
+    )
+
+
+def sleep_shard(arrays: Dict[str, np.ndarray], duration: float) -> float:
+    """Test-support kernel: hold a worker busy (fault-injection tests)."""
+    time.sleep(duration)
+    return duration
+
+
+KERNELS = {
+    "scan": scan_shard,
+    "masks": masks_shard,
+    "aggregate": aggregate_shard,
+    "column_stats": column_stats_shard,
+    "sleep": sleep_shard,
+}

@@ -1,0 +1,249 @@
+"""ParallelScanManager: the engine-facing facade over shm + pool + kernels.
+
+One manager per engine shards three hot paths across worker processes:
+
+* table scans (``SeqScan`` with predicates, DML WHERE targeting),
+* QSS sample-selectivity evaluation (the JITS collection hot path),
+* RUNSTATS per-column distribution passes.
+
+Contracts:
+
+* **Pinned epochs, never live stores.** Workers only ever see a table
+  through an epoch-stamped shared-memory export; the calling statement's
+  table lock keeps the epoch stable while shards are in flight, and RCU
+  statistics snapshots are untouched (workers compute raw masks/stats,
+  the parent does every store write).
+* **Transparent fallback.** Any pool, worker or shared-memory failure
+  falls back to running the identical kernels in-process — a warning,
+  never a wrong answer. A dead pool (spawn failure / repeated crashes)
+  disables the process path for the rest of the engine's life.
+* **workers == 0** runs the kernels in-process over a single shard.
+  With ``cost_per_row`` set this is the modeled sequential baseline the
+  parallel-scan benchmark compares against; shard layout never changes
+  results (property-tested), only overlap.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...storage.shm import ShmError, ShmRegistry
+from .kernels import KERNELS, encode_predicates
+from .pool import PoolUnavailable, WorkerError, WorkerPool
+
+DEFAULT_PARALLEL_THRESHOLD = 32768
+
+
+class ParallelScanManager:
+    def __init__(
+        self,
+        workers: int = 0,
+        threshold_rows: int = DEFAULT_PARALLEL_THRESHOLD,
+        cost_per_row: float = 0.0,
+        start_method: str = "forkserver",
+        task_timeout: float = 120.0,
+    ):
+        self.workers = max(0, workers)
+        self.threshold_rows = max(1, threshold_rows)
+        self.cost_per_row = cost_per_row
+        self.registry = ShmRegistry()
+        self.pool: Optional[WorkerPool] = (
+            WorkerPool(self.workers, start_method, task_timeout)
+            if self.workers > 0
+            else None
+        )
+        # The pool and registry are driven by whichever session thread
+        # scans first; one scan at a time keeps their state consistent.
+        self._lock = threading.Lock()
+        self._disabled = False
+        self.parallel_calls = 0
+        self.inline_calls = 0
+        self.fallbacks = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Core dispatch
+    # ------------------------------------------------------------------
+    def _shard_bounds(self, n: int) -> List[Tuple[int, int]]:
+        shards = max(1, self.workers)
+        if n > 0:
+            shards = min(shards, n)
+        else:
+            shards = 1
+        return [
+            (i * n // shards, (i + 1) * n // shards) for i in range(shards)
+        ]
+
+    def _run(self, table, kernel: str, kwargs_list: List[dict], label: str):
+        """Run one kernel over shards: worker pool when healthy, else the
+        same kernels in-process (identical results either way)."""
+        if self.pool is not None and not self._disabled:
+            try:
+                with self._lock:
+                    payload = self.registry.export(table)
+                    tasks = [(kernel, payload, kw) for kw in kwargs_list]
+                    out = self.pool.run_tasks(tasks)
+                    self.parallel_calls += 1
+                return out
+            except (PoolUnavailable, WorkerError, ShmError, OSError) as exc:
+                self.fallbacks += 1
+                if isinstance(exc, PoolUnavailable):
+                    self._disabled = True
+                warnings.warn(
+                    f"parallel {label} fell back to in-process execution: "
+                    f"{exc}",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+        self.inline_calls += 1
+        arrays = {
+            name.lower(): table.column_data(name)
+            for name in table.schema.column_names()
+        }
+        fn = KERNELS[kernel]
+        return [fn(arrays, **kw) for kw in kwargs_list]
+
+    # ------------------------------------------------------------------
+    # Table scans (SeqScan / DML WHERE)
+    # ------------------------------------------------------------------
+    def scan_rows(self, table, predicates) -> Optional[np.ndarray]:
+        """Row positions matching the predicate conjunction, or None when
+        the parallel path does not apply (small table, predicate the
+        kernels cannot lower) — the caller then uses ``group_mask``."""
+        predicates = list(predicates)
+        if not predicates:
+            return None
+        n = table.row_count
+        if n < self.threshold_rows:
+            return None
+        phys = encode_predicates(table, predicates)
+        if phys is None:
+            return None
+        kwargs = [
+            dict(preds=phys, start=s, stop=t, cost_per_row=self.cost_per_row)
+            for s, t in self._shard_bounds(n)
+        ]
+        parts = self._run(table, "scan", kwargs, "scan")
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    # ------------------------------------------------------------------
+    # QSS sample-selectivity evaluation (JITS collection)
+    # ------------------------------------------------------------------
+    def masks_for_predicates(
+        self, table, predicates, rows, cache_get=None, cache_put=None
+    ):
+        """Drop-in parallel analogue of ``evaluate.masks_for_predicates``
+        (same ``(masks, hits, misses)`` contract, including the external
+        mask cache); None when ineligible."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows) < self.threshold_rows:
+            return None
+        distinct = []
+        seen = set()
+        for predicate in predicates:
+            if predicate not in seen:
+                seen.add(predicate)
+                distinct.append(predicate)
+        masks: Dict = {}
+        hits = misses = 0
+        missing = []
+        for predicate in distinct:
+            mask = cache_get(predicate) if cache_get is not None else None
+            if mask is None:
+                missing.append(predicate)
+            else:
+                hits += 1
+                masks[predicate] = mask
+        if missing:
+            phys = encode_predicates(table, missing)
+            if phys is None:
+                return None  # sequential path owns the error semantics
+            kwargs = [
+                dict(
+                    preds=phys,
+                    rows=rows[s:t],
+                    cost_per_row=self.cost_per_row,
+                )
+                for s, t in self._shard_bounds(len(rows))
+            ]
+            parts = self._run(table, "masks", kwargs, "selectivity evaluation")
+            for i, predicate in enumerate(missing):
+                if len(parts) == 1:
+                    mask = parts[0][i]
+                else:
+                    mask = np.concatenate([part[i] for part in parts])
+                masks[predicate] = mask
+                if cache_put is not None:
+                    cache_put(predicate, mask)
+                    misses += 1
+        return masks, hits, misses
+
+    # ------------------------------------------------------------------
+    # RUNSTATS per-column distribution passes
+    # ------------------------------------------------------------------
+    def column_statistics(
+        self,
+        table,
+        names: Sequence[str],
+        rows: Optional[np.ndarray],
+        scale: float,
+        n_buckets: int,
+        n_frequent: int,
+        integral_by_name: Dict[str, bool],
+    ) -> Optional[Dict[str, dict]]:
+        """Raw per-column statistics dicts (one worker task per column),
+        or None when the table is below the parallel threshold."""
+        if table.row_count < self.threshold_rows or not names:
+            return None
+        rows_arr = None if rows is None else np.asarray(rows, dtype=np.int64)
+        kwargs = [
+            dict(
+                column=name.lower(),
+                rows=rows_arr,
+                integral=integral_by_name[name],
+                scale=scale,
+                n_buckets=n_buckets,
+                n_frequent=n_frequent,
+                cost_per_row=self.cost_per_row,
+            )
+            for name in names
+        ]
+        out = self._run(table, "column_stats", kwargs, "runstats")
+        return dict(zip(names, out))
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def release_table(self, table_name: str) -> None:
+        """Unlink a dropped table's segments."""
+        with self._lock:
+            self.registry.release(table_name)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "threshold_rows": self.threshold_rows,
+            "parallel_calls": self.parallel_calls,
+            "inline_calls": self.inline_calls,
+            "fallbacks": self.fallbacks,
+            "worker_respawns": self.pool.respawns if self.pool else 0,
+            "tables_exported": self.registry.exports,
+            "process_path": (
+                "disabled"
+                if (self.pool is None or self._disabled)
+                else "enabled"
+            ),
+        }
+
+    def close(self) -> None:
+        """Stop workers and unlink every shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.pool is not None:
+            self.pool.close()
+        self.registry.close()

@@ -15,6 +15,15 @@ from .sampling import (
     bernoulli_sample,
     fixed_size_sample,
 )
+from .shm import (
+    SHM_PREFIX,
+    ColumnSegment,
+    ShmError,
+    ShmRegistry,
+    TablePayload,
+    WorkerAttachments,
+    list_segments,
+)
 from .table import Table, UDIShard, active_udi_shard, udi_shard_scope
 
 __all__ = [
@@ -33,4 +42,11 @@ __all__ = [
     "fixed_size_sample",
     "bernoulli_sample",
     "DEFAULT_SAMPLE_SIZE",
+    "SHM_PREFIX",
+    "ColumnSegment",
+    "ShmError",
+    "ShmRegistry",
+    "TablePayload",
+    "WorkerAttachments",
+    "list_segments",
 ]

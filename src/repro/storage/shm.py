@@ -1,0 +1,260 @@
+"""Shared-memory column export for process-parallel scans.
+
+The parent engine exports a table's physical column arrays into
+``multiprocessing.shared_memory`` segments; worker processes attach by
+name and wrap the buffers in zero-copy numpy views. Exports are
+epoch-stamped with ``Table.version`` (bumped on every mutation), so:
+
+* the parent re-exports a table only when its data epoch moved — a
+  read-heavy workload pays the copy once, not per scan;
+* workers cache their attachments per table and re-attach only when a
+  task arrives carrying a newer epoch (:class:`WorkerAttachments`);
+* an in-flight scan always sees the exact rows its statement locked:
+  the statement's table lock keeps the epoch stable for the duration,
+  and workers operate on the pinned copy, never the live buffers.
+
+Lifetime (Linux): segments live under ``/dev/shm`` with the ``rjits``
+prefix. The registry unlinks a table's stale segments when re-exporting
+and unlinks everything on ``close()`` (also registered via ``atexit``);
+an unlinked segment's memory survives until the last worker unmaps it,
+so eviction never races an in-flight task. Workers attach with
+``multiprocessing.resource_tracker`` registration suppressed — on 3.11
+the tracker counts attaches as ownership, and since forkserver children
+share the parent's tracker process, an attach would first shadow and
+then (on unregister) erase the parent's own registration of the
+segment it still owns.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import os
+import threading
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import StorageError
+
+#: Prefix of every segment name this module creates (leak checks key on it).
+SHM_PREFIX = "rjits"
+
+
+class ShmError(StorageError):
+    """Shared-memory export/attach failure (callers fall back in-process)."""
+
+
+@dataclass(frozen=True)
+class ColumnSegment:
+    """Picklable descriptor of one exported column."""
+
+    column: str  # lower-case column name
+    shm_name: str
+    dtype: str  # numpy dtype string
+    length: int
+
+
+@dataclass(frozen=True)
+class TablePayload:
+    """Picklable descriptor of one table export, pinned to a data epoch."""
+
+    table: str
+    epoch: int
+    n_rows: int
+    segments: Tuple[ColumnSegment, ...]
+
+
+def list_segments() -> List[str]:
+    """Names of live repro-owned segments in ``/dev/shm`` (leak checks)."""
+    try:
+        return sorted(
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith(SHM_PREFIX)
+        )
+    except OSError:  # non-Linux hosts: no listing, leak checks are no-ops
+        return []
+
+
+@contextlib.contextmanager
+def _no_tracker_registration():
+    """Suppress resource-tracker registration while attaching.
+
+    Attaching registers the segment as if we owned it; the parent is the
+    owner and does its own unlink. Worse, forkserver children share the
+    parent's tracker process, so a worker-side register/unregister pair
+    would strip the parent's registration out from under it. (Python
+    3.13's ``track=False`` makes this explicit; 3.11 needs the patch.)
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda name, rtype: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+class _TableExport:
+    """Parent-side handles for one exported table epoch."""
+
+    def __init__(self, payload: TablePayload,
+                 handles: List[shared_memory.SharedMemory]):
+        self.payload = payload
+        self.handles = handles
+
+    @property
+    def epoch(self) -> int:
+        return self.payload.epoch
+
+    def close(self) -> None:
+        for shm in self.handles:
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()  # also unregisters from the resource tracker
+            except FileNotFoundError:
+                pass
+            except Exception:
+                pass
+        self.handles = []
+
+
+class ShmRegistry:
+    """Parent-side registry of table exports, keyed by table data epoch."""
+
+    def __init__(self) -> None:
+        self._exports: Dict[str, _TableExport] = {}
+        self._seq = 0
+        self._lock = threading.RLock()
+        self._closed = False
+        self.exports = 0  # tables (re-)exported, for stats_snapshot
+        atexit.register(self.close)
+
+    def export(self, table) -> TablePayload:
+        """Export ``table`` (or reuse the cached export for its epoch)."""
+        with self._lock:
+            if self._closed:
+                raise ShmError("shared-memory registry is closed")
+            name = table.name.lower()
+            epoch = table.version
+            current = self._exports.get(name)
+            if current is not None:
+                if current.epoch == epoch:
+                    return current.payload
+                current.close()  # stale epoch: rebuild below
+            export = self._build(table, name, epoch)
+            self._exports[name] = export
+            self.exports += 1
+            return export.payload
+
+    def _build(self, table, name: str, epoch: int) -> _TableExport:
+        handles: List[shared_memory.SharedMemory] = []
+        segments: List[ColumnSegment] = []
+        try:
+            for column in table.schema.column_names():
+                column = column.lower()
+                data = table.column_data(column)
+                self._seq += 1
+                shm_name = f"{SHM_PREFIX}{os.getpid()}x{self._seq}"
+                shm = shared_memory.SharedMemory(
+                    create=True, name=shm_name, size=max(1, data.nbytes)
+                )
+                handles.append(shm)
+                view = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
+                view[:] = data
+                segments.append(
+                    ColumnSegment(
+                        column=column,
+                        shm_name=shm_name,
+                        dtype=data.dtype.str,
+                        length=len(data),
+                    )
+                )
+        except Exception as exc:
+            for shm in handles:
+                try:
+                    shm.close()
+                    shm.unlink()
+                except Exception:
+                    pass
+            raise ShmError(f"exporting table {name!r} failed: {exc}") from exc
+        payload = TablePayload(
+            table=name,
+            epoch=epoch,
+            n_rows=table.row_count,
+            segments=tuple(segments),
+        )
+        return _TableExport(payload, handles)
+
+    def release(self, table_name: str) -> None:
+        """Unlink one table's segments (e.g. after DROP TABLE)."""
+        with self._lock:
+            export = self._exports.pop(table_name.lower(), None)
+            if export is not None:
+                export.close()
+
+    def close(self) -> None:
+        """Unlink every segment; idempotent, also runs at interpreter exit."""
+        with self._lock:
+            self._closed = True
+            exports, self._exports = list(self._exports.values()), {}
+        for export in exports:
+            export.close()
+
+
+class WorkerAttachments:
+    """Worker-side attachment cache: one entry per table, evicted when a
+    task's payload carries a newer epoch."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[
+            str,
+            Tuple[int, List[shared_memory.SharedMemory], Dict[str, np.ndarray]],
+        ] = {}
+
+    def arrays(self, payload: TablePayload) -> Dict[str, np.ndarray]:
+        cached = self._tables.get(payload.table)
+        if cached is not None:
+            epoch, handles, arrays = cached
+            if epoch == payload.epoch:
+                return arrays
+            self._detach(handles)
+            del self._tables[payload.table]
+        handles = []
+        arrays: Dict[str, np.ndarray] = {}
+        try:
+            for segment in payload.segments:
+                with _no_tracker_registration():
+                    shm = shared_memory.SharedMemory(name=segment.shm_name)
+                handles.append(shm)
+                arrays[segment.column] = np.ndarray(
+                    (segment.length,),
+                    dtype=np.dtype(segment.dtype),
+                    buffer=shm.buf,
+                )
+        except Exception as exc:
+            self._detach(handles)
+            raise ShmError(
+                f"attaching to table {payload.table!r} "
+                f"(epoch {payload.epoch}) failed: {exc}"
+            ) from exc
+        self._tables[payload.table] = (payload.epoch, handles, arrays)
+        return arrays
+
+    @staticmethod
+    def _detach(handles: List[shared_memory.SharedMemory]) -> None:
+        for shm in handles:
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        for _, handles, _ in self._tables.values():
+            self._detach(handles)
+        self._tables = {}

@@ -23,6 +23,7 @@ from repro import Engine, EngineConfig
 from repro.executor import run_reference
 from repro.sql import build_query_graph, parse_select
 from tests.conftest import build_mini_db
+from tests.harness.differential import assert_same_final_state
 
 WORKERS = 6
 
@@ -101,15 +102,8 @@ def test_mixed_dml_phases_match_sequential_engine():
         r_seq = sequential.execute(dml)
         assert r_con.affected_rows == r_seq.affected_rows, dml
 
-    # Final data and accounting state must agree exactly.
-    for name in concurrent.database.table_names():
-        t_con = concurrent.database.table(name)
-        t_seq = sequential.database.table(name)
-        assert t_con.row_count == t_seq.row_count, name
-        assert t_con.udi_total == t_seq.udi_total, name
-    # Both engines consumed one timestamp per statement.
-    assert concurrent.clock == sequential.clock
-    assert concurrent.statements_executed == sequential.statements_executed
+    # Final data (content-hashed) and accounting state must agree exactly.
+    assert_same_final_state(concurrent, sequential)
     # RUNSTATS (the write-locked catalog path) lands identical catalog
     # cardinalities because the data states are identical.
     concurrent.collect_general_statistics()
@@ -236,24 +230,6 @@ OWNER_DML = [
     "VALUES (9200, 'owner_9200', 6500.0, 'Waterloo')",
     "UPDATE owner SET salary = salary + 1 WHERE name = 'owner_9200'",
 ]
-FINAL_ROWS = [
-    "SELECT id, make, model, year, price FROM car ORDER BY id",
-    "SELECT id, name, salary, city FROM owner ORDER BY id",
-]
-
-
-def _assert_same_final_state(concurrent: Engine, sequential: Engine):
-    for name in concurrent.database.table_names():
-        t_con = concurrent.database.table(name)
-        t_seq = sequential.database.table(name)
-        assert t_con.row_count == t_seq.row_count, name
-        assert t_con.udi_total == t_seq.udi_total, name
-    assert concurrent.clock == sequential.clock
-    assert concurrent.statements_executed == sequential.statements_executed
-    for sql in FINAL_ROWS:
-        assert concurrent.execute(sql).rows == sequential.execute(sql).rows
-
-
 def test_disjoint_table_dml_streams_match_sequential():
     """CAR-only and OWNER-only DML streams run under per-table write
     locks; the final data, UDI accounting, clock and RUNSTATS catalog
@@ -271,7 +247,7 @@ def test_disjoint_table_dml_streams_match_sequential():
         for got, want, sql in zip(got_stream, want_stream, stream):
             assert got.affected_rows == want.affected_rows, sql
 
-    _assert_same_final_state(concurrent, sequential)
+    assert_same_final_state(concurrent, sequential)
 
     # RUNSTATS (database-exclusive) lands identical catalog state.
     concurrent.collect_general_statistics()
@@ -319,7 +295,7 @@ def test_multi_table_dml_with_migration_stress():
     for stream in streams:
         for sql in stream:
             sequential.execute(sql)
-    _assert_same_final_state(concurrent, sequential)
+    assert_same_final_state(concurrent, sequential)
     # The JITS pipeline actually ran during the stress.
     assert concurrent.jits.total_collections > 0
 

@@ -1,0 +1,186 @@
+"""Fault injection for the process-parallel scan path.
+
+Contract: worker death is survived (respawn + retry, same answer);
+shared-memory failures degrade to in-process execution with a warning —
+never a wrong answer, never an orphaned /dev/shm segment (the autouse
+``no_shm_leaks`` fixture checks every test here).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.executor.parallel import PoolUnavailable, WorkerPool
+from repro.storage.shm import ColumnSegment, ShmError, TablePayload
+from tests.conftest import build_mini_db
+
+
+def _engine(engine_factory, **overrides) -> Engine:
+    config = EngineConfig.with_jits(s_max=0.4, sample_size=150)
+    config.scan_workers = overrides.pop("scan_workers", 2)
+    config.parallel_threshold_rows = overrides.pop(
+        "parallel_threshold_rows", 64
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return engine_factory(build_mini_db(200, 600, seed=7), config)
+
+
+QUERY = "SELECT id, price FROM car WHERE year >= 2000 AND make = 'Toyota'"
+
+
+def test_sigkill_mid_task_respawns_and_retries():
+    """A worker killed while its task sleeps is detected, respawned, and
+    the task re-runs to completion on the fresh worker."""
+    pool = WorkerPool(workers=2, task_timeout=30.0)
+    pool.start()
+    victim = pool.pids()[0]
+    tasks = [("sleep", None, dict(duration=0.4)) for _ in range(4)]
+
+    def kill_soon():
+        time.sleep(0.15)  # land inside the first sleep round
+        os.kill(victim, signal.SIGKILL)
+
+    killer = threading.Thread(target=kill_soon)
+    killer.start()
+    try:
+        results = pool.run_tasks(tasks)
+    finally:
+        killer.join()
+        pool.close()
+    assert results == [0.4] * 4
+    assert pool.respawns >= 1
+    assert victim not in pool.pids()
+
+
+def test_sigkill_idle_worker_engine_query_still_correct(engine_factory):
+    """Killing a pooled worker between statements: the next scan detects
+    the death at dispatch, respawns, and returns the right rows."""
+    par = _engine(engine_factory)
+    seq = engine_factory(
+        build_mini_db(200, 600, seed=7),
+        EngineConfig.with_jits(s_max=0.4, sample_size=150),
+    )
+    want = sorted(seq.execute(QUERY).rows)
+    assert sorted(par.execute(QUERY).rows) == want  # pool warm
+    os.kill(par.parallel.pool.pids()[0], signal.SIGKILL)
+    time.sleep(0.05)
+    assert sorted(par.execute(QUERY).rows) == want
+    snap = par.stats_snapshot()["parallel"]
+    assert snap["worker_respawns"] >= 1
+    assert snap["fallbacks"] == 0
+    assert snap["process_path"] == "enabled"
+
+
+def test_attach_failure_falls_back_with_warning(engine_factory):
+    """Workers failing to attach (bogus segment names) must not poison
+    the answer: the engine warns once and recomputes in-process."""
+    par = _engine(engine_factory)
+    seq = engine_factory(
+        build_mini_db(200, 600, seed=7),
+        EngineConfig.with_jits(s_max=0.4, sample_size=150),
+    )
+    want = sorted(seq.execute(QUERY).rows)
+
+    table = par.database.table("car")
+    bogus = TablePayload(
+        table="car",
+        epoch=table.version,
+        n_rows=table.row_count,
+        segments=tuple(
+            ColumnSegment(
+                column=c.lower(),
+                shm_name=f"rjits-no-such-{i}",
+                dtype="<f8",
+                length=table.row_count,
+            )
+            for i, c in enumerate(table.schema.column_names())
+        ),
+    )
+    original = par.parallel.registry.export
+    par.parallel.registry.export = lambda t: (
+        bogus if t.name.lower() == "car" else original(t)
+    )
+    try:
+        with pytest.warns(RuntimeWarning, match="fell back to in-process"):
+            got = par.execute(QUERY)
+        assert sorted(got.rows) == want
+        assert par.stats_snapshot()["parallel"]["fallbacks"] >= 1
+    finally:
+        par.parallel.registry.export = original
+
+
+def test_export_failure_falls_back_with_warning(engine_factory):
+    par = _engine(engine_factory)
+
+    def broken_export(table):
+        raise ShmError("simulated /dev/shm exhaustion")
+
+    par.parallel.registry.export = broken_export
+    with pytest.warns(RuntimeWarning, match="fell back to in-process"):
+        result = par.execute(QUERY)
+    assert result.rows is not None
+    snap = par.stats_snapshot()["parallel"]
+    assert snap["fallbacks"] >= 1
+    assert snap["inline_calls"] >= 1
+    # ShmError is transient, not sticky: the pool stays available.
+    assert snap["process_path"] == "enabled"
+
+
+def test_dead_pool_disables_process_path_stickily(engine_factory):
+    """A pool that cannot make progress (closed underneath the manager)
+    triggers exactly one warned fallback, then the engine runs inline
+    without re-probing the dead pool."""
+    par = _engine(engine_factory)
+    par.execute(QUERY)  # warm
+    par.parallel.pool.close()
+    with pytest.warns(RuntimeWarning, match="fell back to in-process"):
+        first = par.execute(QUERY)
+    assert first.rows is not None
+    snap = par.stats_snapshot()["parallel"]
+    assert snap["process_path"] == "disabled"
+    fallbacks = snap["fallbacks"]
+    # Subsequent statements go straight inline: correct, no new warning.
+    import warnings as warnings_mod
+
+    with warnings_mod.catch_warnings():
+        warnings_mod.simplefilter("error", RuntimeWarning)
+        second = par.execute(QUERY)
+    assert second.rows is not None
+    assert par.stats_snapshot()["parallel"]["fallbacks"] == fallbacks
+
+
+def test_worker_kernel_error_is_not_fatal():
+    """A kernel raising inside a worker surfaces as WorkerError and the
+    pool keeps serving subsequent tasks on live workers."""
+    from repro.executor.parallel import WorkerError
+
+    pool = WorkerPool(workers=2)
+    try:
+        with pytest.raises(WorkerError):
+            pool.run_tasks([("no-such-kernel", None, {})])
+        assert pool.run_tasks(
+            [("sleep", None, dict(duration=0.01))]
+        ) == [0.01]
+    finally:
+        pool.close()
+
+
+def test_respawned_pool_reuses_shared_memory(engine_factory):
+    """After a crash + respawn the fresh worker re-attaches to the same
+    exported epoch (no extra export)."""
+    par = _engine(engine_factory)
+    par.execute(QUERY)
+    exports = par.parallel.registry.exports
+    os.kill(par.parallel.pool.pids()[-1], signal.SIGKILL)
+    time.sleep(0.05)
+    par.execute(QUERY)
+    assert par.parallel.registry.exports == exports
+    assert par.parallel.pool.respawns >= 1

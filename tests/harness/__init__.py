@@ -1,0 +1,1 @@
+"""Shared test harnesses (differential execution, state fingerprints)."""

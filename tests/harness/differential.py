@@ -1,0 +1,192 @@
+"""Differential execution harness.
+
+Runs one seeded workload through several engine configurations —
+``sequential`` (single session, no parallelism), ``threaded`` (concurrent
+client sessions over ``execute_many``) and ``process`` (the
+process-parallel scan pool) — and asserts they are observationally
+identical: per-statement result sets, final table contents, accounting
+counters and (where scheduling permits) full statistics snapshots.
+
+The comparisons are canonical-form string/hashes, so tests print small
+readable diffs instead of dumping row sets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine import Engine, EngineConfig
+
+#: The three execution modes the harness differentiates.
+MODES = ("sequential", "threaded", "process")
+
+
+# ----------------------------------------------------------------------
+# Engine factories
+# ----------------------------------------------------------------------
+def engine_for_mode(
+    mode: str,
+    build_db: Callable[[], object],
+    base_config: Callable[[], EngineConfig],
+    scan_workers: int = 4,
+    parallel_threshold_rows: int = 64,
+) -> Engine:
+    """A fresh engine for one mode over a freshly built (seeded) database.
+
+    ``build_db`` must return an identical database every call (same seed);
+    ``base_config`` a fresh config every call. The process mode lowers the
+    parallel threshold so mini-scale test tables actually shard.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown differential mode {mode!r}")
+    config = base_config()
+    if mode == "process":
+        config.scan_workers = scan_workers
+        config.parallel_threshold_rows = parallel_threshold_rows
+    return Engine(build_db(), config)
+
+
+# ----------------------------------------------------------------------
+# Canonical forms
+# ----------------------------------------------------------------------
+def canonical_result(result) -> str:
+    """Order-independent canonical form of one statement's outcome."""
+    if result.rows is not None:
+        return repr(sorted(repr(row) for row in result.rows))
+    return f"{result.statement_type}:{result.affected_rows}"
+
+
+def table_state(engine: Engine) -> Dict[str, tuple]:
+    """Per-table (row_count, udi_total, content-hash of the sorted rows)."""
+    state = {}
+    for name in sorted(engine.database.table_names()):
+        table = engine.database.table(name)
+        rows = table.fetch_rows(None, table.schema.column_names())
+        digest = hashlib.sha256(
+            "\n".join(sorted(repr(r) for r in rows)).encode()
+        ).hexdigest()
+        state[name] = (table.row_count, table.udi_total, digest)
+    return state
+
+
+def stats_fingerprint(engine: Engine, full: bool = False) -> Dict[str, object]:
+    """A comparable slice of ``stats_snapshot()``.
+
+    The default slice is deterministic across *all* modes (threaded
+    scheduling permutes shared-rng draw order, so sampling-derived stores
+    diverge there). ``full=True`` adds the JITS store sizes — valid when
+    both engines executed the workload in the same statement order
+    (sequential vs process).
+    """
+    snap = engine.stats_snapshot()
+    fp: Dict[str, object] = {
+        "statements_executed": snap["engine"]["statements_executed"],
+        "clock": snap["engine"]["clock"],
+        "tables": snap["tables"],
+    }
+    if full:
+        jits = dict(snap["jits"])
+        jits.pop("deferred_recalibrations", None)  # batching, not content
+        fp["jits"] = jits
+    return fp
+
+
+# ----------------------------------------------------------------------
+# Workload execution
+# ----------------------------------------------------------------------
+def _is_select(sql: str) -> bool:
+    return sql.lstrip().upper().startswith("SELECT")
+
+
+def run_workload(
+    engine: Engine, statements: Sequence[str], mode: str, workers: int = 4
+) -> List[str]:
+    """Execute the workload in mode-appropriate fashion; canonical results
+    are returned in statement order regardless of scheduling.
+
+    ``threaded`` batches *consecutive SELECT runs* through concurrent
+    sessions and serializes DML between batches — the concurrency
+    contract the engine guarantees result-set equality for.
+    """
+    out: List[Optional[str]] = [None] * len(statements)
+    if mode == "threaded":
+        i = 0
+        while i < len(statements):
+            if _is_select(statements[i]):
+                j = i
+                while j < len(statements) and _is_select(statements[j]):
+                    j += 1
+                batch = list(statements[i:j])
+                results = engine.execute_many(batch, workers=workers)
+                for k, result in enumerate(results):
+                    out[i + k] = canonical_result(result)
+                i = j
+            else:
+                out[i] = canonical_result(engine.execute(statements[i]))
+                i += 1
+    else:
+        for i, sql in enumerate(statements):
+            out[i] = canonical_result(engine.execute(sql))
+    return out  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Assertions
+# ----------------------------------------------------------------------
+def assert_same_final_state(a: Engine, b: Engine) -> None:
+    """Byte-identical final table contents plus accounting counters."""
+    assert table_state(a) == table_state(b)
+    assert a.clock == b.clock
+    assert a.statements_executed == b.statements_executed
+
+
+def run_differential(
+    statements: Sequence[str],
+    build_db: Callable[[], object],
+    base_config: Callable[[], EngineConfig],
+    modes: Sequence[str] = MODES,
+    workers: int = 4,
+    scan_workers: int = 4,
+    parallel_threshold_rows: int = 64,
+) -> Dict[str, Engine]:
+    """Run the workload through every mode and assert equivalence.
+
+    Per-statement result sets and final table state must agree across all
+    modes; full statistics fingerprints must agree between the two
+    statement-ordered modes (sequential vs process). Returns the engines
+    (still open) so callers can make further assertions; callers own
+    ``shutdown()``.
+    """
+    engines: Dict[str, Engine] = {}
+    results: Dict[str, List[str]] = {}
+    try:
+        for mode in modes:
+            engine = engine_for_mode(
+                mode,
+                build_db,
+                base_config,
+                scan_workers=scan_workers,
+                parallel_threshold_rows=parallel_threshold_rows,
+            )
+            engines[mode] = engine
+            results[mode] = run_workload(
+                engine, statements, mode, workers=workers
+            )
+    except BaseException:
+        for engine in engines.values():
+            engine.shutdown()
+        raise
+
+    baseline = modes[0]
+    for mode in modes[1:]:
+        for i, sql in enumerate(statements):
+            assert results[mode][i] == results[baseline][i], (
+                f"{mode} vs {baseline} diverged on statement {i}: {sql}"
+            )
+        assert_same_final_state(engines[mode], engines[baseline])
+    if "sequential" in engines and "process" in engines:
+        assert stats_fingerprint(
+            engines["process"], full=True
+        ) == stats_fingerprint(engines["sequential"], full=True)
+    return engines
