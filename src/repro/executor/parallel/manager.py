@@ -56,9 +56,13 @@ class ParallelScanManager:
             if self.workers > 0
             else None
         )
-        # The pool and registry are driven by whichever session thread
-        # scans first; one scan at a time keeps their state consistent.
+        # Two locks with disjoint jobs: _lock guards registry mutations
+        # (export / release) and is only ever held for the copy-out, so
+        # DROP TABLE never waits out a stalled pool; _pool_lock
+        # serializes run_tasks, whose queue bookkeeping assumes one
+        # in-flight batch at a time.
         self._lock = threading.Lock()
+        self._pool_lock = threading.Lock()
         self._disabled = False
         self.parallel_calls = 0
         self.inline_calls = 0
@@ -85,7 +89,8 @@ class ParallelScanManager:
             try:
                 with self._lock:
                     payload = self.registry.export(table)
-                    tasks = [(kernel, payload, kw) for kw in kwargs_list]
+                tasks = [(kernel, payload, kw) for kw in kwargs_list]
+                with self._pool_lock:
                     out = self.pool.run_tasks(tasks)
                     self.parallel_calls += 1
                 return out

@@ -9,9 +9,11 @@ Design notes:
   :class:`~repro.storage.shm.TablePayload` and plain kwargs.
 * Each worker owns a private task queue and result queue. A SIGKILLed
   worker can therefore corrupt at most its own channels: the parent
-  detects the death via ``Process.is_alive()`` while collecting results,
-  respawns the worker with fresh queues, and resends exactly the tasks
-  that were assigned to it (bounded by ``max_attempts`` per task).
+  detects the death via ``Process.is_alive()`` while collecting results
+  — or via a torn message (deserialization error) left mid-``put`` on
+  the result queue — respawns the worker with fresh queues, and resends
+  exactly the tasks that were assigned to it (bounded by
+  ``max_attempts`` per task).
 * Task ids are globally unique, so results that straggle in from an
   abandoned run (after a :class:`WorkerError`) are recognized and
   dropped instead of being matched to a later run's tasks.
@@ -145,6 +147,27 @@ class WorkerPool:
         self._task_qs[i] = task_q
         self._result_qs[i] = result_q
 
+    def _discard_worker(self, i: int) -> None:
+        """Tear down worker ``i`` and its channels (before a respawn)."""
+        proc = self._procs[i]
+        if proc is not None and proc.is_alive():
+            try:
+                proc.terminate()
+                proc.join(timeout=1.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=1.0)
+            except Exception:
+                pass
+        for q in (self._task_qs[i], self._result_qs[i]):
+            if q is None:
+                continue
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+
     def pids(self) -> List[int]:
         return [p.pid for p in self._procs if p is not None and p.pid]
 
@@ -184,6 +207,18 @@ class WorkerPool:
             assigned[worker].add(task_id)
             self._task_qs[worker].put((task_id, kernel, payload, kwargs))
 
+        def recycle(w: int) -> None:
+            # Crash (or torn channel): fresh worker + fresh queues,
+            # resend this worker's unfinished tasks.
+            self.respawns += 1
+            pending = sorted(assigned[w])
+            assigned[w] = set()
+            self._discard_worker(w)
+            self._spawn(w)
+            for tid in pending:
+                if tid not in results:
+                    dispatch(tid, w)
+
         for i in range(n):
             dispatch(base + i, i % self.workers)
 
@@ -198,22 +233,15 @@ class WorkerPool:
                 except queue_mod.Empty:
                     proc = self._procs[w]
                     if proc is not None and not proc.is_alive():
-                        # Crash: fresh channels, resend this worker's
-                        # unfinished tasks.
-                        self.respawns += 1
-                        pending = sorted(assigned[w])
-                        assigned[w] = set()
-                        for q in (self._task_qs[w], self._result_qs[w]):
-                            try:
-                                q.close()
-                                q.cancel_join_thread()
-                            except Exception:
-                                pass
-                        self._spawn(w)
-                        for tid in pending:
-                            if tid not in results:
-                                dispatch(tid, w)
+                        recycle(w)
                         progressed = True
+                    continue
+                except Exception:
+                    # A worker killed mid-put leaves a torn message that
+                    # fails to deserialize (EOFError/UnpicklingError);
+                    # the channel is unusable either way.
+                    recycle(w)
+                    progressed = True
                     continue
                 assigned[w].discard(task_id)
                 if task_id not in index_of:

@@ -8,7 +8,10 @@ epoch-stamped with ``Table.version`` (bumped on every mutation), so:
 * the parent re-exports a table only when its data epoch moved — a
   read-heavy workload pays the copy once, not per scan;
 * workers cache their attachments per table and re-attach only when a
-  task arrives carrying a newer epoch (:class:`WorkerAttachments`);
+  task arrives carrying a different export id — a process-global
+  counter stamped into every :class:`TablePayload`, so a DROP/CREATE
+  cycle that happens to land on the same epoch number still forces a
+  re-attach (:class:`WorkerAttachments`);
 * an in-flight scan always sees the exact rows its statement locked:
   the statement's table lock keeps the epoch stable for the duration,
   and workers operate on the pinned copy, never the live buffers.
@@ -29,7 +32,9 @@ from __future__ import annotations
 
 import atexit
 import contextlib
+import itertools
 import os
+import secrets
 import threading
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -41,6 +46,18 @@ from ..errors import StorageError
 
 #: Prefix of every segment name this module creates (leak checks key on it).
 SHM_PREFIX = "rjits"
+
+# Segment names must be unique across every registry in this process
+# (several engines can coexist in one interpreter) and must not collide
+# with stale /dev/shm files left by a crashed run that recycled our pid,
+# so they carry a per-process random token plus a process-global counter.
+_NAME_TOKEN = secrets.token_hex(4)
+_SEG_SEQ = itertools.count(1)
+
+# Export identity: epoch numbers restart at 0 for a re-created table, so
+# payloads additionally carry a process-global monotone id that changes
+# on every (re-)export; worker caches key on it, never on the epoch.
+_EXPORT_IDS = itertools.count(1)
 
 
 class ShmError(StorageError):
@@ -59,12 +76,18 @@ class ColumnSegment:
 
 @dataclass(frozen=True)
 class TablePayload:
-    """Picklable descriptor of one table export, pinned to a data epoch."""
+    """Picklable descriptor of one table export, pinned to a data epoch.
+
+    ``export_id`` is the cache-validity key: unlike ``epoch`` (which is
+    per-Table and restarts at 0 when a table is dropped and re-created
+    under the same name), it is unique per export within the process.
+    """
 
     table: str
     epoch: int
     n_rows: int
     segments: Tuple[ColumnSegment, ...]
+    export_id: int = 0
 
 
 def list_segments() -> List[str]:
@@ -129,7 +152,6 @@ class ShmRegistry:
 
     def __init__(self) -> None:
         self._exports: Dict[str, _TableExport] = {}
-        self._seq = 0
         self._lock = threading.RLock()
         self._closed = False
         self.exports = 0  # tables (re-)exported, for stats_snapshot
@@ -159,8 +181,10 @@ class ShmRegistry:
             for column in table.schema.column_names():
                 column = column.lower()
                 data = table.column_data(column)
-                self._seq += 1
-                shm_name = f"{SHM_PREFIX}{os.getpid()}x{self._seq}"
+                shm_name = (
+                    f"{SHM_PREFIX}{os.getpid()}x{_NAME_TOKEN}"
+                    f"x{next(_SEG_SEQ)}"
+                )
                 shm = shared_memory.SharedMemory(
                     create=True, name=shm_name, size=max(1, data.nbytes)
                 )
@@ -188,6 +212,7 @@ class ShmRegistry:
             epoch=epoch,
             n_rows=table.row_count,
             segments=tuple(segments),
+            export_id=next(_EXPORT_IDS),
         )
         return _TableExport(payload, handles)
 
@@ -209,7 +234,8 @@ class ShmRegistry:
 
 class WorkerAttachments:
     """Worker-side attachment cache: one entry per table, evicted when a
-    task's payload carries a newer epoch."""
+    task's payload carries a different export id (a new epoch, or the
+    same table name re-created and re-exported)."""
 
     def __init__(self) -> None:
         self._tables: Dict[
@@ -220,8 +246,8 @@ class WorkerAttachments:
     def arrays(self, payload: TablePayload) -> Dict[str, np.ndarray]:
         cached = self._tables.get(payload.table)
         if cached is not None:
-            epoch, handles, arrays = cached
-            if epoch == payload.epoch:
+            export_id, handles, arrays = cached
+            if export_id == payload.export_id:
                 return arrays
             self._detach(handles)
             del self._tables[payload.table]
@@ -243,7 +269,7 @@ class WorkerAttachments:
                 f"attaching to table {payload.table!r} "
                 f"(epoch {payload.epoch}) failed: {exc}"
             ) from exc
-        self._tables[payload.table] = (payload.epoch, handles, arrays)
+        self._tables[payload.table] = (payload.export_id, handles, arrays)
         return arrays
 
     @staticmethod

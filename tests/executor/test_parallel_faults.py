@@ -60,6 +60,26 @@ def test_sigkill_mid_task_respawns_and_retries():
     assert victim not in pool.pids()
 
 
+def test_torn_result_message_recycles_worker_not_caller():
+    """A worker SIGKILLed mid-``put`` leaves a half-written message on
+    its result pipe; the deserialization failure must recycle the worker
+    (fresh channels, resend) instead of failing the caller's query."""
+    pool = WorkerPool(workers=1, task_timeout=30.0)
+    pool.start()
+    victim = pool.pids()[0]
+    # Inject undecodable bytes directly on the result channel, exactly
+    # what a torn pickle from a killed worker looks like to the parent.
+    pool._result_qs[0]._writer.send_bytes(b"\x80\x04 torn pickle")
+    try:
+        assert pool.run_tasks(
+            [("sleep", None, dict(duration=0.01))]
+        ) == [0.01]
+    finally:
+        pool.close()
+    assert pool.respawns >= 1
+    assert victim not in pool.pids()
+
+
 def test_sigkill_idle_worker_engine_query_still_correct(engine_factory):
     """Killing a pooled worker between statements: the next scan detects
     the death at dispatch, respawns, and returns the right rows."""

@@ -123,6 +123,37 @@ def test_export_reused_until_epoch_changes(engine_factory):
     assert engine.parallel.registry.exports > exports_after_first
 
 
+def test_drop_create_same_epoch_workers_see_new_data(engine_factory):
+    """DROP + CREATE under the same name restarts the epoch counter, so
+    both table generations can reach the same epoch number; workers must
+    re-attach to the new export (keyed by export id), not serve the
+    dropped table's cached arrays."""
+    engine = _parallel_engine(engine_factory, scan_workers=2)
+
+    def build(value: float):
+        engine.execute("CREATE TABLE gen (id INT, v FLOAT)")
+        table = engine.database.table("gen")
+        n = 200
+        table.insert_columns(
+            {
+                "id": np.arange(n, dtype=np.int64),
+                "v": np.full(n, value),
+            }
+        )
+        return table
+
+    query = "SELECT COUNT(*) FROM gen WHERE v >= 2.0"
+    first = build(1.0)
+    assert engine.execute(query).rows[0][0] == 0  # warm worker caches
+    engine.execute("DROP TABLE gen")
+    second = build(5.0)
+    assert second.version == first.version  # same epoch, new generation
+    assert engine.execute(query).rows[0][0] == 200
+    snap = engine.stats_snapshot()["parallel"]
+    assert snap["parallel_calls"] >= 2
+    assert snap["fallbacks"] == 0
+
+
 def test_runstats_parallel_matches_sequential(engine_factory):
     """The sharded per-column RUNSTATS pass lands identical catalog
     statistics (histograms included) to the sequential pass."""
@@ -211,6 +242,22 @@ def test_workers_zero_with_cost_is_sequential_baseline(engine_factory):
     snap = engine.stats_snapshot()["parallel"]
     assert snap["inline_calls"] > 0
     assert snap["parallel_calls"] == 0
+
+
+def test_two_registries_in_one_process_do_not_collide():
+    """Two engines in one interpreter export segments with distinct
+    names (process-global sequence), so neither falls back."""
+    from repro.storage.shm import ShmRegistry
+
+    table = _build_db().table("car")
+    r1, r2 = ShmRegistry(), ShmRegistry()
+    try:
+        names1 = {s.shm_name for s in r1.export(table).segments}
+        names2 = {s.shm_name for s in r2.export(table).segments}
+        assert names1 and names2 and not (names1 & names2)
+    finally:
+        r1.close()
+        r2.close()
 
 
 def test_pool_shm_round_trip_property():
