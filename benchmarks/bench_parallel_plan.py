@@ -1,0 +1,265 @@
+"""Morsel-driven plan fragments: 4-worker pool vs the sequential engine.
+
+Where ``bench_parallel_scan`` shards only the predicate scan, this bench
+pushes whole plan fragments onto the worker pool: fused
+scan→filter→partial-aggregate, partitioned hash joins (both inputs
+hash-partitioned by join key, one build+probe task per partition) and
+shard-local sort/distinct with a stable parent merge.
+
+Both engines run the identical join/group-by-heavy workload over the
+identical car database (built without indexes, so every access is a
+SeqScan and every join a HashJoin — the fragment-eligible shapes) with
+the identical modeled per-row cost (``EngineConfig.scan_cost_per_row``).
+The sequential engine is ``scan_workers=0``: the same fragment kernels,
+run in-process over a single shard, paying the same total modeled cost —
+so the measured speedup is worker overlap, not host-core count.
+
+Bars:
+
+* aggregate throughput speedup >= 3.0x at 4 workers;
+* every query's result set byte-identical to the sequential engine
+  (result-match ratio exactly 1.00);
+* every fragment kind (aggregate / join / sort / distinct) actually
+  dispatched through the pool.
+
+Run under pytest (the usual path) or standalone:
+
+    python bench_parallel_plan.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+from repro import Engine, EngineConfig
+from repro.workload import build_car_database, format_table
+
+SCAN_WORKERS = 4
+SCAN_COST_PER_ROW = 8e-6  # seconds per processed row, paid by both engines
+PARALLEL_THRESHOLD = 512
+SPEEDUP_BAR = 3.0  # parallel vs sequential aggregate throughput
+RESULT_MATCH_BAR = 1.0  # fraction of queries with identical result sets
+FRAGMENT_KINDS = ("aggregate", "join", "sort", "distinct")
+
+# Join- and group-by-heavy workload. The database carries no indexes, so
+# every leaf is a SeqScan and every join a HashJoin — exactly the shapes
+# the fragment planner offloads. Aggregates stick to COUNT / AVG-over-INT
+# / MIN / MAX (float SUM is order-dependent and stays sequential).
+QUERIES = [
+    "SELECT o.name, c.model FROM car c, owner o "
+    "WHERE c.ownerid = o.id AND c.year >= 2000",
+    "SELECT a.driver, c.make FROM accidents a, car c "
+    "WHERE a.carid = c.id AND a.severity >= 3",
+    "SELECT d.city, o.age FROM demographics d, owner o "
+    "WHERE d.ownerid = o.id AND d.education IN ('phd', 'masters')",
+    "SELECT make, COUNT(*), AVG(year) FROM car GROUP BY make",
+    "SELECT color, COUNT(*) FROM car "
+    "WHERE year BETWEEN 1997 AND 2005 GROUP BY color",
+    "SELECT severity, COUNT(*), MAX(year) FROM accidents GROUP BY severity",
+    "SELECT education, COUNT(*), MIN(ownerid) FROM demographics "
+    "GROUP BY education",
+    "SELECT MIN(price), MAX(price), COUNT(*) FROM car WHERE color = 'red'",
+    "SELECT year FROM car WHERE make = 'Toyota' ORDER BY year DESC",
+    "SELECT model FROM car WHERE year > 1999 ORDER BY model",
+    "SELECT DISTINCT color FROM car",
+    "SELECT DISTINCT city FROM demographics WHERE salary >= 2000",
+]
+
+
+def build_engine(
+    workers: int, scale: float, seed: int, cost_per_row: float
+) -> Engine:
+    db, _ = build_car_database(scale=scale, seed=seed, with_indexes=False)
+    config = EngineConfig.traditional()
+    config.scan_workers = workers
+    config.scan_cost_per_row = cost_per_row
+    config.parallel_threshold_rows = PARALLEL_THRESHOLD
+    return Engine(db, config)
+
+
+def run_engine(engine: Engine, rounds: int) -> Dict:
+    """Canonical per-query results (round 1) plus timed throughput."""
+    results = {sql: sorted(map(repr, engine.execute(sql).rows))
+               for sql in QUERIES}
+    started = time.perf_counter()
+    n = 0
+    for _ in range(rounds):
+        for sql in QUERIES:
+            engine.execute(sql)
+            n += 1
+    elapsed = time.perf_counter() - started
+    return {
+        "results": results,
+        "elapsed": elapsed,
+        "queries_per_sec": n / elapsed,
+        "parallel": engine.stats_snapshot().get("parallel", {}),
+    }
+
+
+def run_bench(
+    scale: float,
+    seed: int,
+    rounds: int,
+    cost_per_row: float = SCAN_COST_PER_ROW,
+    workers: int = SCAN_WORKERS,
+) -> Dict:
+    runs = {}
+    for label, n_workers in (("sequential", 0), (f"{workers}w", workers)):
+        engine = build_engine(n_workers, scale, seed, cost_per_row)
+        try:
+            runs[label] = run_engine(engine, rounds)
+        finally:
+            engine.shutdown()
+
+    par_label = f"{workers}w"
+    matched = sum(
+        runs[par_label]["results"][sql] == runs["sequential"]["results"][sql]
+        for sql in QUERIES
+    )
+    result_match_ratio = matched / len(QUERIES)
+    speedup = (
+        runs[par_label]["queries_per_sec"]
+        / runs["sequential"]["queries_per_sec"]
+    )
+
+    par_stats = runs[par_label]["parallel"]
+    fragments = par_stats.get("fragments", {})
+    latency = par_stats.get("shard_latency", {})
+    rows = [
+        [
+            label,
+            f"{run['elapsed']:.3f}",
+            f"{run['queries_per_sec']:.1f}",
+            str(run["parallel"].get("parallel_calls", 0)),
+            str(sum(run["parallel"].get("fragments", {}).values())),
+            str(run["parallel"].get("rebalances", 0)),
+            str(run["parallel"].get("fallbacks", 0)),
+        ]
+        for label, run in runs.items()
+    ]
+    table = (
+        f"Join/group-by-heavy workload, {len(QUERIES)} queries x {rounds} "
+        f"rounds (modeled cost {cost_per_row * 1e6:.1f} us/row):\n"
+        + format_table(
+            ["engine", "elapsed_s", "queries/s", "pool calls",
+             "fragments", "rebalances", "fallbacks"],
+            rows,
+        )
+        + f"\n{workers}-worker speedup: {speedup:.2f}x (bar {SPEEDUP_BAR}x)"
+        + f"\nresult-match ratio vs sequential: {result_match_ratio:.2f} "
+        f"(bar {RESULT_MATCH_BAR:.2f})"
+        + f"\nfragments dispatched: "
+        + ", ".join(f"{k}={fragments.get(k, 0)}" for k in FRAGMENT_KINDS)
+        + f"\nshard latency p50/p95: {latency.get('p50_ms', 0.0)} / "
+        f"{latency.get('p95_ms', 0.0)} ms over "
+        f"{latency.get('samples', 0)} samples"
+    )
+    return {
+        "runs": runs,
+        "speedup": speedup,
+        "result_match_ratio": result_match_ratio,
+        "fragments": fragments,
+        "table": table,
+    }
+
+
+def check_bars(bench: Dict, speedup_bar: float = SPEEDUP_BAR) -> List[str]:
+    failures = []
+    if bench["speedup"] < speedup_bar:
+        failures.append(
+            f"4-worker speedup {bench['speedup']:.2f}x < {speedup_bar}x"
+        )
+    if bench["result_match_ratio"] < RESULT_MATCH_BAR:
+        failures.append(
+            f"result-match ratio {bench['result_match_ratio']:.2f} < "
+            f"{RESULT_MATCH_BAR:.2f}"
+        )
+    for kind in FRAGMENT_KINDS:
+        if not bench["fragments"].get(kind):
+            failures.append(f"fragment kind {kind!r} never dispatched")
+    par = bench["runs"][[k for k in bench["runs"] if k != "sequential"][0]]
+    if par["parallel"].get("fallbacks", 0):
+        failures.append(
+            f"parallel engine fell back {par['parallel']['fallbacks']} time(s)"
+        )
+    return failures
+
+
+def json_metrics(bench: Dict) -> Dict:
+    return {
+        "engines": {
+            label: {
+                "elapsed_s": run["elapsed"],
+                "queries_per_sec": run["queries_per_sec"],
+                "parallel_calls": run["parallel"].get("parallel_calls", 0),
+                "fragments": run["parallel"].get("fragments", {}),
+                "rebalances": run["parallel"].get("rebalances", 0),
+                "shard_latency": run["parallel"].get("shard_latency", {}),
+                "fallbacks": run["parallel"].get("fallbacks", 0),
+            }
+            for label, run in bench["runs"].items()
+        },
+        "speedup_4_workers": bench["speedup"],
+        "result_match_ratio": bench["result_match_ratio"],
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+def test_parallel_plan():
+    from conftest import DATA_SEED, SCALE, emit
+
+    bench = run_bench(min(SCALE, 0.02), DATA_SEED, rounds=2)
+    emit(
+        "parallel_plan",
+        bench["table"],
+        metrics=json_metrics(bench),
+        config={
+            "scan_workers": SCAN_WORKERS,
+            "scan_cost_per_row": SCAN_COST_PER_ROW,
+            "parallel_threshold_rows": PARALLEL_THRESHOLD,
+            "queries": len(QUERIES),
+        },
+    )
+    failures = check_bars(bench)
+    assert not failures, "\n".join(failures) + "\n" + bench["table"]
+
+
+# ----------------------------------------------------------------------
+# standalone entry point (CI smoke)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scale / one round: verify identical results and that "
+        "every fragment kind dispatches, with a relaxed speedup bar",
+    )
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    scale = 0.005 if args.smoke else args.scale
+    rounds = 1 if args.smoke else args.rounds
+    cost = 1e-5 if args.smoke else SCAN_COST_PER_ROW
+    bench = run_bench(scale, args.seed, rounds, cost_per_row=cost)
+    print(bench["table"])
+    failures = check_bars(bench, speedup_bar=1.5 if args.smoke else SPEEDUP_BAR)
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print(
+        f"OK: speedup {bench['speedup']:.2f}x, result-match ratio "
+        f"{bench['result_match_ratio']:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

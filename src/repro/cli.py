@@ -209,6 +209,17 @@ def print_stats(engine: Engine, out) -> None:
             f"{par['tables_exported']} table export(s), "
             f"{par['worker_respawns']} respawn(s)\n"
         )
+        fragments = ", ".join(
+            f"{kind}={count}" for kind, count in par["fragments"].items()
+        )
+        latency = par["shard_latency"]
+        out.write(
+            f"plan fragments: {fragments or 'none'}; "
+            f"shard latency p50/p95 "
+            f"{latency['p50_ms']}/{latency['p95_ms']} ms "
+            f"over {latency['samples']} shard(s), "
+            f"{par['rebalances']} rebalance(s)\n"
+        )
 
 
 def print_tables(engine: Engine, out) -> None:

@@ -176,6 +176,24 @@ def aggregate_batch(
     for agg in needed:
         computed[agg] = compute_aggregate(agg, batch, gids, n_groups)
 
+    return finalize_aggregate(group_batch, computed, items, output_names, having)
+
+
+def finalize_aggregate(
+    group_batch: Batch,
+    computed: Dict[ast.Aggregate, ColumnVector],
+    items,
+    output_names: Tuple[str, ...],
+    having: Optional[ast.BoolExpr],
+) -> Batch:
+    """HAVING + projection over per-group aggregate vectors.
+
+    Shared tail of the sequential :func:`aggregate_batch` pipeline and
+    the parallel fused-aggregate fragment: both produce ``group_batch``
+    (key columns at group representatives) plus ``computed`` (one vector
+    per distinct aggregate) and hand off here.
+    """
+
     def resolver(agg: ast.Aggregate) -> ColumnVector:
         return computed[agg]
 

@@ -109,6 +109,18 @@ class PlanExecutor:
     # Dispatch
     # ------------------------------------------------------------------
     def _exec(self, node: PlanNode, block: QueryBlock) -> Batch:
+        if self.parallel is not None and isinstance(
+            node, (Aggregate, HashJoin, Sort, Distinct)
+        ):
+            # Whole-fragment offload: fused aggregate / partitioned join /
+            # shard-sorted output over the worker pool. None means the
+            # fragment planner declined; fall through to the operators.
+            batch = self.parallel.fragment_batch(
+                node, block, self.database, self._required, self._observations
+            )
+            if batch is not None:
+                node.actual_rows = len(batch)
+                return batch
         if isinstance(node, SeqScan):
             batch = self._exec_seq_scan(node, block)
         elif isinstance(node, IndexScan):
@@ -444,14 +456,26 @@ def _batch_predicate_mask(predicate: LocalPredicate, batch: Batch) -> np.ndarray
         )
         return ~mask if op is PredOp.NE else mask
     if op is PredOp.IN:
-        wanted = [
-            phys
-            for phys in (encode(value) for value in predicate.values)
-            if phys is not None
-        ]
-        if not wanted:
+        if vector.dictionary is not None:
+            for value in predicate.values:
+                if not isinstance(value, str):
+                    raise ExecutionError(
+                        f"comparing string column with {value!r}"
+                    )
+            codes = vector.dictionary.find_codes(predicate.values)
+            codes = codes[codes >= 0]  # drop values absent from the dict
+            if len(codes) == 0:
+                return np.zeros(len(data), dtype=bool)
+            return np.isin(data, codes.astype(data.dtype))
+        for value in predicate.values:
+            if isinstance(value, str):
+                raise ExecutionError(f"comparing numeric column with {value!r}")
+        wanted = np.asarray(
+            [float(value) for value in predicate.values], dtype=data.dtype
+        )
+        if len(wanted) == 0:
             return np.zeros(len(data), dtype=bool)
-        return np.isin(data, np.asarray(wanted, dtype=data.dtype))
+        return np.isin(data, wanted)
     if vector.dictionary is not None:
         raise ExecutionError("range predicate on string output column")
     low = encode(predicate.values[0])

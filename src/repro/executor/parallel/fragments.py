@@ -1,0 +1,647 @@
+"""Morsel-driven plan fragments over the worker pool.
+
+A *fragment* is a maximal plan subtree the manager can run as sharded
+kernels over /dev/shm column exports instead of the sequential operator
+path: fused scan→filter→partial-aggregate, partitioned hash join,
+shard-local sort and shard-local distinct. The planner here decides
+eligibility (fragment boundaries) from the manager's row threshold and
+what the kernels can express; anything it declines falls through to
+``PlanExecutor``'s sequential operators, so fragments are purely an
+execution strategy.
+
+Byte-identity contract (checked by ``tests/harness/differential.py``):
+
+* **Aggregates** fuse only where partial merge is exact in any shard
+  order: COUNT, MIN/MAX over numeric columns, and SUM/AVG over INT
+  columns whose total magnitude stays inside float64's exact-integer
+  range. Float SUM/AVG stay sequential (float addition is
+  order-dependent), as do DISTINCT aggregates and string MIN/MAX.
+* **Joins** re-order the concatenated partition outputs by global
+  (probe_row, build_row) — exactly the sequential
+  ``equi_join_indices`` pair order, because scan batches are row-ordered
+  and the sequential join emits probe-ascending, build-ascending pairs.
+* **Sort/Distinct** rely on stable merges: shard order preserves global
+  row order, so ties and first-occurrences land exactly where the
+  sequential ``np.lexsort`` / ``np.unique`` paths put them.
+
+Fragments dispatch even with ``workers == 0`` (single inline shard):
+that is the modeled-cost sequential baseline the plan benchmark compares
+against, identical kernels and results, no overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import ReproError
+from ...optimizer.plans import (
+    Aggregate,
+    Distinct,
+    HashJoin,
+    PlanNode,
+    Project,
+    SeqScan,
+    Sort,
+)
+from ...sql import ast
+from ...types import DataType
+from ..aggregate import collect_aggregates, finalize_aggregate
+from ..executor import ScanObservation
+from ..vector import Batch, ColumnVector, batch_from_table, code_lookup
+from .kernels import PhysPredicate, encode_predicates
+
+#: Largest |value| * row_count for which float64 partial sums are exact
+#: integers regardless of addition order (the int SUM/AVG fusion gate).
+_EXACT_INT_SUM = float(1 << 53)
+
+
+# ----------------------------------------------------------------------
+# Scan lowering shared by every fragment kind
+# ----------------------------------------------------------------------
+@dataclass
+class _Scan:
+    node: SeqScan
+    table: object
+    preds: Tuple[PhysPredicate, ...]
+
+    @property
+    def alias(self) -> str:
+        return self.node.alias
+
+    def column_names(self) -> set:
+        return {c.lower() for c in self.table.schema.column_names()}
+
+
+def _lower_scan(node: PlanNode, database) -> Optional[_Scan]:
+    """Lower a leaf to kernel form; None when it is not a plain SeqScan
+    with fully encodable predicates (residuals need expression eval)."""
+    if not isinstance(node, SeqScan) or node.scan_residuals:
+        return None
+    table = database.table(node.table_name)
+    preds: Tuple[PhysPredicate, ...] = ()
+    if node.predicates:
+        encoded = encode_predicates(table, node.predicates)
+        if encoded is None:
+            return None
+        preds = encoded
+    return _Scan(node, table, preds)
+
+
+def _observe(scan: _Scan, matched: int, observations: Dict) -> None:
+    """Write the same actuals/observation the sequential scan would."""
+    scan.node.actual_base_rows = scan.table.row_count
+    scan.node.actual_rows = matched
+    observations[scan.alias] = ScanObservation(
+        alias=scan.alias,
+        table_name=scan.table.name,
+        base_rows=scan.table.row_count,
+        matched_rows=matched,
+    )
+
+
+def _column_of(expr, alias: str, columns: set) -> Optional[str]:
+    """The table column a plain qualified ColumnRef resolves to."""
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    if (expr.qualifier or "").lower() != alias:
+        return None
+    name = expr.name.lower()
+    return name if name in columns else None
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def execute_fragment(
+    manager, node: PlanNode, block, database, required, observations
+) -> Optional[Batch]:
+    """Run ``node`` as a pool fragment, or None to decline."""
+    if isinstance(node, Aggregate):
+        return _aggregate_fragment(
+            manager, node, database, observations
+        )
+    if isinstance(node, HashJoin):
+        return _join_fragment(
+            manager, node, database, required, observations
+        )
+    if isinstance(node, Sort):
+        return _sort_fragment(manager, node, database, observations)
+    if isinstance(node, Distinct):
+        return _distinct_fragment(manager, node, database, observations)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Fused scan → filter → partial aggregate
+# ----------------------------------------------------------------------
+def _int_sum_exact(table, column: str) -> bool:
+    data = table.column_data(column)
+    if len(data) == 0:
+        return True
+    bound = float(np.abs(data.astype(np.float64)).max()) * len(data)
+    return bound < _EXACT_INT_SUM
+
+
+def _plan_aggregates(node: Aggregate, scan: _Scan):
+    """Lower every aggregate to primitive partials, or None.
+
+    Returns ``(prim_specs, plans)`` where ``plans`` maps each distinct
+    ast.Aggregate to ``(kind, prim_ref, column)`` and ``prim_specs`` is
+    the deduplicated ``(func, column)`` list the shard kernel computes.
+    """
+    columns = scan.column_names()
+    schema = scan.table.schema
+    aggs = collect_aggregates(
+        [item.expr for item in node.items]
+        + ([node.having] if node.having is not None else [])
+    )
+    prim_specs: List[Tuple[str, str]] = []
+    prim_index: Dict[Tuple[str, str], int] = {}
+
+    def prim(func: str, column: str) -> int:
+        key = (func, column)
+        if key not in prim_index:
+            prim_index[key] = len(prim_specs)
+            prim_specs.append(key)
+        return prim_index[key]
+
+    plans: Dict[ast.Aggregate, Tuple] = {}
+    for agg in aggs:
+        if agg.distinct:
+            return None
+        if agg.func is ast.AggFunc.COUNT:
+            if agg.argument is not None:
+                if _column_of(agg.argument, scan.alias, columns) is None:
+                    return None
+            plans[agg] = ("count", prim("count", ""), None)
+            continue
+        column = _column_of(agg.argument, scan.alias, columns)
+        if column is None:
+            return None
+        dtype = schema.column(column).dtype
+        if agg.func in (ast.AggFunc.SUM, ast.AggFunc.AVG):
+            # Only integer sums are shard-order independent in float64;
+            # FLOAT sums stay on the sequential path.
+            if dtype is not DataType.INT:
+                return None
+            if not _int_sum_exact(scan.table, column):
+                return None
+            if agg.func is ast.AggFunc.SUM:
+                plans[agg] = ("sum_int", prim("sum", column), column)
+            else:
+                plans[agg] = (
+                    "avg_int",
+                    (prim("sum", column), prim("count", "")),
+                    column,
+                )
+        elif agg.func in (ast.AggFunc.MIN, ast.AggFunc.MAX):
+            if dtype is DataType.STRING:
+                return None  # codes do not follow string order
+            func = "min" if agg.func is ast.AggFunc.MIN else "max"
+            plans[agg] = (func, prim(func, column), column)
+        else:
+            return None
+    return tuple(prim_specs), plans
+
+
+def merge_group_partials(
+    parts, n_keys: int, specs: Tuple[Tuple[str, str], ...]
+):
+    """Re-group ``group_aggregate_shard`` partials across shards.
+
+    Returns ``(key_arrays, partial_arrays, n_groups, matched_rows)``.
+    Merged group order is ascending by key values — the same order
+    ``aggregate.group_ids`` produces over the whole batch, since
+    np.unique codes are value-ascending in both places.
+    """
+    matched = int(sum(p[2] for p in parts))
+
+    def shard_groups(part) -> int:
+        if n_keys:
+            return len(part[0][0]) if part[0] else 0
+        return len(part[1][0]) if part[1] else 0
+
+    if not any(shard_groups(p) for p in parts):
+        head = parts[0]
+        empty_keys = tuple(head[0][j][:0] for j in range(n_keys))
+        empty_prims = tuple(head[1][i][:0] for i in range(len(specs)))
+        return empty_keys, empty_prims, 0, matched
+
+    if n_keys == 0:
+        live = [p for p in parts if shard_groups(p)]
+        merged = []
+        for i, (func, _) in enumerate(specs):
+            values = [p[1][i][0] for p in live]
+            if func in ("count", "sum"):
+                merged.append(np.array([float(sum(values))]))
+            elif func == "min":
+                merged.append(np.array([min(values)]))
+            else:
+                merged.append(np.array([max(values)]))
+        return (), tuple(merged), 1, matched
+
+    cat_keys = [
+        np.concatenate([p[0][j] for p in parts]) for j in range(n_keys)
+    ]
+    cat_prims = [
+        np.concatenate([p[1][i] for p in parts]) for i in range(len(specs))
+    ]
+    code_columns = [
+        np.unique(k, return_inverse=True)[1].astype(np.int64)
+        for k in cat_keys
+    ]
+    stacked = np.stack(code_columns, axis=1)
+    _, first_idx, gids = np.unique(
+        stacked, axis=0, return_index=True, return_inverse=True
+    )
+    gids = gids.astype(np.int64)
+    n_groups = len(first_idx)
+    merged_keys = tuple(k[first_idx] for k in cat_keys)
+    merged_prims = []
+    for i, (func, _) in enumerate(specs):
+        data = cat_prims[i]
+        if func in ("count", "sum"):
+            merged_prims.append(
+                np.bincount(gids, weights=data, minlength=n_groups)
+            )
+        else:
+            order = np.argsort(gids, kind="stable")
+            starts = np.searchsorted(gids[order], np.arange(n_groups))
+            reducer = np.minimum if func == "min" else np.maximum
+            merged_prims.append(reducer.reduceat(data[order], starts))
+    return merged_keys, tuple(merged_prims), n_groups, matched
+
+
+def _aggregate_fragment(
+    manager, node: Aggregate, database, observations
+) -> Optional[Batch]:
+    scan = _lower_scan(node.child, database)
+    if scan is None or scan.table.row_count < manager.threshold_rows:
+        return None
+    columns = scan.column_names()
+    key_columns: List[str] = []
+    for key in node.group_keys:
+        column = _column_of(key, scan.alias, columns)
+        if column is None:
+            return None
+        key_columns.append(column)
+    lowered = _plan_aggregates(node, scan)
+    if lowered is None:
+        return None
+    prim_specs, plans = lowered
+
+    parts = manager.run_ranged(
+        scan.table,
+        "group_aggregate",
+        dict(
+            preds=scan.preds,
+            keys=tuple(key_columns),
+            specs=prim_specs,
+            cost_per_row=manager.cost_per_row,
+        ),
+        "aggregate fragment",
+    )
+    merged_keys, prims, n_groups, matched = merge_group_partials(
+        parts, len(key_columns), prim_specs
+    )
+
+    computed: Dict[ast.Aggregate, ColumnVector] = {}
+    if not key_columns and n_groups == 0:
+        # Global aggregate over zero matching rows: one group with the
+        # sequential empty-input semantics (no NULLs in this engine).
+        n_groups = 1
+        for agg, (kind, _, column) in plans.items():
+            if kind == "count" or kind == "sum_int":
+                computed[agg] = ColumnVector(
+                    np.zeros(1, dtype=np.int64), DataType.INT
+                )
+            elif kind == "avg_int":
+                computed[agg] = ColumnVector(
+                    np.zeros(1, dtype=np.float64), DataType.FLOAT
+                )
+            else:
+                col = scan.table.column(column)
+                computed[agg] = ColumnVector(
+                    np.zeros(1, dtype=col.data.dtype), col.dtype
+                )
+    else:
+        for agg, (kind, ref, column) in plans.items():
+            if kind == "count":
+                computed[agg] = ColumnVector(
+                    prims[ref].astype(np.int64), DataType.INT
+                )
+            elif kind == "sum_int":
+                computed[agg] = ColumnVector(
+                    np.round(prims[ref]).astype(np.int64), DataType.INT
+                )
+            elif kind == "avg_int":
+                sums, counts = prims[ref[0]], prims[ref[1]]
+                averages = np.divide(
+                    sums, counts, out=np.zeros_like(sums), where=counts > 0
+                )
+                computed[agg] = ColumnVector(averages, DataType.FLOAT)
+            else:
+                col = scan.table.column(column)
+                computed[agg] = ColumnVector(
+                    prims[ref], col.dtype, col.dictionary
+                )
+
+    group_columns: Dict[Tuple[str, str], ColumnVector] = {}
+    for key_ref, column, values in zip(
+        node.group_keys, key_columns, merged_keys
+    ):
+        col = scan.table.column(column)
+        group_columns[
+            ((key_ref.qualifier or "").lower(), key_ref.name.lower())
+        ] = ColumnVector(values, col.dtype, col.dictionary)
+    group_batch = Batch(group_columns, n_groups)
+
+    batch = finalize_aggregate(
+        group_batch, computed, node.items, node.output_names, node.having
+    )
+    _observe(scan, matched, observations)
+    manager.note_fragment("aggregate")
+    return batch
+
+
+# ----------------------------------------------------------------------
+# Partitioned hash join
+# ----------------------------------------------------------------------
+def _join_fragment(
+    manager, node: HashJoin, database, required, observations
+) -> Optional[Batch]:
+    probe = _lower_scan(node.probe, database)
+    build = _lower_scan(node.build, database)
+    if probe is None or build is None or not node.join_predicates:
+        return None
+    if (
+        max(probe.table.row_count, build.table.row_count)
+        < manager.threshold_rows
+    ):
+        return None
+    keys: List[Tuple[str, str, Optional[np.ndarray]]] = []
+    for predicate in node.join_predicates:
+        try:
+            probe_column = predicate.column_for(probe.alias)
+            build_column = predicate.column_for(build.alias)
+        except ReproError:
+            return None
+        probe_dict = probe.table.column(probe_column).dictionary
+        build_dict = build.table.column(build_column).dictionary
+        if (probe_dict is None) != (build_dict is None):
+            return None  # sequential path owns the type error
+        lookup = None
+        if probe_dict is not None and probe_dict is not build_dict:
+            lookup = code_lookup(probe_dict, build_dict)
+        keys.append((probe_column, build_column, lookup))
+
+    n_parts = max(1, manager.workers)
+    cost = manager.cost_per_row
+    hash_key = keys[0]
+    probe_parts = manager.run_ranged(
+        probe.table,
+        "join_partition",
+        dict(
+            preds=probe.preds,
+            key_column=hash_key[0],
+            n_parts=n_parts,
+            lookup=hash_key[2],
+            cost_per_row=cost,
+        ),
+        "join fragment",
+    )
+    build_parts = manager.run_ranged(
+        build.table,
+        "join_partition",
+        dict(
+            preds=build.preds,
+            key_column=hash_key[1],
+            n_parts=n_parts,
+            lookup=None,
+            cost_per_row=cost,
+        ),
+        "join fragment",
+    )
+    probe_matched = int(sum(p[1] for p in probe_parts))
+    build_matched = int(sum(p[1] for p in build_parts))
+    # Shards come back in row order, so per-partition concatenation keeps
+    # each partition's rows globally ascending.
+    probe_by_part = [
+        np.concatenate([shard[0][p] for shard in probe_parts])
+        for p in range(n_parts)
+    ]
+    build_by_part = [
+        np.concatenate([shard[0][p] for shard in build_parts])
+        for p in range(n_parts)
+    ]
+    kwargs_list = [
+        dict(
+            probe_table=probe.table.name.lower(),
+            build_table=build.table.name.lower(),
+            probe_rows=probe_by_part[p],
+            build_rows=build_by_part[p],
+            keys=tuple(keys),
+            cost_per_row=cost,
+        )
+        for p in range(n_parts)
+        if len(probe_by_part[p]) and len(build_by_part[p])
+    ]
+    if kwargs_list:
+        pairs = manager.run_partitioned(
+            [probe.table, build.table],
+            "join_probe",
+            kwargs_list,
+            "join fragment",
+        )
+        l_rows = np.concatenate([pair[0] for pair in pairs])
+        r_rows = np.concatenate([pair[1] for pair in pairs])
+        # Restore the sequential pair order: ascending (probe, build).
+        order = np.lexsort((r_rows, l_rows))
+        l_rows, r_rows = l_rows[order], r_rows[order]
+    else:
+        l_rows = np.empty(0, dtype=np.int64)
+        r_rows = np.empty(0, dtype=np.int64)
+
+    probe_batch = batch_from_table(
+        probe.table,
+        probe.alias,
+        l_rows,
+        sorted(required.get(probe.alias, set())),
+    )
+    build_batch = batch_from_table(
+        build.table,
+        build.alias,
+        r_rows,
+        sorted(required.get(build.alias, set())),
+    )
+    _observe(probe, probe_matched, observations)
+    _observe(build, build_matched, observations)
+    manager.note_fragment("join")
+    return Batch.merge(probe_batch, build_batch)
+
+
+# ----------------------------------------------------------------------
+# Shard-local sort / distinct with parent merge
+# ----------------------------------------------------------------------
+def _project_columns(project: Project, scan: _Scan) -> Optional[Dict[str, str]]:
+    """Output-name → table-column map when every item is a plain column.
+
+    Built with dict semantics (first position, last value per name) to
+    mirror how the sequential Project materializes its batch."""
+    columns = scan.column_names()
+    out: Dict[str, str] = {}
+    for item, name in zip(project.items, project.output_names):
+        column = _column_of(item.expr, scan.alias, columns)
+        if column is None:
+            return None
+        out[name.lower()] = column
+    return out or None
+
+
+def _project_batch(table, out_columns: Dict[str, str], rows) -> Batch:
+    out: Dict[Tuple[str, str], ColumnVector] = {}
+    for name, column_name in out_columns.items():
+        column = table.column(column_name)
+        out[("", name)] = ColumnVector(
+            column.data[rows], column.dtype, column.dictionary
+        )
+    return Batch(out, len(rows))
+
+
+def _rank_array(dictionary) -> np.ndarray:
+    """Lexicographic rank per code (``ColumnVector.sort_ranks`` shape)."""
+    perm = dictionary.sort_permutation()
+    ranks = np.empty(len(perm), dtype=np.int64)
+    ranks[perm] = np.arange(len(perm))
+    return ranks
+
+
+def merge_sorted_runs(key_arrays: List[np.ndarray]) -> np.ndarray:
+    """Merge permutation over concatenated shard-sorted runs.
+
+    Factorizes each key column and stable-argsorts one composite code —
+    timsort's run detection makes this a k-way merge over the presorted
+    runs. Falls back to a full lexsort when the composite would overflow
+    int64. Either way ties keep appearance order, which (runs being in
+    shard order) is exactly the sequential sort's tie order.
+    """
+    codes: List[np.ndarray] = []
+    span = 1
+    for key in key_arrays:
+        inverse = np.unique(key, return_inverse=True)[1].astype(np.int64)
+        reach = int(inverse.max()) + 1 if len(inverse) else 1
+        if span > (1 << 62) // max(reach, 1):
+            return np.lexsort(tuple(reversed(key_arrays)))
+        span *= reach
+        codes.append(inverse)
+    composite = codes[0]
+    for inverse in codes[1:]:
+        reach = int(inverse.max()) + 1 if len(inverse) else 1
+        composite = composite * reach + inverse
+    return np.argsort(composite, kind="stable")
+
+
+def _sort_fragment(
+    manager, node: Sort, database, observations
+) -> Optional[Batch]:
+    project = node.child
+    if not isinstance(project, Project):
+        return None
+    scan = _lower_scan(project.child, database)
+    if scan is None or scan.table.row_count < manager.threshold_rows:
+        return None
+    out_columns = _project_columns(project, scan)
+    if out_columns is None:
+        return None
+    sort_keys: List[Tuple[str, bool, Optional[np.ndarray]]] = []
+    for order in node.order_by:
+        # Order keys were rewritten to unqualified output references.
+        if not isinstance(order.expr, ast.ColumnRef) or order.expr.qualifier:
+            return None
+        name = order.expr.name.lower()
+        if name not in out_columns:
+            return None
+        column_name = out_columns[name]
+        column = scan.table.column(column_name)
+        ranks = (
+            _rank_array(column.dictionary)
+            if column.dictionary is not None
+            else None
+        )
+        sort_keys.append((column_name, bool(order.descending), ranks))
+    if not sort_keys:
+        return None
+
+    runs = manager.run_ranged(
+        scan.table,
+        "sort",
+        dict(
+            preds=scan.preds,
+            keys=tuple(sort_keys),
+            cost_per_row=manager.cost_per_row,
+        ),
+        "sort fragment",
+    )
+    rows = np.concatenate([run[0] for run in runs])
+    matched = int(sum(run[2] for run in runs))
+    if len(runs) > 1 and len(rows) > 1:
+        key_arrays = [
+            np.concatenate([run[1][j] for run in runs])
+            for j in range(len(sort_keys))
+        ]
+        rows = rows[merge_sorted_runs(key_arrays)]
+    batch = _project_batch(scan.table, out_columns, rows)
+    project.actual_rows = matched
+    _observe(scan, matched, observations)
+    manager.note_fragment("sort")
+    return batch
+
+
+def _distinct_fragment(
+    manager, node: Distinct, database, observations
+) -> Optional[Batch]:
+    project = node.child
+    if not isinstance(project, Project):
+        return None
+    scan = _lower_scan(project.child, database)
+    if scan is None or scan.table.row_count < manager.threshold_rows:
+        return None
+    out_columns = _project_columns(project, scan)
+    if out_columns is None:
+        return None
+    kernel_columns = tuple(out_columns.values())
+
+    runs = manager.run_ranged(
+        scan.table,
+        "distinct",
+        dict(
+            preds=scan.preds,
+            columns=kernel_columns,
+            cost_per_row=manager.cost_per_row,
+        ),
+        "distinct fragment",
+    )
+    matched = int(sum(run[2] for run in runs))
+    rows = np.concatenate([run[0] for run in runs])
+    if len(runs) > 1 and len(rows):
+        values = [
+            np.concatenate([run[1][j] for run in runs])
+            for j in range(len(kernel_columns))
+        ]
+        code_columns = [
+            np.unique(v, return_inverse=True)[1].astype(np.int64)
+            for v in values
+        ]
+        stacked = np.stack(code_columns, axis=1)
+        _, first_idx = np.unique(stacked, axis=0, return_index=True)
+        # Shard-local firsts are globally ordered, so the earliest
+        # surviving position is the true global first occurrence.
+        rows = rows[np.sort(first_idx)]
+    batch = _project_batch(scan.table, out_columns, rows)
+    project.actual_rows = matched
+    _observe(scan, matched, observations)
+    manager.note_fragment("distinct")
+    return batch

@@ -26,7 +26,9 @@ Contracts:
 from __future__ import annotations
 
 import threading
+import time
 import warnings
+from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,6 +38,52 @@ from .kernels import KERNELS, encode_predicates
 from .pool import PoolUnavailable, WorkerError, WorkerPool
 
 DEFAULT_PARALLEL_THRESHOLD = 32768
+
+#: Ring-buffer size for per-shard latency samples (stats p50/p95).
+_LATENCY_SAMPLES = 512
+
+#: A shard-time profile: (total_rows, shard_bounds, shard_seconds).
+_Profile = Tuple[int, List[Tuple[int, int]], List[float]]
+
+
+def equal_latency_bounds(
+    profile: _Profile, n: int, shards: int
+) -> Optional[List[Tuple[int, int]]]:
+    """Re-split ``[0, n)`` so each shard gets equal *predicted* latency.
+
+    The profile's observed per-shard times induce a piecewise-constant
+    latency density over the table (positions normalized, so the profile
+    survives moderate growth/shrink between dispatches); the new cut
+    points invert its cumulative to equal fractions. Returns None when
+    the profile carries no signal (zero time, empty table).
+    """
+    n_old, bounds_old, times_old = profile
+    if n <= 0 or n_old <= 0 or shards < 2:
+        return None
+    segments = [
+        (start / n_old, stop / n_old, max(0.0, elapsed))
+        for (start, stop), elapsed in zip(bounds_old, times_old)
+        if stop > start
+    ]
+    total = sum(weight for _, _, weight in segments)
+    if not segments or total <= 0.0:
+        return None
+    lo = np.array([s for s, _, _ in segments])
+    width = np.array([t - s for s, t, _ in segments])
+    weight = np.array([w for _, _, w in segments])
+    cum = np.cumsum(weight)
+    prev = cum - weight
+    edges = [0]
+    for j in range(1, shards):
+        target = total * j / shards
+        i = min(int(np.searchsorted(cum, target)), len(segments) - 1)
+        frac = lo[i] + (
+            (target - prev[i]) / weight[i] * width[i] if weight[i] > 0 else 0.0
+        )
+        cut = int(round(frac * n))
+        edges.append(min(max(cut, edges[-1]), n))
+    edges.append(n)
+    return list(zip(edges[:-1], edges[1:]))
 
 
 class ParallelScanManager:
@@ -63,6 +111,13 @@ class ParallelScanManager:
         # in-flight batch at a time.
         self._lock = threading.Lock()
         self._pool_lock = threading.Lock()
+        # Adaptive shard sizing state: per-table latency profiles from
+        # the last timed dispatch, plus a sample ring for stats().
+        self._profile_lock = threading.Lock()
+        self._profiles: Dict[str, _Profile] = {}
+        self._shard_times: deque = deque(maxlen=_LATENCY_SAMPLES)
+        self.rebalances = 0
+        self.fragment_counts: Dict[str, int] = {}
         self._disabled = False
         self.parallel_calls = 0
         self.inline_calls = 0
@@ -72,27 +127,82 @@ class ParallelScanManager:
     # ------------------------------------------------------------------
     # Core dispatch
     # ------------------------------------------------------------------
-    def _shard_bounds(self, n: int) -> List[Tuple[int, int]]:
+    def _shard_bounds(
+        self, n: int, key: Optional[str] = None
+    ) -> List[Tuple[int, int]]:
         shards = max(1, self.workers)
         if n > 0:
             shards = min(shards, n)
         else:
             shards = 1
-        return [
+        uniform = [
             (i * n // shards, (i + 1) * n // shards) for i in range(shards)
         ]
+        if key is None or shards < 2:
+            return uniform
+        with self._profile_lock:
+            profile = self._profiles.get(key)
+        if profile is None:
+            return uniform
+        bounds = equal_latency_bounds(profile, n, shards)
+        if bounds is None or bounds == uniform:
+            return uniform
+        self.rebalances += 1
+        return bounds
 
-    def _run(self, table, kernel: str, kwargs_list: List[dict], label: str):
+    def _note_shard_times(
+        self,
+        key: Optional[str],
+        bounds: Optional[List[Tuple[int, int]]],
+        times: List[float],
+    ) -> None:
+        with self._profile_lock:
+            self._shard_times.extend(times)
+            if key is not None and bounds and len(bounds) >= 2:
+                self._profiles[key] = (bounds[-1][1], list(bounds), times)
+
+    def _run(
+        self,
+        tables,
+        kernel: str,
+        kwargs_list: List[dict],
+        label: str,
+        timing_key: Optional[str] = None,
+        bounds: Optional[List[Tuple[int, int]]] = None,
+    ):
         """Run one kernel over shards: worker pool when healthy, else the
-        same kernels in-process (identical results either way)."""
+        same kernels in-process (identical results either way).
+
+        ``tables`` is one table or a sequence (multi-table kernels see a
+        per-table arrays dict). ``timing_key`` wraps each task in the
+        ``timed`` kernel and records per-shard wall-clock against that
+        key for adaptive shard sizing.
+        """
+        if not isinstance(tables, (list, tuple)):
+            tables = [tables]
+        multi = len(tables) > 1
         if self.pool is not None and not self._disabled:
             try:
                 with self._lock:
-                    payload = self.registry.export(table)
-                tasks = [(kernel, payload, kw) for kw in kwargs_list]
+                    payloads = tuple(
+                        self.registry.export(t) for t in tables
+                    )
+                payload = payloads if multi else payloads[0]
+                if timing_key is not None:
+                    tasks = [
+                        ("timed", payload, dict(kernel=kernel, kwargs=kw))
+                        for kw in kwargs_list
+                    ]
+                else:
+                    tasks = [(kernel, payload, kw) for kw in kwargs_list]
                 with self._pool_lock:
                     out = self.pool.run_tasks(tasks)
                     self.parallel_calls += 1
+                if timing_key is not None:
+                    self._note_shard_times(
+                        timing_key, bounds, [t for t, _ in out]
+                    )
+                    out = [result for _, result in out]
                 return out
             except (PoolUnavailable, WorkerError, ShmError, OSError) as exc:
                 self.fallbacks += 1
@@ -105,12 +215,55 @@ class ParallelScanManager:
                     stacklevel=4,
                 )
         self.inline_calls += 1
-        arrays = {
-            name.lower(): table.column_data(name)
-            for name in table.schema.column_names()
-        }
+
+        def live_arrays(table):
+            return {
+                name.lower(): table.column_data(name)
+                for name in table.schema.column_names()
+            }
+
+        if multi:
+            arrays = {t.name.lower(): live_arrays(t) for t in tables}
+        else:
+            arrays = live_arrays(tables[0])
         fn = KERNELS[kernel]
+        if timing_key is not None:
+            out, times = [], []
+            for kw in kwargs_list:
+                t0 = time.perf_counter()
+                out.append(fn(arrays, **kw))
+                times.append(time.perf_counter() - t0)
+            self._note_shard_times(timing_key, bounds, times)
+            return out
         return [fn(arrays, **kw) for kw in kwargs_list]
+
+    def run_ranged(
+        self,
+        table,
+        kernel: str,
+        common_kwargs: dict,
+        label: str,
+    ) -> List:
+        """Shard ``[0, table.row_count)`` (adaptively, when a latency
+        profile exists for the table) and run one row-ranged kernel task
+        per shard; per-shard wall-clock feeds the table's profile."""
+        n = table.row_count
+        key = table.name.lower()
+        bounds = self._shard_bounds(n, key)
+        kwargs_list = [
+            dict(common_kwargs, start=start, stop=stop)
+            for start, stop in bounds
+        ]
+        return self._run(
+            table, kernel, kwargs_list, label, timing_key=key, bounds=bounds
+        )
+
+    def run_partitioned(
+        self, tables, kernel: str, kwargs_list: List[dict], label: str
+    ) -> List:
+        """Dispatch pre-built (possibly multi-table) kernel tasks — the
+        join probe stage, one task per hash partition."""
+        return self._run(tables, kernel, kwargs_list, label)
 
     # ------------------------------------------------------------------
     # Table scans (SeqScan / DML WHERE)
@@ -128,12 +281,31 @@ class ParallelScanManager:
         phys = encode_predicates(table, predicates)
         if phys is None:
             return None
-        kwargs = [
-            dict(preds=phys, start=s, stop=t, cost_per_row=self.cost_per_row)
-            for s, t in self._shard_bounds(n)
-        ]
-        parts = self._run(table, "scan", kwargs, "scan")
+        parts = self.run_ranged(
+            table,
+            "scan",
+            dict(preds=phys, cost_per_row=self.cost_per_row),
+            "scan",
+        )
         return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    # ------------------------------------------------------------------
+    # Plan fragments (aggregate / join / sort / distinct)
+    # ------------------------------------------------------------------
+    def fragment_batch(
+        self, node, block, database, required, observations
+    ):
+        """Execute a plan fragment rooted at ``node`` over the pool, or
+        return None when the fragment planner declines (the sequential
+        operator path then runs; see :mod:`.fragments`)."""
+        from .fragments import execute_fragment
+
+        return execute_fragment(
+            self, node, block, database, required, observations
+        )
+
+    def note_fragment(self, kind: str) -> None:
+        self.fragment_counts[kind] = self.fragment_counts.get(kind, 0) + 1
 
     # ------------------------------------------------------------------
     # QSS sample-selectivity evaluation (JITS collection)
@@ -229,6 +401,20 @@ class ParallelScanManager:
             self.registry.release(table_name)
 
     def stats(self) -> Dict[str, object]:
+        with self._profile_lock:
+            samples = list(self._shard_times)
+        if samples:
+            latency = {
+                "samples": len(samples),
+                "p50_ms": round(
+                    float(np.percentile(samples, 50)) * 1000.0, 3
+                ),
+                "p95_ms": round(
+                    float(np.percentile(samples, 95)) * 1000.0, 3
+                ),
+            }
+        else:
+            latency = {"samples": 0, "p50_ms": 0.0, "p95_ms": 0.0}
         return {
             "workers": self.workers,
             "threshold_rows": self.threshold_rows,
@@ -237,6 +423,9 @@ class ParallelScanManager:
             "fallbacks": self.fallbacks,
             "worker_respawns": self.pool.respawns if self.pool else 0,
             "tables_exported": self.registry.exports,
+            "shard_latency": latency,
+            "rebalances": self.rebalances,
+            "fragments": dict(sorted(self.fragment_counts.items())),
             "process_path": (
                 "disabled"
                 if (self.pool is None or self._disabled)

@@ -93,3 +93,14 @@ class StringDictionary:
     def find_code(self, value: str) -> Optional[int]:
         code = self._codes.get(value)
         return code
+
+    def find_codes(self, values: Iterable[str]) -> np.ndarray:
+        """Codes for a value list in one pass (:data:`MISSING_CODE` for
+        absent values) — the batch form of :meth:`find_code`."""
+        get = self._codes.get
+        values = list(values)
+        return np.fromiter(
+            (get(v, MISSING_CODE) for v in values),
+            dtype=np.int64,
+            count=len(values),
+        )

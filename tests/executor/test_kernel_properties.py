@@ -12,13 +12,25 @@ import numpy as np
 import pytest
 
 from repro.executor.parallel import encode_predicates, merge_aggregates
+from repro.executor.parallel.fragments import (
+    merge_group_partials,
+    merge_sorted_runs,
+)
 from repro.executor.parallel.kernels import (
     PhysPredicate,
     aggregate_shard,
     column_stats_shard,
+    combine_partials,
+    distinct_shard,
+    group_aggregate_shard,
+    join_partition_shard,
+    join_probe_partition,
     masks_shard,
+    partition_codes,
     scan_shard,
+    sort_shard,
 )
+from repro.executor.joinutil import equi_join_indices
 from repro.catalog.runstats import column_stats_raw
 from repro.predicates import LocalPredicate, PredOp, group_mask
 from repro.rng import make_rng
@@ -206,3 +218,247 @@ def test_encoded_table_scan_matches_group_mask(trial):
     got = np.concatenate([scan_shard(arrays, phys, s, t) for s, t in bounds])
     want = np.flatnonzero(group_mask(table, picked)).astype(np.int64)
     np.testing.assert_array_equal(got, want)
+
+
+# ----------------------------------------------------------------------
+# Fragment kernels: grouped partials, join partitioning, sort/distinct
+# ----------------------------------------------------------------------
+GROUP_SPECS = (("count", ""), ("sum", "i"), ("min", "i"), ("max", "f"))
+
+
+def _assert_group_results_equal(got, want):
+    g_keys, g_prims, g_groups, g_matched = got
+    w_keys, w_prims, w_groups, w_matched = want
+    assert (g_groups, g_matched) == (w_groups, w_matched)
+    for g, w in zip(g_keys, w_keys):
+        np.testing.assert_array_equal(g, w)
+    for g, w in zip(g_prims, w_prims):
+        np.testing.assert_array_equal(g, w)
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_group_partials_invariant_under_shard_layout(trial):
+    """group_aggregate_shard partials merged across any shard layout
+    equal the single-shard result — split boundaries cannot leak into
+    group keys, counts, integer sums or extremes."""
+    rng = make_rng(6000 + trial)
+    n = int(rng.integers(0, 400))
+    arrays = random_arrays(rng, n)
+    preds = random_predicates(rng, arrays)
+    keys = ((), ("s",), ("s", "i"))[rng.integers(0, 3)]
+    bounds = random_bounds(rng, n)
+    single = merge_group_partials(
+        [group_aggregate_shard(arrays, preds, 0, n, keys, GROUP_SPECS)],
+        len(keys),
+        GROUP_SPECS,
+    )
+    parts = [
+        group_aggregate_shard(arrays, preds, s, t, keys, GROUP_SPECS)
+        for s, t in bounds
+    ]
+    merged = merge_group_partials(parts, len(keys), GROUP_SPECS)
+    _assert_group_results_equal(merged, single)
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_group_partials_merge_is_associative(trial):
+    """Merging shard partials in one pass equals merging two merged
+    halves: the merged shape is itself a valid partial, so any merge
+    tree yields the same groups."""
+    rng = make_rng(6500 + trial)
+    n = int(rng.integers(1, 400))
+    arrays = random_arrays(rng, n)
+    preds = random_predicates(rng, arrays)
+    keys = ((), ("s",), ("s", "i"))[rng.integers(0, 3)]
+    bounds = random_bounds(rng, n)
+    parts = [
+        group_aggregate_shard(arrays, preds, s, t, keys, GROUP_SPECS)
+        for s, t in bounds
+    ]
+    flat = merge_group_partials(parts, len(keys), GROUP_SPECS)
+    cut = int(rng.integers(0, len(parts) + 1))
+    halves = []
+    for half in (parts[:cut], parts[cut:]):
+        if half:
+            k, p, _, m = merge_group_partials(half, len(keys), GROUP_SPECS)
+            halves.append((k, p, m))
+    nested = merge_group_partials(halves or parts, len(keys), GROUP_SPECS)
+    _assert_group_results_equal(nested, flat)
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_combine_partials_is_associative(trial):
+    """The keyless merge is associative under any grouping of shards."""
+    rng = make_rng(7000 + trial)
+    n = int(rng.integers(0, 300))
+    arrays = random_arrays(rng, n)
+    preds = random_predicates(rng, arrays)
+    specs = (("count", "i"), ("sum", "f"), ("min", "i"), ("max", "f"))
+    bounds = random_bounds(rng, n)
+    parts = [aggregate_shard(arrays, preds, s, t, specs) for s, t in bounds]
+    flat = merge_aggregates(specs, parts)
+    cut = int(rng.integers(0, len(parts) + 1))
+    grouped = [
+        combine_partials(specs, half)
+        for half in (parts[:cut], parts[cut:])
+        if half
+    ]
+    nested = merge_aggregates(specs, grouped or parts)
+    for got, want in zip(nested, flat):
+        if want is None:
+            assert got is None
+        else:
+            assert got == pytest.approx(want)
+
+
+def test_partition_codes_canonicalize_across_dtypes():
+    """Equal key values co-partition regardless of physical dtype (an
+    int64 join column meeting a float64 one) and of zero sign; codes
+    stay in range and integral keys spread across partitions."""
+    ints = np.arange(-500, 500, dtype=np.int64)
+    floats = ints.astype(np.float64)
+    for n_parts in (1, 2, 4, 7):
+        ci = partition_codes(ints, n_parts)
+        cf = partition_codes(floats, n_parts)
+        np.testing.assert_array_equal(ci, cf)
+        assert ci.min() >= 0 and ci.max() < n_parts
+    np.testing.assert_array_equal(
+        partition_codes(np.array([-0.0]), 4),
+        partition_codes(np.array([0.0]), 4),
+    )
+    counts = np.bincount(partition_codes(np.arange(10000), 4), minlength=4)
+    assert counts.min() > 0 and counts.max() < 2 * counts.mean()
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_partitioned_join_invariant_under_layout(trial):
+    """Partition + per-partition probe, under any shard layout and any
+    partition count, reproduces the direct equi-join over the filtered
+    inputs in sequential (probe_row, build_row) pair order."""
+    rng = make_rng(8000 + trial)
+    n_probe = int(rng.integers(1, 300))
+    n_build = int(rng.integers(1, 120))
+    domain = int(rng.integers(1, 40))
+    probe_arrays = {
+        "k": rng.integers(0, domain, size=n_probe).astype(np.float64),
+        "i": rng.integers(-50, 50, size=n_probe).astype(np.int64),
+    }
+    build_arrays = {
+        "k": rng.integers(0, domain, size=n_build).astype(np.float64),
+        "j": rng.integers(-50, 50, size=n_build).astype(np.int64),
+    }
+    probe_preds = (PhysPredicate("i", "GE", (float(rng.integers(-50, 20)),)),)
+    build_preds = (PhysPredicate("j", "LE", (float(rng.integers(-20, 50)),)),)
+    n_parts = int(rng.integers(1, 6))
+
+    probe_parts = [
+        join_partition_shard(probe_arrays, probe_preds, s, t, "k", n_parts)
+        for s, t in random_bounds(rng, n_probe)
+    ]
+    build_parts = [
+        join_partition_shard(build_arrays, build_preds, s, t, "k", n_parts)
+        for s, t in random_bounds(rng, n_build)
+    ]
+    tables = {"p": probe_arrays, "b": build_arrays}
+    pairs = []
+    for p in range(n_parts):
+        probe_rows = np.concatenate([shard[0][p] for shard in probe_parts])
+        build_rows = np.concatenate([shard[0][p] for shard in build_parts])
+        if len(probe_rows) and len(build_rows):
+            pairs.append(
+                join_probe_partition(
+                    tables, "p", "b", probe_rows, build_rows,
+                    (("k", "k", None),),
+                )
+            )
+    if pairs:
+        l_rows = np.concatenate([pair[0] for pair in pairs])
+        r_rows = np.concatenate([pair[1] for pair in pairs])
+        order = np.lexsort((r_rows, l_rows))
+        l_rows, r_rows = l_rows[order], r_rows[order]
+    else:
+        l_rows = r_rows = np.empty(0, dtype=np.int64)
+
+    probe_idx = scan_shard(probe_arrays, probe_preds, 0, n_probe)
+    build_idx = scan_shard(build_arrays, build_preds, 0, n_build)
+    l_ref, r_ref = equi_join_indices(
+        probe_arrays["k"][probe_idx], build_arrays["k"][build_idx]
+    )
+    np.testing.assert_array_equal(l_rows, probe_idx[l_ref])
+    np.testing.assert_array_equal(r_rows, build_idx[r_ref])
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_sorted_runs_merge_invariant_under_layout(trial):
+    """Shard-local sorts merged by merge_sorted_runs equal the
+    single-shard sort, descending keys and string ranks included."""
+    rng = make_rng(9000 + trial)
+    n = int(rng.integers(1, 400))
+    arrays = random_arrays(rng, n)
+    preds = random_predicates(rng, arrays)
+    ranks = np.argsort(rng.permutation(16)).astype(np.int64)
+    all_keys = [
+        ("i", bool(rng.integers(0, 2)), None),
+        ("f", bool(rng.integers(0, 2)), None),
+        ("s", bool(rng.integers(0, 2)), ranks),
+    ]
+    keys = tuple(all_keys[: int(rng.integers(1, 4))])
+    single_rows, _, single_matched = sort_shard(arrays, preds, 0, n, keys)
+    runs = [
+        sort_shard(arrays, preds, s, t, keys)
+        for s, t in random_bounds(rng, n)
+    ]
+    rows = np.concatenate([run[0] for run in runs])
+    if len(rows) > 1:
+        key_arrays = [
+            np.concatenate([run[1][j] for run in runs])
+            for j in range(len(keys))
+        ]
+        rows = rows[merge_sorted_runs(key_arrays)]
+    assert sum(run[2] for run in runs) == single_matched
+    np.testing.assert_array_equal(rows, single_rows)
+
+
+def test_merge_sorted_runs_overflow_falls_back_to_lexsort():
+    """Enough high-cardinality keys overflow the composite code; the
+    merge must detect that and still order correctly."""
+    rng = make_rng(424242)
+    key_arrays = [
+        rng.integers(0, 256, size=500).astype(np.int64) for _ in range(9)
+    ]
+    got = merge_sorted_runs(key_arrays)
+    want = np.lexsort(tuple(reversed(key_arrays)))
+    np.testing.assert_array_equal(got, want)
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_distinct_shards_merge_invariant_under_layout(trial):
+    """Shard-local dedup + parent first-occurrence merge equals the
+    single-shard distinct for any split boundaries."""
+    rng = make_rng(9500 + trial)
+    n = int(rng.integers(1, 400))
+    arrays = random_arrays(rng, n)
+    preds = random_predicates(rng, arrays)
+    columns = (("s",), ("s", "i"))[rng.integers(0, 2)]
+    single_rows, _, single_matched = distinct_shard(
+        arrays, preds, 0, n, columns
+    )
+    runs = [
+        distinct_shard(arrays, preds, s, t, columns)
+        for s, t in random_bounds(rng, n)
+    ]
+    rows = np.concatenate([run[0] for run in runs])
+    if len(rows):
+        values = [
+            np.concatenate([run[1][j] for run in runs])
+            for j in range(len(columns))
+        ]
+        code_columns = [
+            np.unique(v, return_inverse=True)[1].astype(np.int64)
+            for v in values
+        ]
+        stacked = np.stack(code_columns, axis=1)
+        _, first_idx = np.unique(stacked, axis=0, return_index=True)
+        rows = rows[np.sort(first_idx)]
+    assert sum(run[2] for run in runs) == single_matched
+    np.testing.assert_array_equal(rows, single_rows)

@@ -1,0 +1,180 @@
+"""Morsel-driven plan fragments: differential, fallback and adaptive tests.
+
+The invariant throughout: pushing whole plan fragments (fused
+aggregates, partitioned hash joins, shard-local sort/distinct) onto the
+worker pool is purely an execution strategy — results, statistics
+feedback and final state are byte-identical to the sequential operators,
+and any pool failure degrades to in-process execution, never to a wrong
+answer.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.executor import run_reference
+from repro.executor.parallel.manager import ParallelScanManager
+from repro.server import ReproServer, connect
+from repro.sql import build_query_graph, parse_select
+from tests.conftest import build_mini_db
+from tests.harness.differential import run_differential
+
+# Fragment-heavy workload: every statement's root is an eligible
+# Aggregate / HashJoin / Sort / Distinct over plain SeqScan leaves.
+FRAGMENT_WORKLOAD = [
+    # Partitioned hash joins
+    "SELECT o.name, c.model FROM car c, owner o "
+    "WHERE c.ownerid = o.id AND c.year >= 2000",
+    "SELECT o.city, c.make FROM car c, owner o "
+    "WHERE c.ownerid = o.id AND c.price > 15000",
+    # Fused grouped aggregates (multi-key, HAVING, keyless extremes)
+    "SELECT make, model, COUNT(*) FROM car GROUP BY make, model",
+    "SELECT make, COUNT(*), AVG(year) FROM car "
+    "GROUP BY make HAVING COUNT(*) >= 5",
+    "SELECT city, COUNT(*), MIN(salary) FROM owner GROUP BY city",
+    "SELECT MIN(year), MAX(price), COUNT(*) FROM car WHERE price > 10000",
+    # Shard-local sorts (numeric DESC and dictionary-ranked strings)
+    "SELECT year, price FROM car WHERE make = 'Toyota' ORDER BY year DESC",
+    "SELECT model FROM car WHERE year >= 1998 ORDER BY model",
+    # Shard-local distinct
+    "SELECT DISTINCT make FROM car",
+    "SELECT DISTINCT city FROM owner WHERE salary >= 3000",
+]
+
+FRAGMENT_KINDS = ("aggregate", "join", "sort", "distinct")
+
+
+def _build_db():
+    return build_mini_db(n_owners=200, n_cars=600, seed=7)
+
+
+def _base_config():
+    return EngineConfig.with_jits(s_max=0.4, sample_size=150)
+
+
+def _parallel_engine(engine_factory, **overrides) -> Engine:
+    config = _base_config()
+    config.scan_workers = overrides.pop("scan_workers", 4)
+    config.parallel_threshold_rows = overrides.pop(
+        "parallel_threshold_rows", 64
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return engine_factory(_build_db(), config)
+
+
+def test_fragment_differential_sequential_vs_process():
+    """Every fragment kind dispatches, and per-statement results, final
+    state and the full statistics fingerprint (scan feedback included)
+    match the sequential engine byte-for-byte."""
+    engines = run_differential(
+        FRAGMENT_WORKLOAD, _build_db, _base_config,
+        modes=("sequential", "process"),
+    )
+    try:
+        par = engines["process"].stats_snapshot()["parallel"]
+        for kind in FRAGMENT_KINDS:
+            assert par["fragments"].get(kind), f"no {kind} fragment ran"
+        assert par["fallbacks"] == 0
+        assert par["process_path"] == "enabled"
+    finally:
+        for engine in engines.values():
+            engine.shutdown()
+
+
+def test_fragment_results_match_reference(engine_factory):
+    engine = _parallel_engine(engine_factory)
+    for sql in FRAGMENT_WORKLOAD:
+        result = engine.execute(sql)
+        block = build_query_graph(parse_select(sql), engine.database)
+        assert sorted(result.rows) == sorted(
+            run_reference(block, engine.database)
+        ), sql
+    fragments = engine.stats_snapshot()["parallel"]["fragments"]
+    for kind in FRAGMENT_KINDS:
+        assert fragments.get(kind), f"no {kind} fragment ran"
+
+
+def test_fragment_pool_failure_falls_back_in_process(engine_factory):
+    """Killing the pool mid-session: the next fragment warns once, falls
+    back in-process with identical results, and the process path stays
+    disabled (silent inline fragments) afterwards."""
+    engine = _parallel_engine(engine_factory)
+    expected = [engine.execute(sql).rows for sql in FRAGMENT_WORKLOAD]
+    before = dict(engine.stats_snapshot()["parallel"]["fragments"])
+
+    engine.parallel.pool.close()
+    with pytest.warns(RuntimeWarning, match="fell back to in-process"):
+        rows = engine.execute(FRAGMENT_WORKLOAD[0]).rows
+    assert rows == expected[0]
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # sticky disable: no more warnings
+        for sql, want in zip(FRAGMENT_WORKLOAD[1:], expected[1:]):
+            assert engine.execute(sql).rows == want, sql
+    par = engine.stats_snapshot()["parallel"]
+    assert par["process_path"] == "disabled"
+    assert par["fallbacks"] >= 1
+    for kind in FRAGMENT_KINDS:  # fragments still run, just inline
+        assert par["fragments"][kind] > before[kind], kind
+
+
+def test_adaptive_rebalance_moves_shard_bounds():
+    """Skewed per-row cost: after one timed dispatch the next dispatch's
+    shard bounds deviate from the uniform split toward equal latency."""
+    db = build_mini_db(n_owners=50, n_cars=600, seed=7)
+    table = db.table("car")
+    manager = ParallelScanManager(workers=2, threshold_rows=1)
+    manager._disabled = True  # inline execution still feeds the profile
+    try:
+        n = table.row_count
+        uniform = manager._shard_bounds(n)
+        assert manager._shard_bounds(n, "car") == uniform  # no profile yet
+
+        # id mass grows toward the tail, so the skew kernel makes the
+        # second uniform shard slower than the first.
+        manager.run_ranged(
+            table, "skew", dict(column="id", unit=2e-7), "skew test"
+        )
+        rebalanced = manager._shard_bounds(n, "car")
+        assert rebalanced != uniform
+        assert rebalanced[0] == (0, rebalanced[0][1])
+        assert rebalanced[-1][1] == n
+        assert manager.stats()["rebalances"] >= 1
+
+        # Later dispatches actually run over the rebalanced bounds.
+        out = manager.run_ranged(
+            table, "skew", dict(column="id", unit=0.0), "skew test"
+        )
+        assert sum(out) == n and len(out) == 2
+        assert manager.rebalances >= 2
+    finally:
+        manager.close()
+
+
+def test_fragment_stats_surface_through_server_wire():
+    """Per-shard latency, rebalance and fragment counters ride the
+    server's stats frame (the ``engine.stats_snapshot()`` passthrough)."""
+    db = build_mini_db(n_owners=200, n_cars=600, seed=7)
+    config = _base_config()
+    config.scan_workers = 2
+    config.parallel_threshold_rows = 64
+    engine = Engine(db, config)
+    srv = ReproServer(engine, port=0).start_in_thread()
+    try:
+        with connect(port=srv.port) as client:
+            for sql in FRAGMENT_WORKLOAD[:4]:
+                client.execute(sql)
+            stats = client.stats()
+        par = stats["parallel"]
+        assert par["fragments"].get("join")
+        assert par["fragments"].get("aggregate")
+        assert par["shard_latency"]["samples"] > 0
+        assert par["shard_latency"]["p95_ms"] >= par["shard_latency"]["p50_ms"]
+        assert "rebalances" in par
+    finally:
+        srv.stop_from_thread()
+        engine.shutdown()
