@@ -46,8 +46,9 @@ FRAGMENT_KINDS = ("aggregate", "join", "sort", "distinct")
 
 # Join- and group-by-heavy workload. The database carries no indexes, so
 # every leaf is a SeqScan and every join a HashJoin — exactly the shapes
-# the fragment planner offloads. Aggregates stick to COUNT / AVG-over-INT
-# / MIN / MAX (float SUM is order-dependent and stays sequential).
+# the fragment planner offloads. Aggregates cover COUNT / AVG-over-INT
+# / MIN / MAX; float SUM also fuses now (exact big-integer partials make
+# the merge order-independent, see executor/floatsum.py).
 QUERIES = [
     "SELECT o.name, c.model FROM car c, owner o "
     "WHERE c.ownerid = o.id AND c.year >= 2000",

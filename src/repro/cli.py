@@ -75,7 +75,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum scanned row count before scans go parallel "
         "(default 32768)",
     )
+    _add_reopt_arguments(parser)
     return parser
+
+
+def _add_reopt_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--reopt", choices=("off", "conservative", "eager"), default="off",
+        help="mid-query re-optimization at pipeline breakers: conservative "
+        "reacts to underestimates at join breakers, eager also checks "
+        "aggregate/sort inputs and overestimates (default off)",
+    )
+    parser.add_argument(
+        "--reopt-threshold", type=float, default=None, metavar="RATIO",
+        help="estimated/actual cardinality error ratio that triggers a "
+        "plan switch (default 8.0)",
+    )
+    parser.add_argument(
+        "--reopt-max-rounds", type=int, default=None, metavar="N",
+        help="plan switches allowed per statement (default 2)",
+    )
 
 
 def make_engine(args: argparse.Namespace) -> Engine:
@@ -95,6 +114,13 @@ def make_engine(args: argparse.Namespace) -> Engine:
     threshold = getattr(args, "parallel_threshold", None)
     if threshold is not None:
         config.parallel_threshold_rows = threshold
+    config.reopt = getattr(args, "reopt", "off") or "off"
+    reopt_threshold = getattr(args, "reopt_threshold", None)
+    if reopt_threshold is not None:
+        config.reopt_threshold = reopt_threshold
+    reopt_rounds = getattr(args, "reopt_max_rounds", None)
+    if reopt_rounds is not None:
+        config.reopt_max_rounds = reopt_rounds
     return Engine(db, config)
 
 
@@ -156,6 +182,13 @@ def run_statement(
                     f"[jits] sampled {', '.join(report.tables_collected)}; "
                     f"{report.collection.groups_computed} group(s), "
                     f"{report.collection.groups_materialized} materialized\n"
+                )
+            for event in getattr(result, "reopt_events", ()):
+                out.write(
+                    f"[reopt] round {event.round}: {event.kind} at "
+                    f"{event.operator} — est {event.est_rows:.0f} vs actual "
+                    f"{event.actual_rows} (x{event.ratio:.1f}), switched in "
+                    f"{event.switch_seconds * 1000:.2f} ms\n"
                 )
         else:
             out.write(
@@ -219,6 +252,25 @@ def print_stats(engine: Engine, out) -> None:
             f"{latency['p50_ms']}/{latency['p95_ms']} ms "
             f"over {latency['samples']} shard(s), "
             f"{par['rebalances']} rebalance(s)\n"
+        )
+    if engine.reopt_telemetry is not None:
+        reopt = engine.reopt_telemetry.snapshot()
+        triggers = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(reopt["triggers_by_kind"].items())
+        )
+        skips = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(reopt["skips_by_reason"].items())
+        )
+        out.write(
+            f"reopt [{engine.config.reopt}]: {reopt['events']} switch(es) in "
+            f"{reopt['queries_reoptimized']} query(ies), "
+            f"{reopt['checkpoints_evaluated']} checkpoint(s); "
+            f"triggers: {triggers or 'none'}; skips: {skips or 'none'}; "
+            f"switch time {reopt['switch_ms_total']} ms, "
+            f"est/actual ratio mean/max "
+            f"{reopt['est_actual_ratio_mean']}/{reopt['est_actual_ratio_max']}\n"
         )
 
 
@@ -338,6 +390,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--per-client-inflight", type=int, default=4, metavar="N",
         help="per-connection admission cap before BUSY frames",
     )
+    _add_reopt_arguments(parser)
     return parser
 
 

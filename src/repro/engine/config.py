@@ -66,6 +66,20 @@ class EngineConfig:
     # paid in-process: that is the parallel-scan benchmark's sequential
     # baseline, so both engines do identical modeled work.
     scan_cost_per_row: float = 0.0
+    # Mid-query adaptive re-optimization (default off). At pipeline
+    # breakers (hash-join build complete, join output materialized, and —
+    # in eager mode — group-by/sort inputs) the executor compares the
+    # observed cardinality against the optimizer's estimate; when the
+    # error ratio reaches reopt_threshold the materialized intermediate
+    # is registered as an ephemeral base table with exact statistics and
+    # the remaining join graph is re-planned. "conservative" triggers on
+    # underestimates only (the direction that turns nested-loop probes
+    # into disasters); "eager" also re-plans on overestimates and checks
+    # aggregate/sort inputs. reopt_max_rounds bounds re-entries per
+    # statement. "off" reproduces today's plans byte-identically.
+    reopt: str = "off"
+    reopt_threshold: float = 8.0
+    reopt_max_rounds: int = 2
 
     def __post_init__(self) -> None:
         if self.lock_granularity not in ("table", "database"):
@@ -105,6 +119,19 @@ class EngineConfig:
         if self.scan_cost_per_row < 0.0:
             raise ConfigError(
                 f"scan_cost_per_row must be >= 0, got {self.scan_cost_per_row}"
+            )
+        if self.reopt not in ("off", "conservative", "eager"):
+            raise ConfigError(
+                "reopt must be 'off', 'conservative' or 'eager', "
+                f"got {self.reopt!r}"
+            )
+        if self.reopt_threshold <= 1.0:
+            raise ConfigError(
+                f"reopt_threshold must be > 1, got {self.reopt_threshold}"
+            )
+        if self.reopt_max_rounds < 1:
+            raise ConfigError(
+                f"reopt_max_rounds must be >= 1, got {self.reopt_max_rounds}"
             )
 
     @staticmethod

@@ -35,6 +35,12 @@ from ..errors import BindingError, ConfigError, ExecutionError, ReproError
 from ..executor import PlanExecutor, collect_feedback
 from ..executor.expr import eval_expr
 from ..executor.parallel import ParallelScanManager
+from ..executor.reopt import (
+    CheckpointHit,
+    ReoptEvent,
+    ReoptState,
+    ReoptTelemetry,
+)
 from ..executor.vector import Batch, batch_from_table
 from ..jits import (
     CompilationReport,
@@ -96,6 +102,10 @@ class Engine:
             PlanCache(self.config.plan_cache_size)
             if self.config.plan_cache_enabled
             else None
+        )
+        # Mid-query re-optimization counters (per-engine, thread-safe).
+        self.reopt_telemetry: Optional[ReoptTelemetry] = (
+            ReoptTelemetry() if self.config.reopt != "off" else None
         )
         # Logical statement clock: every statement draws a unique,
         # monotone timestamp; the draw order is the serialization order
@@ -335,6 +345,8 @@ class Engine:
             }
         if self.parallel is not None:
             snapshot["parallel"] = self.parallel.stats()
+        if self.reopt_telemetry is not None:
+            snapshot["reopt"] = self.reopt_telemetry.snapshot()
         return snapshot
 
     def _explain_select(self, statement: ast.SelectStatement, now: int) -> str:
@@ -410,6 +422,7 @@ class Engine:
                 template = repr(statement)
                 fingerprint = self._plan_fingerprint(tables)
                 optimized = self.plan_cache.lookup(template, fingerprint)
+        optimizer: Optional[Optimizer] = None
         if optimized is not None:
             # Fast path: the statistics this plan was costed with have not
             # moved, so the QGM/JITS/optimizer pipeline is skipped entirely.
@@ -417,7 +430,8 @@ class Engine:
         else:
             block = build_query_graph(statement, self.database)
             profile, jits_report = self.jits.before_optimize(block, now)
-            optimized = Optimizer(self._stats_context(profile, now)).optimize(block)
+            optimizer = Optimizer(self._stats_context(profile, now))
+            optimized = optimizer.optimize(block)
             if self.plan_cache is not None and template is not None:
                 # Re-fingerprint after compiling: collection may have bumped
                 # the catalog/archive versions, and the plan reflects that.
@@ -433,9 +447,53 @@ class Engine:
         compile_time = parse_time + (time.perf_counter() - compile_started)
 
         execute_started = time.perf_counter()
-        execution = PlanExecutor(
-            self.database, parallel=self.parallel
-        ).execute(optimized)
+        reopt_state: Optional[ReoptState] = (
+            ReoptState(
+                self.config.reopt,
+                self.config.reopt_threshold,
+                self.config.reopt_max_rounds,
+            )
+            if self.config.reopt != "off"
+            else None
+        )
+        base_optimized = optimized  # round-0 plan: owns the scan estimates
+        while True:
+            try:
+                execution = PlanExecutor(
+                    self.database, parallel=self.parallel, reopt=reopt_state
+                ).execute(optimized)
+                break
+            except CheckpointHit as hit:
+                # A pipeline breaker observed a cardinality far from its
+                # estimate. Register the materialized intermediate as an
+                # ephemeral base table with exact statistics and re-enter
+                # the optimizer over the remaining join graph. The whole
+                # exchange happens inside this statement's read-lock
+                # scope, so tables and statistics epochs are stable.
+                switch_started = time.perf_counter()
+                reopt_state.register(hit)
+                if optimizer is None:
+                    # Plan-cache hit: no compilation context exists yet;
+                    # re-entry pins a fresh catalog snapshot (profile-less
+                    # — the JITS pipeline is not re-run mid-query).
+                    optimizer = Optimizer(self._stats_context(None, now))
+                optimized = optimizer.reoptimize(
+                    base_optimized.block, reopt_state.live_intermediates()
+                )
+                reopt_state.record_event(
+                    ReoptEvent(
+                        round=reopt_state.rounds_used,
+                        kind=hit.kind,
+                        operator=hit.node_label,
+                        est_rows=hit.est_rows,
+                        actual_rows=hit.actual_rows,
+                        ratio=reopt_state.error_ratio(
+                            hit.est_rows, hit.actual_rows
+                        ),
+                        switch_seconds=time.perf_counter() - switch_started,
+                        covered_aliases=hit.covered_aliases,
+                    )
+                )
         execute_time = time.perf_counter() - execute_started
 
         fetch_started = time.perf_counter()
@@ -444,7 +502,21 @@ class Engine:
             time.perf_counter() - fetch_started + self.config.fetch_overhead
         )
 
-        feedback = collect_feedback(optimized, execution)
+        if reopt_state is not None:
+            # Feedback always compares the *round-0* estimates against the
+            # union of observations across plan segments — keyed by alias,
+            # so every observed quantifier feeds StatHistory exactly once
+            # even when a plan switch re-executed part of the tree.
+            feedback = collect_feedback(
+                base_optimized,
+                execution,
+                observations=reopt_state.merged_observations(
+                    execution.scan_observations
+                ),
+            )
+            self.reopt_telemetry.record_statement(reopt_state)
+        else:
+            feedback = collect_feedback(optimized, execution)
         self.jits.after_execute(feedback, now)
         self.jits.tick(now)
 
@@ -460,6 +532,7 @@ class Engine:
             plan=optimized.root,
             jits_report=jits_report,
             feedback=feedback,
+            reopt_events=list(reopt_state.events) if reopt_state else [],
         )
 
     # ------------------------------------------------------------------

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..executor.feedback import FeedbackRecord
+from ..executor.reopt import ReoptEvent
 from ..jits import CompilationReport
 from ..optimizer.plans import PlanNode
 from ..types import Value
@@ -27,6 +28,8 @@ class QueryResult:
     plan: Optional[PlanNode] = None
     jits_report: Optional[CompilationReport] = None
     feedback: List[FeedbackRecord] = field(default_factory=list)
+    # Mid-query plan switches (empty unless EngineConfig.reopt fired).
+    reopt_events: List[ReoptEvent] = field(default_factory=list)
 
     @property
     def row_count(self) -> int:

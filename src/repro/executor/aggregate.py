@@ -10,6 +10,7 @@ from ..errors import ExecutionError
 from ..sql import ast
 from ..types import DataType
 from .expr import eval_bool, eval_expr
+from .floatsum import exact_group_sums
 from .vector import Batch, ColumnVector
 
 
@@ -120,7 +121,13 @@ def compute_aggregate(
             )
             counts = np.bincount(pairs[:, 0].astype(np.int64), minlength=n_groups)
         else:
-            sums = np.bincount(gids, weights=values, minlength=n_groups)
+            if argument.dtype is DataType.FLOAT and np.isfinite(values).all():
+                # Exactly-rounded, order-independent float sums: the same
+                # answer the parallel fragment path merges shard partials
+                # into, keeping sequential and sharded plans bit-identical.
+                sums = exact_group_sums(values, gids, n_groups)
+            else:
+                sums = np.bincount(gids, weights=values, minlength=n_groups)
             counts = np.bincount(gids, minlength=n_groups)
         if agg.func is ast.AggFunc.SUM:
             if argument.dtype is DataType.INT:

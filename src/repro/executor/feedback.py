@@ -47,11 +47,20 @@ class FeedbackRecord:
 
 
 def collect_feedback(
-    optimized: OptimizedQuery, result: ExecutionResult
+    optimized: OptimizedQuery,
+    result: ExecutionResult,
+    observations: Optional[Dict[str, ScanObservation]] = None,
 ) -> List[FeedbackRecord]:
-    """Match scan estimates with scan observations, per quantifier."""
+    """Match scan estimates with scan observations, per quantifier.
+
+    ``observations`` overrides the result's own observation map; the
+    engine passes the union across plan segments after a mid-query plan
+    switch. The map is keyed by alias, so each quantifier contributes
+    exactly one record no matter how many plan segments touched it.
+    """
     records: List[FeedbackRecord] = []
-    observations = result.scan_observations
+    if observations is None:
+        observations = result.scan_observations
     for estimate in optimized.all_scan_estimates():
         if estimate.group is None or estimate.estimate is None:
             continue

@@ -12,10 +12,14 @@ execution strategy.
 Byte-identity contract (checked by ``tests/harness/differential.py``):
 
 * **Aggregates** fuse only where partial merge is exact in any shard
-  order: COUNT, MIN/MAX over numeric columns, and SUM/AVG over INT
-  columns whose total magnitude stays inside float64's exact-integer
-  range. Float SUM/AVG stay sequential (float addition is
-  order-dependent), as do DISTINCT aggregates and string MIN/MAX.
+  order: COUNT; MIN/MAX over numeric columns, and over string columns
+  by reducing parent-precomputed dictionary rank arrays (codes do not
+  follow string order, ranks do); SUM/AVG over INT columns whose total
+  magnitude stays inside float64's exact-integer range, and over finite
+  FLOAT columns via exact ``(mantissa, exp2)`` shard partials merged in
+  fixed shard order (``executor.floatsum`` — exactly rounded, hence
+  order-independent). DISTINCT aggregates stay sequential, as do float
+  columns containing non-finite values.
 * **Joins** re-order the concatenated partition outputs by global
   (probe_row, build_row) — exactly the sequential
   ``equi_join_indices`` pair order, because scan batches are row-ordered
@@ -50,6 +54,7 @@ from ...sql import ast
 from ...types import DataType
 from ..aggregate import collect_aggregates, finalize_aggregate
 from ..executor import ScanObservation
+from ..floatsum import ZERO_PAIR, add_pairs, merge_pair_arrays, pairs_to_floats
 from ..vector import Batch, ColumnVector, batch_from_table, code_lookup
 from .kernels import PhysPredicate, encode_predicates
 
@@ -145,6 +150,14 @@ def _int_sum_exact(table, column: str) -> bool:
     return bound < _EXACT_INT_SUM
 
 
+def _float_sum_finite(table, column: str) -> bool:
+    """Exact float summation needs finite inputs; a column holding any
+    inf/nan keeps SUM/AVG on the sequential bincount path (which matches
+    IEEE propagation semantics)."""
+    data = table.column_data(column)
+    return len(data) == 0 or bool(np.isfinite(data).all())
+
+
 def _plan_aggregates(node: Aggregate, scan: _Scan):
     """Lower every aggregate to primitive partials, or None.
 
@@ -183,25 +196,43 @@ def _plan_aggregates(node: Aggregate, scan: _Scan):
             return None
         dtype = schema.column(column).dtype
         if agg.func in (ast.AggFunc.SUM, ast.AggFunc.AVG):
-            # Only integer sums are shard-order independent in float64;
-            # FLOAT sums stay on the sequential path.
-            if dtype is not DataType.INT:
-                return None
-            if not _int_sum_exact(scan.table, column):
-                return None
-            if agg.func is ast.AggFunc.SUM:
-                plans[agg] = ("sum_int", prim("sum", column), column)
+            if dtype is DataType.INT:
+                if not _int_sum_exact(scan.table, column):
+                    return None
+                if agg.func is ast.AggFunc.SUM:
+                    plans[agg] = ("sum_int", prim("sum", column), column)
+                else:
+                    plans[agg] = (
+                        "avg_int",
+                        (prim("sum", column), prim("count", "")),
+                        column,
+                    )
+            elif dtype is DataType.FLOAT:
+                # Exact (mantissa, exp2) shard partials make float sums
+                # shard-order independent; a non-finite value anywhere in
+                # the column defers to the sequential path instead.
+                if not _float_sum_finite(scan.table, column):
+                    return None
+                if agg.func is ast.AggFunc.SUM:
+                    plans[agg] = ("sum_float", prim("fsum", column), column)
+                else:
+                    plans[agg] = (
+                        "avg_float",
+                        (prim("fsum", column), prim("count", "")),
+                        column,
+                    )
             else:
-                plans[agg] = (
-                    "avg_int",
-                    (prim("sum", column), prim("count", "")),
-                    column,
-                )
+                return None  # SUM over strings: sequential path owns the error
         elif agg.func in (ast.AggFunc.MIN, ast.AggFunc.MAX):
             if dtype is DataType.STRING:
-                return None  # codes do not follow string order
-            func = "min" if agg.func is ast.AggFunc.MIN else "max"
-            plans[agg] = (func, prim(func, column), column)
+                # Codes do not follow string order; reduce over the
+                # dictionary's lexicographic rank array instead.
+                func = "min_rank" if agg.func is ast.AggFunc.MIN else "max_rank"
+                kind = "min_str" if agg.func is ast.AggFunc.MIN else "max_str"
+                plans[agg] = (kind, prim(func, column), column)
+            else:
+                func = "min" if agg.func is ast.AggFunc.MIN else "max"
+                plans[agg] = (func, prim(func, column), column)
         else:
             return None
     return tuple(prim_specs), plans
@@ -237,7 +268,14 @@ def merge_group_partials(
             values = [p[1][i][0] for p in live]
             if func in ("count", "sum"):
                 merged.append(np.array([float(sum(values))]))
-            elif func == "min":
+            elif func == "fsum":
+                pair = ZERO_PAIR
+                for value in values:  # fixed shard order (exact anyway)
+                    pair = add_pairs(pair, value)
+                cell = np.empty(1, dtype=object)
+                cell[0] = pair
+                merged.append(cell)
+            elif func.startswith("min"):
                 merged.append(np.array([min(values)]))
             else:
                 merged.append(np.array([max(values)]))
@@ -267,10 +305,12 @@ def merge_group_partials(
             merged_prims.append(
                 np.bincount(gids, weights=data, minlength=n_groups)
             )
+        elif func == "fsum":
+            merged_prims.append(merge_pair_arrays(data, gids, n_groups))
         else:
             order = np.argsort(gids, kind="stable")
             starts = np.searchsorted(gids[order], np.arange(n_groups))
-            reducer = np.minimum if func == "min" else np.maximum
+            reducer = np.minimum if func.startswith("min") else np.maximum
             merged_prims.append(reducer.reduceat(data[order], starts))
     return merged_keys, tuple(merged_prims), n_groups, matched
 
@@ -293,6 +333,13 @@ def _aggregate_fragment(
         return None
     prim_specs, plans = lowered
 
+    # Workers never see dictionaries, so string MIN/MAX ships the
+    # lexicographic rank per code along with the task.
+    rank_arrays = {
+        column: _rank_array(scan.table.column(column).dictionary)
+        for func, column in prim_specs
+        if func in ("min_rank", "max_rank")
+    }
     parts = manager.run_ranged(
         scan.table,
         "group_aggregate",
@@ -301,6 +348,7 @@ def _aggregate_fragment(
             keys=tuple(key_columns),
             specs=prim_specs,
             cost_per_row=manager.cost_per_row,
+            ranks=rank_arrays or None,
         ),
         "aggregate fragment",
     )
@@ -318,14 +366,14 @@ def _aggregate_fragment(
                 computed[agg] = ColumnVector(
                     np.zeros(1, dtype=np.int64), DataType.INT
                 )
-            elif kind == "avg_int":
+            elif kind in ("avg_int", "sum_float", "avg_float"):
                 computed[agg] = ColumnVector(
                     np.zeros(1, dtype=np.float64), DataType.FLOAT
                 )
             else:
                 col = scan.table.column(column)
                 computed[agg] = ColumnVector(
-                    np.zeros(1, dtype=col.data.dtype), col.dtype
+                    np.zeros(1, dtype=col.data.dtype), col.dtype, col.dictionary
                 )
     else:
         for agg, (kind, ref, column) in plans.items():
@@ -343,6 +391,26 @@ def _aggregate_fragment(
                     sums, counts, out=np.zeros_like(sums), where=counts > 0
                 )
                 computed[agg] = ColumnVector(averages, DataType.FLOAT)
+            elif kind == "sum_float":
+                computed[agg] = ColumnVector(
+                    pairs_to_floats(prims[ref]), DataType.FLOAT
+                )
+            elif kind == "avg_float":
+                sums = pairs_to_floats(prims[ref[0]])
+                counts = prims[ref[1]]
+                averages = np.divide(
+                    sums, counts, out=np.zeros_like(sums), where=counts > 0
+                )
+                computed[agg] = ColumnVector(averages, DataType.FLOAT)
+            elif kind in ("min_str", "max_str"):
+                # Merged partials are lexicographic ranks; invert the
+                # rank permutation to recover dictionary codes.
+                col = scan.table.column(column)
+                perm = col.dictionary.sort_permutation()
+                codes = np.asarray(perm)[prims[ref].astype(np.int64)]
+                computed[agg] = ColumnVector(
+                    codes.astype(col.data.dtype), col.dtype, col.dictionary
+                )
             else:
                 col = scan.table.column(column)
                 computed[agg] = ColumnVector(

@@ -29,6 +29,7 @@ import numpy as np
 
 from ...predicates.predicate import LocalPredicate, PredOp
 from ...types import DataType
+from ..floatsum import sum_pairs_shard
 from ..joinutil import equi_join_indices
 from ..vector import apply_code_lookup
 
@@ -273,18 +274,24 @@ def group_aggregate_shard(
     keys: Tuple[str, ...],
     specs: Tuple[Tuple[str, str], ...],
     cost_per_row: float = 0.0,
+    ranks: Optional[Dict[str, np.ndarray]] = None,
 ) -> Tuple[Tuple[np.ndarray, ...], Tuple[np.ndarray, ...], int]:
     """Fused scan → filter → grouped partial aggregate over one shard.
 
     ``keys`` are group-key column names (empty for a global aggregate);
     ``specs`` are primitive partials ``(func, column)`` with func in
-    count/sum/min/max (``column`` ignored for count). Returns
-    ``(key_value_arrays, partial_arrays, matched_rows)`` where each
-    partial array has one slot per shard-local group, groups ordered by
-    their key values — :func:`merge_group_partials` in the fragments
-    module re-groups across shards. count/sum partials are float64;
-    min/max keep the column's physical dtype so the merged extreme is
-    exactly the sequential one.
+    count/sum/fsum/min/max/min_rank/max_rank (``column`` ignored for
+    count). Returns ``(key_value_arrays, partial_arrays, matched_rows)``
+    where each partial array has one slot per shard-local group, groups
+    ordered by their key values — :func:`merge_group_partials` in the
+    fragments module re-groups across shards. count/sum partials are
+    float64; fsum partials are exact ``(mantissa, exp2)`` pairs (object
+    dtype, see ``executor.floatsum``); min/max keep the column's physical
+    dtype so the merged extreme is exactly the sequential one.
+    min_rank/max_rank reduce string columns over ``ranks[column]`` —
+    parent-precomputed lexicographic rank per dictionary code — since
+    codes themselves do not follow string order and workers never see
+    dictionaries.
     """
     idx = scan_shard(arrays, preds, start, stop, cost_per_row)
     n = len(idx)
@@ -327,11 +334,22 @@ def group_aggregate_shard(
                 )
             )
             continue
+        if func == "fsum":
+            partials.append(
+                sum_pairs_shard(values.astype(np.float64), gids, n_groups)
+            )
+            continue
+        if func in ("min_rank", "max_rank"):
+            values = (
+                ranks[column][values.astype(np.int64)]
+                if len(values)
+                else values.astype(np.int64)
+            )
         # min/max: group-contiguous reduceat (every group is non-empty
         # by construction, so the segment reduction is well-defined).
         order = np.argsort(gids, kind="stable")
         starts = np.searchsorted(gids[order], np.arange(n_groups))
-        reducer = np.minimum if func == "min" else np.maximum
+        reducer = np.minimum if func.startswith("min") else np.maximum
         if n_groups:
             partials.append(reducer.reduceat(values[order], starts))
         else:

@@ -9,6 +9,7 @@ this one on randomized small queries.
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ExecutionError
@@ -208,6 +209,12 @@ def _aggregate(block: QueryBlock, rows: List[Env]) -> List[Tuple[Value, ...]]:
     return out
 
 
+def _finite_floats(values: List[Value]) -> bool:
+    return any(isinstance(v, float) for v in values) and all(
+        math.isfinite(v) for v in values
+    )
+
+
 def _agg_value(agg: ast.Aggregate, members: List[Env]) -> Value:
     if agg.func is ast.AggFunc.COUNT and agg.argument is None:
         return len(members)
@@ -219,8 +226,14 @@ def _agg_value(agg: ast.Aggregate, members: List[Env]) -> Value:
     if not values:
         return 0 if agg.func is not ast.AggFunc.AVG else 0.0
     if agg.func is ast.AggFunc.SUM:
+        if not agg.distinct and _finite_floats(values):
+            # The engine's float sums are exactly rounded (see
+            # ``executor.floatsum``); math.fsum matches bit-for-bit.
+            return math.fsum(values)
         return sum(values)
     if agg.func is ast.AggFunc.AVG:
+        if not agg.distinct and _finite_floats(values):
+            return math.fsum(values) / len(values)
         return sum(values) / len(values)
     if agg.func is ast.AggFunc.MIN:
         return min(values)

@@ -1,0 +1,326 @@
+"""Mid-query adaptive re-optimization state.
+
+The paper's bet — exact, just-in-time statistics beat stale catalog
+guesses — applies even more strongly *inside* a running query: at a
+pipeline breaker the intermediate's cardinality is not sampled, it is
+known exactly. This module holds the machinery the executor and engine
+share to close that loop within one statement (in the spirit of
+*Sampling-Based Query Re-Optimization*, arXiv 1601.05748, and
+*Revisiting Runtime Dynamic Optimization for Join Queries*,
+arXiv 2010.00728):
+
+* :class:`CheckpointHit` — the control-flow signal a checkpoint raises
+  when observed cardinality diverges from the estimate past the
+  configured threshold. It carries the materialized batch out of the
+  executor so no work is repeated.
+* :class:`MaterializedIntermediate` — an ephemeral "base table" wrapping
+  a checkpoint batch with *exact* per-column statistics (cardinality,
+  min/max/ndv via the shared ``column_stats_raw`` kernel).
+* :class:`ReoptState` — per-statement controller: decides at each
+  checkpoint whether to trigger (or records why it was skipped), owns the
+  registered intermediates, accumulates scan observations across plan
+  segments so feedback entries are emitted exactly once.
+* :class:`ReoptTelemetry` — engine-level thread-safe counters surfaced
+  through ``stats_snapshot()`` / the server stats frame / the CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..catalog.runstats import column_stats_raw
+from .executor import ScanObservation
+from .vector import Batch
+
+
+@dataclass
+class ColumnSummary:
+    """Exact statistics for one column of a materialized intermediate."""
+
+    n_distinct: float
+    min_value: float
+    max_value: float
+
+
+class MaterializedIntermediate:
+    """A checkpoint batch registered as an ephemeral base table.
+
+    Column statistics are exact (the data is fully materialized) and
+    computed lazily per column — re-optimization usually only needs the
+    ndv of the surviving join columns.
+    """
+
+    def __init__(
+        self,
+        intermediate_id: int,
+        covered_aliases: Tuple[str, ...],
+        batch: Batch,
+        reopt_round: int,
+    ):
+        self.intermediate_id = intermediate_id
+        self.covered_aliases = tuple(covered_aliases)
+        self.batch = batch
+        self.reopt_round = reopt_round
+        self._column_stats: Dict[Tuple[str, str], ColumnSummary] = {}
+
+    @property
+    def rows(self) -> int:
+        return len(self.batch)
+
+    def covers(self, alias: str) -> bool:
+        return alias in self.covered_aliases
+
+    def column_summary(self, alias: str, column: str) -> Optional[ColumnSummary]:
+        """Exact ndv/min/max of one materialized column (None if absent)."""
+        key = (alias.lower(), column.lower())
+        cached = self._column_stats.get(key)
+        if cached is not None:
+            return cached
+        if not self.batch.has_column(key[0], key[1]):
+            return None
+        vector = self.batch.column(key[0], key[1])
+        raw = column_stats_raw(
+            vector.values.astype(np.float64),
+            integral=vector.dictionary is not None,
+            scale=1.0,
+            n_buckets=1,
+            n_frequent=0,
+        )
+        summary = ColumnSummary(
+            n_distinct=raw["n_distinct"],
+            min_value=raw["min_value"],
+            max_value=raw["max_value"],
+        )
+        self._column_stats[key] = summary
+        return summary
+
+
+class CheckpointHit(Exception):
+    """Raised inside the executor when a checkpoint triggers re-planning.
+
+    Unwinds the in-flight plan back to the engine's execute loop carrying
+    the materialized batch (work already done), the aliases it covers and
+    the observations gathered so far by this plan segment.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        node_label: str,
+        batch: Batch,
+        covered_aliases: Tuple[str, ...],
+        observations: Dict[str, ScanObservation],
+        est_rows: float,
+        actual_rows: int,
+    ):
+        super().__init__(
+            f"reopt checkpoint at {kind}: est={est_rows:.1f} "
+            f"actual={actual_rows}"
+        )
+        self.kind = kind
+        self.node_label = node_label
+        self.batch = batch
+        self.covered_aliases = tuple(covered_aliases)
+        self.observations = dict(observations)
+        self.est_rows = est_rows
+        self.actual_rows = actual_rows
+
+
+@dataclass
+class ReoptEvent:
+    """One mid-query plan switch (observable per query)."""
+
+    round: int
+    kind: str  # checkpoint kind that fired
+    operator: str  # plan-node label at the checkpoint
+    est_rows: float
+    actual_rows: int
+    ratio: float  # max(actual/est, est/actual)
+    switch_seconds: float = 0.0  # re-planning wall-clock
+    covered_aliases: Tuple[str, ...] = ()
+
+
+@dataclass
+class ReoptSkip:
+    """A checkpoint that was evaluated but did not trigger, and why."""
+
+    kind: str
+    operator: str
+    reason: str  # "below-threshold" | "round-cap" | "non-splicable"
+    est_rows: float = 0.0
+    actual_rows: int = 0
+
+
+# Skip reasons (shared with telemetry keys).
+BELOW_THRESHOLD = "below-threshold"
+ROUND_CAP = "round-cap"
+NON_SPLICABLE = "non-splicable"
+
+
+class ReoptState:
+    """Per-statement adaptive re-optimization controller."""
+
+    def __init__(self, mode: str, threshold: float, max_rounds: int):
+        self.mode = mode
+        self.threshold = threshold
+        self.max_rounds = max_rounds
+        self.rounds_used = 0
+        self.intermediates: Dict[int, MaterializedIntermediate] = {}
+        self.events: List[ReoptEvent] = []
+        self.skips: List[ReoptSkip] = []
+        # Scan observations merged across plan segments, keyed by alias:
+        # each quantifier contributes feedback exactly once even when a
+        # plan switch re-executes part of the tree.
+        self.observations: Dict[str, ScanObservation] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Checkpoint decision
+    # ------------------------------------------------------------------
+    def error_ratio(self, est_rows: float, actual_rows: int) -> float:
+        est = max(float(est_rows), 1.0)
+        actual = max(float(actual_rows), 1.0)
+        under = actual / est  # underestimate: more rows than planned
+        if self.mode == "eager":
+            return max(under, est / actual)
+        # Conservative mode only reacts to underestimates — the direction
+        # that turns per-probe joins into disasters. Overestimates merely
+        # leave a too-defensive plan in place.
+        return under
+
+    def consider(
+        self,
+        kind: str,
+        node,
+        batch: Batch,
+        covered_aliases: Tuple[str, ...],
+        n_quantifiers: int,
+        observations: Dict[str, ScanObservation],
+        est_rows: Optional[float] = None,
+    ) -> None:
+        """Evaluate a checkpoint; raises :class:`CheckpointHit` on trigger.
+
+        Records a :class:`ReoptSkip` (with reason) when it does not.
+        """
+        est = float(node.est_rows if est_rows is None else est_rows)
+        actual = len(batch)
+        ratio = self.error_ratio(est, actual)
+        if ratio < self.threshold:
+            self.skips.append(
+                ReoptSkip(kind, node.label(), BELOW_THRESHOLD, est, actual)
+            )
+            return
+        if len(set(covered_aliases)) >= n_quantifiers:
+            # The checkpoint already covers the whole join graph — there
+            # is nothing left to re-plan around it.
+            self.skips.append(
+                ReoptSkip(kind, node.label(), NON_SPLICABLE, est, actual)
+            )
+            return
+        if self.rounds_used >= self.max_rounds:
+            self.skips.append(
+                ReoptSkip(kind, node.label(), ROUND_CAP, est, actual)
+            )
+            return
+        raise CheckpointHit(
+            kind=kind,
+            node_label=node.label(),
+            batch=batch,
+            covered_aliases=covered_aliases,
+            observations=observations,
+            est_rows=est,
+            actual_rows=actual,
+        )
+
+    # ------------------------------------------------------------------
+    # Intermediate registry
+    # ------------------------------------------------------------------
+    def register(self, hit: CheckpointHit) -> MaterializedIntermediate:
+        """Absorb a checkpoint: store its batch and observations."""
+        self.rounds_used += 1
+        self.observations.update(hit.observations)
+        intermediate = MaterializedIntermediate(
+            intermediate_id=self._next_id,
+            covered_aliases=hit.covered_aliases,
+            batch=hit.batch,
+            reopt_round=self.rounds_used,
+        )
+        self._next_id += 1
+        covered = set(intermediate.covered_aliases)
+        # A new intermediate supersedes earlier ones it subsumes (round 2
+        # checkpoints sit above round 1's splice point).
+        for key in [
+            k
+            for k, v in self.intermediates.items()
+            if set(v.covered_aliases) <= covered
+        ]:
+            del self.intermediates[key]
+        self.intermediates[intermediate.intermediate_id] = intermediate
+        return intermediate
+
+    def live_intermediates(self) -> List[MaterializedIntermediate]:
+        return sorted(
+            self.intermediates.values(), key=lambda m: m.intermediate_id
+        )
+
+    def record_event(self, event: ReoptEvent) -> None:
+        self.events.append(event)
+
+    def merged_observations(
+        self, final: Dict[str, ScanObservation]
+    ) -> Dict[str, ScanObservation]:
+        """Observations across all plan segments, one entry per alias."""
+        merged = dict(self.observations)
+        merged.update(final)
+        return merged
+
+
+class ReoptTelemetry:
+    """Engine-wide reopt counters (thread-safe, surfaced in snapshots)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events = 0
+        self.queries_reoptimized = 0
+        self.checkpoints_evaluated = 0
+        self.triggers_by_kind: Dict[str, int] = {}
+        self.skips_by_reason: Dict[str, int] = {}
+        self.switch_seconds_total = 0.0
+        self.max_ratio = 0.0
+        self.ratio_sum = 0.0
+
+    def record_statement(self, state: ReoptState) -> None:
+        with self._lock:
+            self.checkpoints_evaluated += len(state.skips) + len(state.events)
+            for skip in state.skips:
+                self.skips_by_reason[skip.reason] = (
+                    self.skips_by_reason.get(skip.reason, 0) + 1
+                )
+            if state.events:
+                self.queries_reoptimized += 1
+            for event in state.events:
+                self.events += 1
+                self.triggers_by_kind[event.kind] = (
+                    self.triggers_by_kind.get(event.kind, 0) + 1
+                )
+                self.switch_seconds_total += event.switch_seconds
+                self.ratio_sum += event.ratio
+                self.max_ratio = max(self.max_ratio, event.ratio)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            mean_ratio = self.ratio_sum / self.events if self.events else 0.0
+            return {
+                "events": self.events,
+                "queries_reoptimized": self.queries_reoptimized,
+                "checkpoints_evaluated": self.checkpoints_evaluated,
+                "triggers_by_kind": dict(self.triggers_by_kind),
+                "skips_by_reason": dict(self.skips_by_reason),
+                "switch_ms_total": round(self.switch_seconds_total * 1e3, 3),
+                "est_actual_ratio_mean": round(mean_ratio, 2),
+                "est_actual_ratio_max": round(self.max_ratio, 2),
+            }

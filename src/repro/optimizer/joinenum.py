@@ -34,6 +34,10 @@ class BaseRelation:
     local_predicates: Tuple[LocalPredicate, ...] = ()
     scan_residuals: Tuple[ast.BoolExpr, ...] = ()
     local_selectivity: float = 1.0  # selectivity its local predicates apply
+    # For re-optimization: a materialized intermediate stands in for
+    # several original quantifiers. Join predicates referencing any of
+    # these aliases resolve to this relation's bit in the enumeration.
+    covered_aliases: Tuple[str, ...] = ()
 
 
 def enumerate_joins(
@@ -44,9 +48,14 @@ def enumerate_joins(
     """Return the cheapest plan joining all relations."""
     if not relations:
         raise PlanningError("no relations to join")
-    aliases = [r.alias for r in relations]
-    index_of = {alias: i for i, alias in enumerate(aliases)}
-    if len(index_of) != len(aliases):
+    index_of: Dict[str, int] = {}
+    n_names = 0
+    for i, relation in enumerate(relations):
+        names = {relation.alias, *relation.covered_aliases}
+        n_names += len(names)
+        for name in names:
+            index_of[name] = i
+    if len(index_of) != n_names:
         raise PlanningError("duplicate aliases in join enumeration")
     n = len(relations)
     full = (1 << n) - 1

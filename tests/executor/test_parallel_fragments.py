@@ -36,6 +36,10 @@ FRAGMENT_WORKLOAD = [
     "GROUP BY make HAVING COUNT(*) >= 5",
     "SELECT city, COUNT(*), MIN(salary) FROM owner GROUP BY city",
     "SELECT MIN(year), MAX(price), COUNT(*) FROM car WHERE price > 10000",
+    # Exact float SUM/AVG partials and string MIN/MAX over rank arrays
+    "SELECT make, SUM(price), AVG(price) FROM car GROUP BY make",
+    "SELECT city, MIN(name), MAX(name), SUM(salary) FROM owner GROUP BY city",
+    "SELECT SUM(salary), AVG(salary), MIN(city), MAX(city) FROM owner",
     # Shard-local sorts (numeric DESC and dictionary-ranked strings)
     "SELECT year, price FROM car WHERE make = 'Toyota' ORDER BY year DESC",
     "SELECT model FROM car WHERE year >= 1998 ORDER BY model",
@@ -96,6 +100,35 @@ def test_fragment_results_match_reference(engine_factory):
     fragments = engine.stats_snapshot()["parallel"]["fragments"]
     for kind in FRAGMENT_KINDS:
         assert fragments.get(kind), f"no {kind} fragment ran"
+
+
+def test_float_and_string_aggregates_fuse(engine_factory):
+    """Float SUM/AVG and string MIN/MAX no longer decline fragment
+    dispatch, and the fused float sums are exactly rounded."""
+    import math
+
+    engine = _parallel_engine(engine_factory)
+    sequential = engine_factory(_build_db(), _base_config())
+    queries = [
+        "SELECT make, SUM(price), AVG(price) FROM car GROUP BY make",
+        "SELECT SUM(salary), MIN(city), MAX(city) FROM owner",
+        # Zero matching rows: the empty-group global path, dictionary
+        # columns included.
+        "SELECT SUM(price), MIN(model) FROM car WHERE year > 3000",
+    ]
+    for sql in queries:
+        assert repr(engine.execute(sql).rows) == repr(
+            sequential.execute(sql).rows
+        ), sql
+    fragments = engine.stats_snapshot()["parallel"]["fragments"]
+    assert fragments.get("aggregate", 0) >= len(queries)
+
+    table = engine.database.table("owner")
+    expected = math.fsum(
+        float(v) for v in table.column_data("salary").astype("float64")
+    )
+    total = engine.execute("SELECT SUM(salary) FROM owner").rows[0][0]
+    assert total == expected
 
 
 def test_fragment_pool_failure_falls_back_in_process(engine_factory):
