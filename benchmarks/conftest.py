@@ -19,10 +19,14 @@ deterministic modeled-cost metric wherever machine noise could flake.
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
+import subprocess
+import sys
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.workload import (
@@ -41,6 +45,33 @@ DATA_SEED = int(os.environ.get("REPRO_SEED", "0"))
 WORKLOAD_SEED = 3
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _git_sha() -> str:
+    """HEAD commit of the repo the benchmark ran from ('' outside git)."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return ""
+
+
+def provenance() -> dict:
+    """Run provenance stamped into every BENCH_<name>.json: which commit
+    produced the number, when, and on which interpreter/numpy — so perf
+    trajectories across PRs are attributable."""
+    return {
+        "git_sha": _git_sha(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+    }
 
 
 def _atomic_write(path: Path, content: str) -> None:
@@ -73,6 +104,7 @@ def emit(name: str, text: str, metrics=None, config=None) -> None:
     )
     payload = {
         "bench": name,
+        "provenance": provenance(),
         "config": {
             "scale": SCALE,
             "statements": N_STATEMENTS,

@@ -1,0 +1,100 @@
+"""Self-observing plane demo: a skewed workload against ``repro serve``.
+
+Starts an observing server in-process (``observe=True`` +
+``auto_index=auto``), drives a skewed workload through the network
+client — many literal variants of a few statement templates — then
+dumps what the plane learned: the top statement fingerprints (one row
+per *template*, p50/p95 aggregated across every literal variant), the
+zone-map skip counters, and the index advisor's audit trail.
+
+Run:  python examples/observe_demo.py
+"""
+
+import os
+import sys
+
+from repro import Engine, EngineConfig
+from repro.cli import print_fingerprints
+from repro.server import ReproServer, connect
+from repro.workload import build_car_database
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.002"))
+N_STATEMENTS = int(os.environ.get("REPRO_STATEMENTS", "60"))
+
+
+def make_observing_engine() -> Engine:
+    db, _ = build_car_database(scale=SCALE, seed=42, with_indexes=False)
+    config = EngineConfig.traditional()
+    config.observe = True
+    config.auto_index = "auto"
+    config.auto_index_interval = 8
+    config.parallel_threshold_rows = 256
+    config.zone_map_rows = 256
+    return Engine(db, config)
+
+
+def main() -> None:
+    server = ReproServer(make_observing_engine(), port=0).start_in_thread()
+    try:
+        with connect(port=server.port) as client:
+            print(f"connected to observing server on port {server.port}")
+
+            # A skewed workload: 3 templates, the first one hot. Every
+            # statement uses different literals — the fingerprint
+            # registry folds them into one row per template.
+            for i in range(N_STATEMENTS):
+                if i % 4 != 3:
+                    client.execute(
+                        f"SELECT COUNT(*) FROM car "
+                        f"WHERE make = 'Toyota' AND year > {1995 + i % 10}"
+                    )
+                elif i % 8 == 3:
+                    client.execute(
+                        f"SELECT AVG(price) FROM car WHERE year = {2000 + i % 5}"
+                    )
+                else:
+                    client.execute(
+                        f"SELECT COUNT(*) FROM owner WHERE age < {30 + i % 40}"
+                    )
+
+            print(f"\n--- top fingerprints after {N_STATEMENTS} statements ---")
+            print_fingerprints(
+                client.fingerprints(limit=5, sort="executions"),
+                out=sys.stdout,
+            )
+
+            stats = client.stats()
+            observe = stats.get("observe", {})
+            zm = observe.get("zone_maps", {})
+            print("\n--- zone-map skipping ---")
+            print(
+                f"scans pruned: {zm.get('scans_pruned', 0)}/"
+                f"{zm.get('scans_considered', 0)}, "
+                f"zones skipped: {zm.get('zones_skipped', 0)}, "
+                f"rows skipped: {zm.get('rows_skipped', 0)}"
+            )
+
+            advisor = observe.get("advisor", {})
+            print("\n--- index advisor decisions ---")
+            print(
+                f"mode={advisor.get('mode')} ticks={advisor.get('ticks')} "
+                f"created={advisor.get('created')} "
+                f"dropped={advisor.get('dropped')}"
+            )
+            for entry in advisor.get("audit", []):
+                print(
+                    f"  tick {entry['tick']}: {entry['action']} "
+                    f"{entry['index']} index on "
+                    f"{entry['table']}.{entry['column']} "
+                    f"(score {entry['score']}, s1 {entry['s1']}, "
+                    f"s2 {entry['s2']})"
+                )
+            if not advisor.get("audit"):
+                print("  (no decisions yet — workload too short)")
+    finally:
+        server.stop_from_thread()
+    print("\nserver stopped")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,9 @@ Usage::
     python -m repro connect --port 7433   # shell against a server
 
 Shell commands: ``\\q`` quit, ``\\explain <sql>`` plan without executing,
-``\\stats`` JITS state summary, ``\\tables`` table sizes, ``\\help``.
+``\\stats`` JITS state summary, ``\\tables`` table sizes,
+``\\fingerprints [sort [limit]]`` top statement fingerprints (needs
+``--observe`` or ``--auto-index``), ``\\help``.
 """
 
 from __future__ import annotations
@@ -76,7 +78,29 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 32768)",
     )
     _add_reopt_arguments(parser)
+    _add_observe_arguments(parser)
     return parser
+
+
+def _add_observe_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--observe", action="store_true",
+        help="enable the observation plane: statement fingerprints, "
+        "zone-map scan skipping, and workload heat tracking",
+    )
+    parser.add_argument(
+        "--auto-index", choices=("off", "advise", "auto"), default="off",
+        help="JIT index advisor: advise only records recommendations, "
+        "auto creates/drops indexes under budget (implies --observe)",
+    )
+    parser.add_argument(
+        "--auto-index-budget", type=int, default=None, metavar="N",
+        help="max live advisor-created indexes (default 3)",
+    )
+    parser.add_argument(
+        "--zone-map-rows", type=int, default=None, metavar="ROWS",
+        help="rows per zone-map zone (default 4096)",
+    )
 
 
 def _add_reopt_arguments(parser: argparse.ArgumentParser) -> None:
@@ -121,6 +145,14 @@ def make_engine(args: argparse.Namespace) -> Engine:
     reopt_rounds = getattr(args, "reopt_max_rounds", None)
     if reopt_rounds is not None:
         config.reopt_max_rounds = reopt_rounds
+    config.observe = bool(getattr(args, "observe", False))
+    config.auto_index = getattr(args, "auto_index", "off") or "off"
+    budget = getattr(args, "auto_index_budget", None)
+    if budget is not None:
+        config.auto_index_budget = budget
+    zone_rows = getattr(args, "zone_map_rows", None)
+    if zone_rows is not None:
+        config.zone_map_rows = zone_rows
     return Engine(db, config)
 
 
@@ -272,6 +304,27 @@ def print_stats(engine: Engine, out) -> None:
             f"est/actual ratio mean/max "
             f"{reopt['est_actual_ratio_mean']}/{reopt['est_actual_ratio_max']}\n"
         )
+    if engine.observe is not None:
+        obs = engine.observe.snapshot()
+        fp = obs["fingerprints"]
+        zm = obs["zone_maps"]
+        out.write(
+            f"fingerprints: {fp['fingerprints']} tracked "
+            f"({fp['recorded']} recorded, {fp['evicted']} evicted, "
+            f"capacity {fp['capacity']})\n"
+            f"zone maps: {zm['tables']} table(s), "
+            f"{zm['scans_pruned']}/{zm['scans_considered']} scan(s) pruned, "
+            f"{zm['zones_skipped']}/{zm['zones_considered']} zone(s) "
+            f"skipped, {zm['rows_skipped']} row(s) skipped\n"
+        )
+        adv = obs["advisor"]
+        if adv["mode"] != "off":
+            out.write(
+                f"index advisor [{adv['mode']}]: {adv['ticks']} tick(s), "
+                f"{adv['created']} created, {adv['dropped']} dropped, "
+                f"{adv['advised']} advised, "
+                f"{adv['live_auto_indexes']} live auto index(es)\n"
+            )
 
 
 def print_tables(engine: Engine, out) -> None:
@@ -283,16 +336,61 @@ def print_tables(engine: Engine, out) -> None:
 
 
 def print_stats_dict(stats: dict, out, indent: str = "") -> None:
-    """Render a (possibly nested) stats snapshot, one counter per line."""
+    """Render a (possibly nested) stats snapshot, one counter per line.
+
+    Nested dicts become indented sections; lists of dicts (fingerprint
+    rows, advisor audit entries) print one numbered sub-section per
+    element instead of a raw JSON blob.
+    """
     for key, value in stats.items():
         if isinstance(value, dict):
             out.write(f"{indent}{key}:\n")
             print_stats_dict(value, out, indent + "  ")
+        elif isinstance(value, list) and any(
+            isinstance(item, dict) for item in value
+        ):
+            out.write(f"{indent}{key}: ({len(value)} entries)\n")
+            for position, item in enumerate(value):
+                if isinstance(item, dict):
+                    out.write(f"{indent}  [{position}]\n")
+                    print_stats_dict(item, out, indent + "    ")
+                else:
+                    out.write(f"{indent}  [{position}] {item}\n")
         else:
             out.write(f"{indent}{key}={value}\n")
 
 
-def _repl_loop(executor, stdin, out, stats, tables) -> None:
+def print_fingerprints(snapshot: dict, out) -> None:
+    """Render a fingerprint snapshot as an aligned table."""
+    if not snapshot.get("enabled", False):
+        out.write(
+            "observation plane disabled (start with --observe or "
+            "--auto-index)\n"
+        )
+        return
+    rows = snapshot.get("fingerprints", [])
+    if not rows:
+        out.write("no fingerprints recorded yet\n")
+        return
+    columns = [
+        "key", "type", "executions", "total_ms", "p50_ms", "p95_ms",
+        "rows_out", "staleness", "statement",
+    ]
+    table = [
+        tuple(str(row.get(column, "")) for column in columns)
+        for row in rows
+    ]
+    out.write(format_rows(columns, table, limit=len(table)) + "\n")
+    summary = snapshot.get("summary", {})
+    if summary:
+        out.write(
+            f"{summary.get('fingerprints', len(rows))} fingerprint(s) "
+            f"tracked, {summary.get('recorded', '?')} statement(s) "
+            f"recorded, {summary.get('evicted', 0)} evicted\n"
+        )
+
+
+def _repl_loop(executor, stdin, out, stats, tables, fingerprints) -> None:
     out.write(
         "repro SQL shell — \\help for commands, \\q to quit.\n"
     )
@@ -311,12 +409,22 @@ def _repl_loop(executor, stdin, out, stats, tables) -> None:
             if command == "\\help":
                 out.write(
                     "\\q quit | \\explain <sql> | \\stats | \\tables | "
+                    "\\fingerprints [sort [limit]] | "
                     "end statements with ';'\n"
                 )
             elif command == "\\stats":
                 stats()
             elif command == "\\tables":
                 tables()
+            elif command == "\\fingerprints":
+                words = rest.split()
+                sort_by = words[0] if words else "total_ms"
+                try:
+                    limit = int(words[1]) if len(words) > 1 else 20
+                except ValueError:
+                    out.write(f"bad limit {words[1]!r}\n")
+                    continue
+                fingerprints(sort_by, limit)
             elif command == "\\explain":
                 run_statement(
                     executor, rest.rstrip(";"), explain=True, out=out
@@ -334,12 +442,23 @@ def _repl_loop(executor, stdin, out, stats, tables) -> None:
 
 
 def repl(engine: Engine, stdin, out) -> None:
+    def fingerprints(sort_by: str, limit: int) -> None:
+        try:
+            snapshot = engine.fingerprint_snapshot(
+                limit=limit, sort_by=sort_by
+            )
+        except ValueError as exc:
+            out.write(f"error: {exc}\n")
+            return
+        print_fingerprints(snapshot, out)
+
     _repl_loop(
         engine,
         stdin,
         out,
         stats=lambda: print_stats(engine, out),
         tables=lambda: print_tables(engine, out),
+        fingerprints=fingerprints,
     )
 
 
@@ -359,7 +478,18 @@ def network_repl(client, stdin, out) -> None:
         except ReproError as exc:
             out.write(f"error: {exc}\n")
 
-    _repl_loop(client, stdin, out, stats=stats, tables=tables)
+    def fingerprints(sort_by: str, limit: int) -> None:
+        try:
+            print_fingerprints(
+                client.fingerprints(limit=limit, sort=sort_by), out
+            )
+        except ReproError as exc:
+            out.write(f"error: {exc}\n")
+
+    _repl_loop(
+        client, stdin, out,
+        stats=stats, tables=tables, fingerprints=fingerprints,
+    )
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -391,6 +521,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="per-connection admission cap before BUSY frames",
     )
     _add_reopt_arguments(parser)
+    _add_observe_arguments(parser)
     return parser
 
 

@@ -80,6 +80,25 @@ class EngineConfig:
     reopt: str = "off"
     reopt_threshold: float = 8.0
     reopt_max_rounds: int = 2
+    # Self-observing production plane (default off). With observe=True the
+    # engine keeps a statement-fingerprint registry (literal-free normal
+    # forms with p50/p95/lock-wait/staleness aggregates), per-shard
+    # zone-map synopses that let parallel scans skip refuted shards
+    # (results stay byte-identical; pruning only drops provably-empty row
+    # ranges), and the JIT index advisor's heat tracking. auto_index
+    # escalates the advisor: "advise" scores and audits index decisions
+    # without DDL, "auto" creates/drops secondary indexes under the
+    # exclusive lock, capped at auto_index_budget live auto-indexes, with
+    # hysteresis between the create and (lower) drop thresholds. Setting
+    # auto_index != "off" implies the observation plane.
+    observe: bool = False
+    observe_fingerprints: int = 512
+    zone_map_rows: int = 4096
+    auto_index: str = "off"
+    auto_index_budget: int = 3
+    auto_index_interval: int = 32
+    auto_index_threshold: float = 0.6
+    auto_index_drop_threshold: float = 0.2
 
     def __post_init__(self) -> None:
         if self.lock_granularity not in ("table", "database"):
@@ -132,6 +151,39 @@ class EngineConfig:
         if self.reopt_max_rounds < 1:
             raise ConfigError(
                 f"reopt_max_rounds must be >= 1, got {self.reopt_max_rounds}"
+            )
+        if self.observe_fingerprints < 1:
+            raise ConfigError(
+                "observe_fingerprints must be >= 1, "
+                f"got {self.observe_fingerprints}"
+            )
+        if self.zone_map_rows < 1:
+            raise ConfigError(
+                f"zone_map_rows must be >= 1, got {self.zone_map_rows}"
+            )
+        if self.auto_index not in ("off", "advise", "auto"):
+            raise ConfigError(
+                "auto_index must be 'off', 'advise' or 'auto', "
+                f"got {self.auto_index!r}"
+            )
+        if self.auto_index_budget < 0:
+            raise ConfigError(
+                f"auto_index_budget must be >= 0, got {self.auto_index_budget}"
+            )
+        if self.auto_index_interval < 1:
+            raise ConfigError(
+                "auto_index_interval must be >= 1, "
+                f"got {self.auto_index_interval}"
+            )
+        if not 0.0 < self.auto_index_threshold <= 1.0:
+            raise ConfigError(
+                "auto_index_threshold must be in (0, 1], "
+                f"got {self.auto_index_threshold}"
+            )
+        if not 0.0 <= self.auto_index_drop_threshold < self.auto_index_threshold:
+            raise ConfigError(
+                "auto_index_drop_threshold must be in [0, auto_index_threshold), "
+                f"got {self.auto_index_drop_threshold}"
             )
 
     @staticmethod

@@ -48,6 +48,7 @@ from ..jits import (
     analyze_query,
     table_stats_epoch,
 )
+from ..observe import IndexAdvisor, ObservationPlane
 from ..optimizer import Optimizer, StatsContext
 from ..predicates import group_mask
 from ..rng import make_rng
@@ -75,19 +76,47 @@ class Engine:
         self.config = config or EngineConfig.traditional()
         self.catalog = SystemCatalog()
         self.rng = make_rng(self.config.seed)
+        # Self-observing production plane (fingerprints + zone maps +
+        # index advisor). auto_index != "off" implies observation: the
+        # advisor scores fingerprint-derived predicate heat.
+        observe_active = (
+            self.config.observe or self.config.auto_index != "off"
+        )
+        self.observe: Optional[ObservationPlane] = (
+            ObservationPlane(
+                fingerprint_capacity=self.config.observe_fingerprints,
+                zone_rows=self.config.zone_map_rows,
+                advisor=IndexAdvisor(
+                    mode=self.config.auto_index,
+                    interval=self.config.auto_index_interval,
+                    threshold=self.config.auto_index_threshold,
+                    drop_threshold=self.config.auto_index_drop_threshold,
+                    budget=self.config.auto_index_budget,
+                ),
+            )
+            if observe_active
+            else None
+        )
         # Process-parallel scan machinery. Also built (poolless) when only
-        # the modeled scan cost is set: that is the sequential baseline of
-        # the parallel-scan benchmark, running the same sharded kernels
-        # in-process.
+        # the modeled scan cost is set — the sequential baseline of the
+        # parallel-scan benchmark, running the same sharded kernels
+        # in-process — or when the observe plane is on, so zone-map
+        # pruning has a ranged dispatch path to hook into.
         self.parallel: Optional[ParallelScanManager] = (
             ParallelScanManager(
                 workers=self.config.scan_workers,
                 threshold_rows=self.config.parallel_threshold_rows,
                 cost_per_row=self.config.scan_cost_per_row,
+                zone_maps=(
+                    self.observe.zone_maps
+                    if self.observe is not None
+                    else None
+                ),
             )
             if (
                 self.config.scan_workers > 0
                 or self.config.scan_cost_per_row > 0.0
+                or observe_active
             )
             else None
         )
@@ -251,6 +280,8 @@ class Engine:
                 self.plan_cache.drop_table(statement.table)
             if self.parallel is not None:
                 self.parallel.release_table(statement.table)
+            if self.observe is not None:
+                self.observe.release_table(statement.table)
             return QueryResult(
                 statement_type="ddl", timings={PHASE_COMPILE: parse_time}
             )
@@ -347,7 +378,35 @@ class Engine:
             snapshot["parallel"] = self.parallel.stats()
         if self.reopt_telemetry is not None:
             snapshot["reopt"] = self.reopt_telemetry.snapshot()
+        if self.observe is not None:
+            snapshot["observe"] = self.observe.snapshot()
         return snapshot
+
+    def fingerprint_snapshot(
+        self,
+        limit: int = 20,
+        sort_by: str = "total_ms",
+        offset: int = 0,
+    ) -> Dict[str, object]:
+        """Aggregated per-fingerprint statistics, top-N by one metric.
+
+        Raises ``ValueError`` for an unknown sort key. The server's
+        ``fingerprints`` frame clamps ``limit`` before calling this, so a
+        response can never approach the frame cap.
+        """
+        if self.observe is None:
+            return {
+                "enabled": False,
+                "fingerprints": [],
+                "summary": {},
+            }
+        return {
+            "enabled": True,
+            "fingerprints": self.observe.fingerprint_top(
+                limit=limit, sort_by=sort_by, offset=offset
+            ),
+            "summary": self.observe.fingerprints.summary(),
+        }
 
     def _explain_select(self, statement: ast.SelectStatement, now: int) -> str:
         """EXPLAIN pipeline. Caller holds the read scope."""
@@ -709,6 +768,11 @@ class Engine:
                 name,
                 now=now,
                 parallel=self.parallel,
+                zone_maps=(
+                    self.observe.zone_maps
+                    if self.observe is not None
+                    else None
+                ),
             )
         return time.perf_counter() - started
 

@@ -351,6 +351,7 @@ def _aggregate_fragment(
             ranks=rank_arrays or None,
         ),
         "aggregate fragment",
+        preds=scan.preds,
     )
     merged_keys, prims, n_groups, matched = merge_group_partials(
         parts, len(key_columns), prim_specs
@@ -480,6 +481,7 @@ def _join_fragment(
             cost_per_row=cost,
         ),
         "join fragment",
+        preds=probe.preds,
     )
     build_parts = manager.run_ranged(
         build.table,
@@ -492,6 +494,7 @@ def _join_fragment(
             cost_per_row=cost,
         ),
         "join fragment",
+        preds=build.preds,
     )
     probe_matched = int(sum(p[1] for p in probe_parts))
     build_matched = int(sum(p[1] for p in build_parts))
@@ -652,6 +655,7 @@ def _sort_fragment(
             cost_per_row=manager.cost_per_row,
         ),
         "sort fragment",
+        preds=scan.preds,
     )
     rows = np.concatenate([run[0] for run in runs])
     matched = int(sum(run[2] for run in runs))
@@ -691,6 +695,7 @@ def _distinct_fragment(
             cost_per_row=manager.cost_per_row,
         ),
         "distinct fragment",
+        preds=scan.preds,
     )
     matched = int(sum(run[2] for run in runs))
     rows = np.concatenate([run[0] for run in runs])

@@ -1,0 +1,32 @@
+"""Self-observing production plane: fingerprints, zone maps, advisor.
+
+See :mod:`.plane` for the coordinating object the engine owns, and the
+sibling modules for the three observers it fans out to.
+"""
+
+from .advisor import IndexAdvisor, predicate_kind
+from .fingerprint import (
+    SORT_KEYS,
+    FingerprintRegistry,
+    P2Quantile,
+    StatementStats,
+    fingerprint_statement,
+    normalize_statement,
+)
+from .plane import ObservationPlane
+from .zonemap import TableZoneMap, ZoneMapStore, build_column_zones
+
+__all__ = [
+    "SORT_KEYS",
+    "FingerprintRegistry",
+    "IndexAdvisor",
+    "ObservationPlane",
+    "P2Quantile",
+    "StatementStats",
+    "TableZoneMap",
+    "ZoneMapStore",
+    "build_column_zones",
+    "fingerprint_statement",
+    "normalize_statement",
+    "predicate_kind",
+]

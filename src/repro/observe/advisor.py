@@ -1,0 +1,361 @@
+"""JIT index advisor: ``ShouldCollectStats`` pointed at indexes.
+
+The paper's collection trigger scores each table with two signals —
+``s1`` (how wrong statistics have been) and ``s2`` (how much the data
+changed) — and collects when ``(s1 + s2) / 2`` crosses ``s_max``. The
+advisor reuses that exact shape for secondary indexes, per
+``(table, column, predicate-kind)`` heat cell:
+
+* ``s1`` — **benefit**: the fraction of scanned base rows the predicate
+  filtered away (EWMA). A predicate that keeps 1% of rows would let an
+  index skip 99% of the scan; one that keeps everything gains nothing.
+* ``s2`` — **frequency**: the fraction of the statement window that
+  probed this cell (capped at 1). Cold predicates never justify index
+  maintenance no matter how selective they are.
+
+``score = (s1 + s2) / 2`` is blended across ticks (EWMA), which gives
+hysteresis for free: one hot statement cannot trigger a create, and one
+quiet window cannot trigger a drop. Creates fire at ``threshold``,
+auto-drops only below the (lower) ``drop_threshold``, only for indexes
+the advisor itself created, and only up to ``budget`` live auto-indexes.
+Every decision lands in a bounded audit trail.
+
+``mode='advise'`` runs the full scoring loop and audit but performs no
+DDL — the dry-run the DBA reads before trusting ``'auto'``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ..predicates.predicate import PredOp
+from ..types import DataType
+
+#: Predicate kinds and the physical index shape that serves each.
+KIND_EQ = "eq"  # EQ / IN -> HashIndex
+KIND_RANGE = "range"  # LT / LE / GT / GE / BETWEEN -> SortedIndex
+
+_INDEX_KIND = {KIND_EQ: "hash", KIND_RANGE: "sorted"}
+_PRED_KIND = {
+    PredOp.EQ: KIND_EQ,
+    PredOp.IN: KIND_EQ,
+    PredOp.LT: KIND_RANGE,
+    PredOp.LE: KIND_RANGE,
+    PredOp.GT: KIND_RANGE,
+    PredOp.GE: KIND_RANGE,
+    PredOp.BETWEEN: KIND_RANGE,
+    # NE filters almost nothing an index could serve; no heat.
+}
+
+#: EWMA blend factor across ticks (same weight for history and window).
+_ALPHA = 0.5
+
+_AUDIT_LIMIT = 256
+
+
+def predicate_kind(op: PredOp) -> Optional[str]:
+    return _PRED_KIND.get(op)
+
+
+class _HeatCell:
+    """Window counters + blended score for one (table, column, kind)."""
+
+    __slots__ = (
+        "table",
+        "column",
+        "kind",
+        "probes",
+        "rows_base",
+        "rows_avoided",
+        "index_uses",
+        "score",
+        "s1",
+        "s2",
+    )
+
+    def __init__(self, table: str, column: str, kind: str):
+        self.table = table
+        self.column = column
+        self.kind = kind
+        self.probes = 0
+        self.rows_base = 0.0
+        self.rows_avoided = 0.0
+        self.index_uses = 0
+        self.score = 0.0
+        self.s1 = 0.0
+        self.s2 = 0.0
+
+    def fold_window(self, interval: int) -> None:
+        """Blend this window's signals into the running score and reset
+        the window counters. An untouched window decays the score."""
+        if self.probes > 0:
+            s1 = (
+                self.rows_avoided / self.rows_base
+                if self.rows_base > 0
+                else 0.0
+            )
+            s2 = min(self.probes / max(1, interval), 1.0)
+            window = (s1 + s2) / 2.0
+            self.s1 = s1
+            self.s2 = s2
+        else:
+            window = 0.0
+            self.s1 = 0.0
+            self.s2 = 0.0
+        self.score = (1.0 - _ALPHA) * self.score + _ALPHA * window
+        self.probes = 0
+        self.rows_base = 0.0
+        self.rows_avoided = 0.0
+        self.index_uses = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "table": self.table,
+            "column": self.column,
+            "kind": self.kind,
+            "score": round(self.score, 4),
+            "s1": round(self.s1, 4),
+            "s2": round(self.s2, 4),
+        }
+
+
+class IndexAdvisor:
+    """Predicate-heat scoring with auto create/drop under the LockManager.
+
+    ``maybe_tick(engine)`` must be called *outside* any statement lock
+    scope (the LockManager is not reentrant); the session layer calls it
+    after releasing the statement's locks.
+    """
+
+    def __init__(
+        self,
+        mode: str = "off",
+        interval: int = 32,
+        threshold: float = 0.6,
+        drop_threshold: float = 0.2,
+        budget: int = 3,
+    ):
+        if mode not in ("off", "advise", "auto"):
+            raise ValueError(
+                f"auto_index mode must be off|advise|auto, got {mode!r}"
+            )
+        self.mode = mode
+        self.interval = max(1, interval)
+        self.threshold = threshold
+        self.drop_threshold = drop_threshold
+        self.budget = max(0, budget)
+        self._lock = threading.Lock()
+        self._tick_lock = threading.Lock()
+        self._heat: Dict[Tuple[str, str, str], _HeatCell] = {}
+        self._auto_created: Dict[Tuple[str, str, str], bool] = {}
+        self._statements = 0
+        self.ticks = 0
+        self.created = 0
+        self.dropped = 0
+        self.advised = 0
+        self.audit: deque = deque(maxlen=_AUDIT_LIMIT)
+
+    # ------------------------------------------------------------------
+    # Heat intake (called from the observation plane, no engine locks)
+    # ------------------------------------------------------------------
+    def note_scan(
+        self,
+        table: str,
+        column: str,
+        kind: str,
+        base_rows: float,
+        matched_rows: float,
+    ) -> None:
+        key = (table.lower(), column.lower(), kind)
+        with self._lock:
+            cell = self._heat.get(key)
+            if cell is None:
+                cell = self._heat[key] = _HeatCell(*key)
+            cell.probes += 1
+            cell.rows_base += max(0.0, float(base_rows))
+            cell.rows_avoided += max(
+                0.0, float(base_rows) - float(matched_rows)
+            )
+
+    def note_index_use(
+        self, table: str, column: str, index_kind: str, base_rows: float
+    ) -> None:
+        """An IndexScan served this cell: full credit keeps the score hot
+        so a used auto-index is never dropped for lack of SeqScan heat."""
+        kind = KIND_EQ if index_kind == "hash" else KIND_RANGE
+        key = (table.lower(), column.lower(), kind)
+        with self._lock:
+            cell = self._heat.get(key)
+            if cell is None:
+                cell = self._heat[key] = _HeatCell(*key)
+            cell.probes += 1
+            cell.index_uses += 1
+            cell.rows_base += max(0.0, float(base_rows))
+            cell.rows_avoided += max(0.0, float(base_rows))
+
+    def release_table(self, table: str) -> None:
+        """Forget a dropped table's heat and auto-index bookkeeping."""
+        name = table.lower()
+        with self._lock:
+            for key in [k for k in self._heat if k[0] == name]:
+                del self._heat[key]
+            for key in [k for k in self._auto_created if k[0] == name]:
+                del self._auto_created[key]
+
+    # ------------------------------------------------------------------
+    # The tick
+    # ------------------------------------------------------------------
+    def maybe_tick(self, engine) -> None:
+        """Score the window every ``interval`` statements; apply (or, in
+        advise mode, record) create/drop decisions."""
+        if self.mode == "off":
+            return
+        with self._lock:
+            self._statements += 1
+            if self._statements < self.interval:
+                return
+            if not self._tick_lock.acquire(blocking=False):
+                return  # another session is mid-tick; let it finish
+            self._statements = 0
+        try:
+            self._tick(engine)
+        finally:
+            self._tick_lock.release()
+
+    def _tick(self, engine) -> None:
+        with self._lock:
+            self.ticks += 1
+            tick = self.ticks
+            for cell in self._heat.values():
+                cell.fold_window(self.interval)
+            creates: List[_HeatCell] = []
+            drops: List[_HeatCell] = []
+            live = sum(1 for v in self._auto_created.values() if v)
+            for key, cell in sorted(
+                self._heat.items(), key=lambda kv: -kv[1].score
+            ):
+                if cell.score >= self.threshold and not self._auto_created.get(
+                    key
+                ):
+                    if live + len(creates) < self.budget:
+                        creates.append(cell)
+                elif cell.score < self.drop_threshold and self._auto_created.get(
+                    key
+                ):
+                    drops.append(cell)
+        for cell in creates:
+            self._apply_create(engine, cell, tick)
+        for cell in drops:
+            self._apply_drop(engine, cell, tick)
+
+    def _eligible(self, engine, cell: _HeatCell) -> bool:
+        database = engine.database
+        if not database.has_table(cell.table):
+            return False
+        table = database.table(cell.table)
+        try:
+            dtype = table.schema.column(cell.column).dtype
+        except Exception:
+            return False
+        if cell.kind == KIND_RANGE and dtype is DataType.STRING:
+            # Dictionary codes do not follow string order; a sorted
+            # index over codes would serve wrong ranges.
+            return False
+        indexes = database.indexes(cell.table)
+        existing = (
+            indexes.hash_on(cell.column)
+            if cell.kind == KIND_EQ
+            else indexes.sorted_on(cell.column)
+        )
+        return existing is None
+
+    def _audit(self, action: str, cell: _HeatCell, tick: int) -> None:
+        entry = {
+            "tick": tick,
+            "action": action,
+            "table": cell.table,
+            "column": cell.column,
+            "index": _INDEX_KIND[cell.kind],
+            "score": round(cell.score, 4),
+            "s1": round(cell.s1, 4),
+            "s2": round(cell.s2, 4),
+        }
+        with self._lock:
+            self.audit.append(entry)
+
+    def _apply_create(self, engine, cell: _HeatCell, tick: int) -> None:
+        key = (cell.table, cell.column, cell.kind)
+        if self.mode == "advise":
+            if not self._eligible(engine, cell):
+                return
+            with self._lock:
+                already = self._auto_created.get(key) is not None
+                self._auto_created[key] = False  # advised, not created
+            if not already:
+                self.advised += 1
+                self._audit("advise_create", cell, tick)
+            return
+        with engine.locks.exclusive():
+            if not self._eligible(engine, cell):
+                return
+            if cell.kind == KIND_EQ:
+                engine.database.create_hash_index(cell.table, cell.column)
+            else:
+                engine.database.create_sorted_index(cell.table, cell.column)
+            if engine.plan_cache is not None:
+                engine.plan_cache.clear()
+        with self._lock:
+            self._auto_created[key] = True
+            self.created += 1
+        self._audit("create", cell, tick)
+
+    def _apply_drop(self, engine, cell: _HeatCell, tick: int) -> None:
+        key = (cell.table, cell.column, cell.kind)
+        if self.mode == "advise":
+            with self._lock:
+                if self._auto_created.pop(key, None) is None:
+                    return
+            self._audit("advise_drop", cell, tick)
+            return
+        kind = _INDEX_KIND[cell.kind]
+        with engine.locks.exclusive():
+            if not engine.database.has_table(cell.table):
+                dropped = False
+            else:
+                dropped = engine.database.drop_index(
+                    cell.table, kind, cell.column
+                )
+            if dropped and engine.plan_cache is not None:
+                engine.plan_cache.clear()
+        with self._lock:
+            self._auto_created.pop(key, None)
+        if dropped:
+            self.dropped += 1
+            self._audit("drop", cell, tick)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self, top: int = 10) -> Dict[str, object]:
+        with self._lock:
+            cells = sorted(
+                self._heat.values(), key=lambda c: -c.score
+            )[: max(0, top)]
+            return {
+                "mode": self.mode,
+                "interval": self.interval,
+                "threshold": self.threshold,
+                "drop_threshold": self.drop_threshold,
+                "budget": self.budget,
+                "ticks": self.ticks,
+                "created": self.created,
+                "dropped": self.dropped,
+                "advised": self.advised,
+                "live_auto_indexes": sum(
+                    1 for v in self._auto_created.values() if v
+                ),
+                "heat": [c.snapshot() for c in cells],
+                "audit": list(self.audit),
+            }

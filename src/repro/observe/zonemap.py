@@ -1,0 +1,327 @@
+"""Per-shard zone-map synopses for predicate-refuted shard skipping.
+
+A *zone* is a fixed-size run of ``zone_rows`` consecutive rows. For each
+column the synopsis keeps the per-zone min/max (over the physical array
+the scan kernels see — numeric values, or dictionary codes for strings)
+plus a small linear-counting NDV sketch. A scan's encoded predicates can
+then *refute* zones — prove no row inside can match — and the parallel
+manager shards only the surviving row ranges. Refutation is always
+conservative: a zone is only dropped when the predicate is impossible
+against its [min, max], so results stay byte-identical (property-tested
+against the unpruned path).
+
+Soundness under churn rests on the same discipline as the shared-memory
+exports: a :class:`TableZoneMap` pins the table *object* (weakref) and
+its mutation ``version``; any UDI bumps the version and the map is
+rebuilt on next use, and a DROP+CREATE landing on the same name (or even
+the same version number) fails the identity check. Dictionary-code
+min/max stay sound for EQ/NE/IN because a value absent from [min, max]
+in code space is absent from the zone, and range predicates on string
+columns never reach the kernels (``encode_predicates`` returns None).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import weakref
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Linear-counting sketch width (bits per zone per column).
+NDV_BITS = 1024
+NDV_WORDS = NDV_BITS // 64
+
+DEFAULT_ZONE_ROWS = 4096
+
+#: One column's built zones: (mins, maxs, bitmaps[(n_zones, NDV_WORDS)]).
+ColumnZones = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+#: Pluggable sharded builder: (table, columns, zone_rows) -> per-column
+#: zones, or None to decline (the store then builds in-process).
+Builder = Callable[[object, Sequence[str], int], Optional[Dict[str, ColumnZones]]]
+
+
+def _ndv_buckets(data: np.ndarray) -> np.ndarray:
+    """Sketch bucket per value — the ``partition_codes`` canonicalization
+    (float64 bit pattern, +0.0 kills the signed zero) and splitmix-style
+    mixer, reduced mod :data:`NDV_BITS`."""
+    as_float = np.asarray(data).astype(np.float64) + 0.0
+    bits = as_float.view(np.uint64).copy()
+    bits ^= bits >> np.uint64(33)
+    bits *= np.uint64(0xFF51AFD7ED558CCD)  # wraps mod 2**64 by design
+    bits ^= bits >> np.uint64(33)
+    return (bits % np.uint64(NDV_BITS)).astype(np.int64)
+
+
+def build_column_zones(data: np.ndarray, zone_rows: int) -> ColumnZones:
+    """Zone min/max/ndv-sketch for one physical column array."""
+    n = len(data)
+    starts = np.arange(0, n, zone_rows)
+    mins = np.minimum.reduceat(data, starts).astype(np.float64)
+    maxs = np.maximum.reduceat(data, starts).astype(np.float64)
+    if np.asarray(data).dtype.kind in "iu":
+        # int64 -> float64 rounds above 2**53; widen one ULP outward so
+        # the float bounds still enclose every true value (refutation
+        # must stay conservative). Float data converts exactly.
+        mins = np.nextafter(mins, -np.inf)
+        maxs = np.nextafter(maxs, np.inf)
+    buckets = _ndv_buckets(data)
+    n_zones = len(starts)
+    bitmaps = np.zeros((n_zones, NDV_WORDS), dtype=np.uint64)
+    one = np.uint64(1)
+    for z in range(n_zones):
+        hit = np.unique(buckets[z * zone_rows : (z + 1) * zone_rows])
+        np.bitwise_or.at(
+            bitmaps[z], hit >> 6, one << (hit & 63).astype(np.uint64)
+        )
+    return mins, maxs, bitmaps
+
+
+def ndv_from_bitmap(bitmap: np.ndarray) -> float:
+    """Linear-counting estimate from an OR-combined sketch bitmap."""
+    set_bits = int(np.unpackbits(bitmap.view(np.uint8)).sum())
+    zeros = NDV_BITS - set_bits
+    if zeros <= 0:
+        return float(NDV_BITS)  # saturated: a lower bound
+    return -NDV_BITS * math.log(zeros / NDV_BITS)
+
+
+def refuted_zones(
+    mins: np.ndarray, maxs: np.ndarray, pred
+) -> Optional[np.ndarray]:
+    """Boolean mask of zones the predicate proves empty, or None when the
+    op never refutes. ``pred`` is a kernel-level ``PhysPredicate``."""
+    op = pred.op
+    n_zones = len(mins)
+    if op in ("EQ", "IN"):
+        if pred.empty:
+            return np.ones(n_zones, dtype=bool)
+        keep = np.zeros(n_zones, dtype=bool)
+        for value in pred.values:
+            keep |= (mins <= value) & (value <= maxs)
+        return ~keep
+    if op == "NE":
+        if pred.empty:
+            return None  # tautological: refutes nothing
+        value = pred.values[0]
+        return (mins == value) & (maxs == value)
+    lo = pred.values[0]
+    if op == "BETWEEN":
+        hi = pred.values[1]
+        return (maxs < lo) | (mins > hi)
+    if op == "LT":
+        return mins >= lo
+    if op == "LE":
+        return mins > lo
+    if op == "GT":
+        return maxs <= lo
+    if op == "GE":
+        return maxs < lo
+    return None
+
+
+class TableZoneMap:
+    """Zone synopses for one pinned (table object, version) pair."""
+
+    __slots__ = ("_table_ref", "version", "n_rows", "zone_rows", "columns")
+
+    def __init__(self, table, zone_rows: int):
+        self._table_ref = weakref.ref(table)
+        self.version = table.version
+        self.n_rows = table.row_count
+        self.zone_rows = zone_rows
+        self.columns: Dict[str, ColumnZones] = {}
+
+    def valid_for(self, table) -> bool:
+        """Same table *object*, same mutation epoch, same extent — the
+        identity check that survives DROP+CREATE epoch-number reuse."""
+        return (
+            self._table_ref() is table
+            and table.version == self.version
+            and table.row_count == self.n_rows
+        )
+
+    @property
+    def n_zones(self) -> int:
+        return (self.n_rows + self.zone_rows - 1) // self.zone_rows
+
+    def zone_range(self, zone: int) -> Tuple[int, int]:
+        start = zone * self.zone_rows
+        return start, min(start + self.zone_rows, self.n_rows)
+
+    def ndv_estimate(self, column: str) -> Optional[float]:
+        zones = self.columns.get(column.lower())
+        if zones is None:
+            return None
+        combined = np.bitwise_or.reduce(zones[2], axis=0)
+        return ndv_from_bitmap(combined)
+
+
+class ZoneMapStore:
+    """Engine-wide synopsis cache with pruning counters.
+
+    Maps are built lazily, per column, on the first predicated scan that
+    asks (and eagerly during RUNSTATS via :meth:`build`). ``builder``,
+    when set, shards the build across the worker pool; the store falls
+    back to an in-process build when it declines or is absent.
+    """
+
+    def __init__(
+        self,
+        zone_rows: int = DEFAULT_ZONE_ROWS,
+        builder: Optional[Builder] = None,
+    ):
+        if zone_rows < 1:
+            raise ValueError(f"zone_rows must be >= 1, got {zone_rows}")
+        self.zone_rows = zone_rows
+        self.builder = builder
+        self._lock = threading.Lock()
+        self._maps: Dict[str, TableZoneMap] = {}
+        self.builds = 0
+        self.column_builds = 0
+        self.invalidations = 0
+        self.scans_considered = 0
+        self.scans_pruned = 0
+        self.zones_considered = 0
+        self.zones_skipped = 0
+        self.rows_skipped = 0
+
+    # ------------------------------------------------------------------
+    # Build / lifecycle
+    # ------------------------------------------------------------------
+    def _map_for_locked(self, table) -> TableZoneMap:
+        key = table.name.lower()
+        zmap = self._maps.get(key)
+        if zmap is not None and not zmap.valid_for(table):
+            self.invalidations += 1
+            zmap = None
+        if zmap is None:
+            zmap = TableZoneMap(table, self.zone_rows)
+            self._maps[key] = zmap
+            self.builds += 1
+        return zmap
+
+    def ensure(self, table, columns: Sequence[str]) -> Optional[TableZoneMap]:
+        """The table's zone map with the given columns built; None for an
+        empty table. Caller must hold at least a read lock on the table
+        (every scan/RUNSTATS call site already does)."""
+        if table.row_count <= 0:
+            return None
+        wanted = [c.lower() for c in columns]
+        with self._lock:
+            zmap = self._map_for_locked(table)
+            missing = [c for c in wanted if c not in zmap.columns]
+            if not missing:
+                return zmap
+            built: Optional[Dict[str, ColumnZones]] = None
+            if self.builder is not None:
+                built = self.builder(table, missing, self.zone_rows)
+            if built is None:
+                built = {
+                    c: build_column_zones(table.column_data(c), self.zone_rows)
+                    for c in missing
+                }
+            zmap.columns.update(built)
+            self.column_builds += len(missing)
+            return zmap
+
+    def build(self, table, columns: Optional[Sequence[str]] = None) -> None:
+        """Eagerly build zones for ``columns`` (default: every column) —
+        the RUNSTATS hook."""
+        if columns is None:
+            columns = table.schema.column_names()
+        self.ensure(table, columns)
+
+    def get_valid(self, table) -> Optional[TableZoneMap]:
+        """The table's current map if it is still pinned-valid, else None
+        (no build, no invalidation side effects)."""
+        with self._lock:
+            zmap = self._maps.get(table.name.lower())
+            if zmap is not None and zmap.valid_for(table):
+                return zmap
+            return None
+
+    def release(self, table_name: str) -> None:
+        """Forget a dropped table's synopses."""
+        with self._lock:
+            self._maps.pop(table_name.lower(), None)
+
+    # ------------------------------------------------------------------
+    # Pruning
+    # ------------------------------------------------------------------
+    def allowed_ranges(
+        self, table, preds
+    ) -> Optional[List[Tuple[int, int]]]:
+        """Row ranges that survive refutation, in ascending order.
+
+        Returns None when nothing is refuted (caller keeps its normal
+        shard layout — including the adaptive profile path) and ``[]``
+        when *every* zone is refuted. Consecutive surviving zones merge
+        into one range, so the caller re-shards contiguous runs freely.
+        """
+        if not preds:
+            return None
+        zmap = self.ensure(table, [p.column for p in preds])
+        if zmap is None:
+            return None
+        with self._lock:
+            self.scans_considered += 1
+        refuted = None
+        for pred in preds:
+            zones = zmap.columns.get(pred.column)
+            if zones is None:
+                continue
+            mask = refuted_zones(zones[0], zones[1], pred)
+            if mask is None:
+                continue
+            refuted = mask if refuted is None else (refuted | mask)
+        if refuted is None or not refuted.any():
+            return None
+        n_zones = zmap.n_zones
+        skipped = int(refuted.sum())
+        starts = np.flatnonzero(refuted) * zmap.zone_rows
+        stops = np.minimum(starts + zmap.zone_rows, zmap.n_rows)
+        rows_gone = int((stops - starts).sum())
+        with self._lock:
+            self.scans_pruned += 1
+            self.zones_considered += n_zones
+            self.zones_skipped += skipped
+            self.rows_skipped += rows_gone
+        ranges: List[Tuple[int, int]] = []
+        keep = ~refuted
+        zone = 0
+        while zone < n_zones:
+            if not keep[zone]:
+                zone += 1
+                continue
+            first = zone
+            while zone < n_zones and keep[zone]:
+                zone += 1
+            ranges.append(
+                (first * zmap.zone_rows, zmap.zone_range(zone - 1)[1])
+            )
+        return ranges
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def ndv_estimate(self, table, column: str) -> Optional[float]:
+        zmap = self.get_valid(table)
+        return None if zmap is None else zmap.ndv_estimate(column)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "tables": len(self._maps),
+                "zone_rows": self.zone_rows,
+                "builds": self.builds,
+                "column_builds": self.column_builds,
+                "invalidations": self.invalidations,
+                "scans_considered": self.scans_considered,
+                "scans_pruned": self.scans_pruned,
+                "zones_considered": self.zones_considered,
+                "zones_skipped": self.zones_skipped,
+                "rows_skipped": self.rows_skipped,
+            }

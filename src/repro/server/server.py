@@ -304,6 +304,8 @@ class ReproServer:
             await conn.send(
                 {"type": "stats_result", "id": rid, "stats": stats}
             )
+        elif ftype == "fingerprints":
+            await self._handle_fingerprints(conn, frame)
         elif ftype == "cancel":
             await self._handle_cancel(conn, frame)
         elif ftype in ("query", "explain"):
@@ -416,6 +418,56 @@ class ReproServer:
             self._inflight -= 1
             self._schedule_ready()
         await conn.send_encoded(data)
+
+    #: Hard cap on rows per fingerprints frame. Each row is bounded (the
+    #: statement text truncates at 512 chars), so 200 rows stays in the
+    #: hundreds of kilobytes — nowhere near MAX_FRAME_BYTES. Deeper
+    #: listings page through with ``offset``.
+    MAX_FINGERPRINT_LIMIT = 200
+
+    async def _handle_fingerprints(
+        self, conn: _Connection, frame: Dict
+    ) -> None:
+        rid = frame.get("id")
+        limit = frame.get("limit", 20)
+        offset = frame.get("offset", 0)
+        sort_by = frame.get("sort", "total_ms")
+        if (
+            not isinstance(limit, int)
+            or not isinstance(offset, int)
+            or isinstance(limit, bool)
+            or isinstance(offset, bool)
+            or not isinstance(sort_by, str)
+        ):
+            await conn.send(
+                error_frame(
+                    rid,
+                    ProtocolError(
+                        "fingerprints frame needs integer limit/offset "
+                        "and a string sort key"
+                    ),
+                )
+            )
+            return
+        limit = max(1, min(limit, self.MAX_FINGERPRINT_LIMIT))
+        offset = max(0, offset)
+        try:
+            snapshot = self.engine.fingerprint_snapshot(
+                limit=limit, sort_by=sort_by, offset=offset
+            )
+        except ValueError as exc:
+            await conn.send(error_frame(rid, ProtocolError(str(exc))))
+            return
+        await conn.send(
+            {
+                "type": "fingerprints_result",
+                "id": rid,
+                "limit": limit,
+                "offset": offset,
+                "sort": sort_by,
+                **snapshot,
+            }
+        )
 
     def server_stats(self) -> Dict[str, object]:
         return {

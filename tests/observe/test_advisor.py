@@ -1,0 +1,147 @@
+"""JIT index advisor: create/drop hysteresis, modes, budget, audit."""
+
+import pytest
+
+from repro import Engine, EngineConfig
+from repro.observe import IndexAdvisor
+from tests.conftest import build_mini_db
+
+HOT = "SELECT COUNT(*) FROM car WHERE make = 'Toyota'"
+COLD = "SELECT COUNT(*) FROM owner WHERE id = 1"
+
+
+def advisor_config(mode: str, **knobs) -> EngineConfig:
+    config = EngineConfig.traditional()
+    config.auto_index = mode
+    config.auto_index_interval = knobs.pop("interval", 4)
+    config.auto_index_budget = knobs.pop("budget", 3)
+    config.auto_index_threshold = knobs.pop("threshold", 0.6)
+    config.auto_index_drop_threshold = knobs.pop("drop_threshold", 0.2)
+    assert not knobs
+    return config
+
+
+def drive(engine: Engine, sql: str, times: int) -> None:
+    for _ in range(times):
+        engine.execute(sql)
+
+
+def test_auto_mode_creates_index_on_hot_equality_column():
+    engine = Engine(build_mini_db(), advisor_config("auto"))
+    try:
+        assert engine.database.indexes("car").hash_on("make") is None
+        before = engine.execute(HOT).rows
+        drive(engine, HOT, 20)
+        indexes = engine.database.indexes("car")
+        assert indexes.hash_on("make") is not None
+        advisor = engine.observe.advisor
+        snap = advisor.snapshot()
+        assert snap["created"] >= 1
+        assert snap["live_auto_indexes"] >= 1
+        creates = [e for e in snap["audit"] if e["action"] == "create"]
+        assert any(
+            e["table"] == "car" and e["column"] == "make" for e in creates
+        )
+        # Results unchanged once the plan flips to the index.
+        assert engine.execute(HOT).rows == before
+    finally:
+        engine.shutdown()
+
+
+def test_advise_mode_records_but_performs_no_ddl():
+    engine = Engine(build_mini_db(), advisor_config("advise"))
+    try:
+        drive(engine, HOT, 20)
+        assert engine.database.indexes("car").hash_on("make") is None
+        snap = engine.observe.advisor.snapshot()
+        assert snap["created"] == 0
+        assert snap["advised"] >= 1
+        assert any(
+            e["action"] == "advise_create" and e["column"] == "make"
+            for e in snap["audit"]
+        )
+    finally:
+        engine.shutdown()
+
+
+def test_budget_caps_live_auto_indexes():
+    engine = Engine(
+        build_mini_db(), advisor_config("auto", budget=1, threshold=0.5)
+    )
+    try:
+        # Two equally hot unindexed columns; only one create allowed.
+        for _ in range(12):
+            engine.execute(HOT)
+            engine.execute("SELECT COUNT(*) FROM car WHERE model = 'Civic'")
+        snap = engine.observe.advisor.snapshot()
+        assert snap["created"] == 1
+        assert snap["live_auto_indexes"] == 1
+        indexes = engine.database.indexes("car")
+        built = [
+            c for c in ("make", "model") if indexes.hash_on(c) is not None
+        ]
+        assert len(built) == 1
+    finally:
+        engine.shutdown()
+
+
+def test_auto_drop_after_heat_decays_below_hysteresis_band():
+    engine = Engine(build_mini_db(), advisor_config("auto"))
+    try:
+        drive(engine, HOT, 20)
+        assert engine.database.indexes("car").hash_on("make") is not None
+        # The column goes cold; EWMA decays across ticks until it falls
+        # below drop_threshold (not merely below the create threshold).
+        drive(engine, COLD, 40)
+        snap = engine.observe.advisor.snapshot()
+        assert snap["dropped"] >= 1
+        assert engine.database.indexes("car").hash_on("make") is None
+        assert any(e["action"] == "drop" for e in snap["audit"])
+    finally:
+        engine.shutdown()
+
+
+def test_used_index_is_not_dropped():
+    engine = Engine(build_mini_db(), advisor_config("auto"))
+    try:
+        drive(engine, HOT, 60)  # keeps probing after the create
+        snap = engine.observe.advisor.snapshot()
+        assert snap["created"] >= 1
+        assert snap["dropped"] == 0
+        assert engine.database.indexes("car").hash_on("make") is not None
+    finally:
+        engine.shutdown()
+
+
+def test_sorted_index_refused_on_string_column():
+    engine = Engine(build_mini_db(), advisor_config("auto", interval=1))
+    try:
+        advisor = engine.observe.advisor
+        # Force overwhelming range heat on a STRING column: dictionary
+        # codes do not follow string order, so the advisor must refuse.
+        for _ in range(10):
+            advisor.note_scan("car", "make", "range", 600, 1)
+            advisor.maybe_tick(engine)
+        assert engine.database.indexes("car").sorted_on("make") is None
+        assert advisor.snapshot()["created"] == 0
+    finally:
+        engine.shutdown()
+
+
+def test_advisor_validates_mode():
+    with pytest.raises(ValueError):
+        IndexAdvisor(mode="sometimes")
+
+
+def test_never_drops_preexisting_indexes():
+    engine = Engine(build_mini_db(), advisor_config("auto"))
+    try:
+        # car.ownerid (hash) and car.price (sorted) exist from the DBA;
+        # heavy churn on other columns must never touch them.
+        drive(engine, COLD, 40)
+        indexes = engine.database.indexes("car")
+        assert indexes.hash_on("ownerid") is not None
+        assert indexes.sorted_on("price") is not None
+        assert engine.observe.advisor.snapshot()["dropped"] == 0
+    finally:
+        engine.shutdown()

@@ -1,0 +1,143 @@
+"""Statement fingerprinting: normalizer, P² sketch, bounded registry."""
+
+import numpy as np
+import pytest
+
+from repro.observe import (
+    SORT_KEYS,
+    FingerprintRegistry,
+    P2Quantile,
+    fingerprint_statement,
+    normalize_statement,
+)
+from repro.sql import parse
+
+
+def norm(sql: str) -> str:
+    return normalize_statement(parse(sql))
+
+
+def key_of(sql: str) -> str:
+    return fingerprint_statement(parse(sql))[0]
+
+
+# ----------------------------------------------------------------------
+# Normalizer
+# ----------------------------------------------------------------------
+def test_literals_collapse_to_one_fingerprint():
+    a = "SELECT COUNT(*) FROM car WHERE price < 1000"
+    b = "SELECT COUNT(*) FROM car WHERE price < 99999"
+    assert norm(a) == norm(b)
+    assert key_of(a) == key_of(b)
+    assert "?" in norm(a)
+    assert "1000" not in norm(a)
+
+
+def test_in_lists_collapse_regardless_of_length():
+    a = "SELECT id FROM car WHERE make IN ('Toyota')"
+    b = "SELECT id FROM car WHERE make IN ('Toyota', 'Honda', 'Ford')"
+    assert norm(a) == norm(b)
+    assert "(?)" in norm(a)
+
+
+def test_structure_still_distinguishes():
+    assert key_of("SELECT COUNT(*) FROM car WHERE price < 10") != key_of(
+        "SELECT COUNT(*) FROM car WHERE price > 10"
+    )
+    assert key_of("SELECT COUNT(*) FROM car") != key_of(
+        "SELECT COUNT(*) FROM owner"
+    )
+
+
+def test_identifiers_case_insensitive():
+    assert key_of("SELECT ID FROM CAR WHERE MAKE = 'x'") == key_of(
+        "select id from car where make = 'y'"
+    )
+
+
+def test_multi_row_insert_collapses():
+    one = norm("INSERT INTO car (id) VALUES (1)")
+    many = norm("INSERT INTO car (id) VALUES (2), (3), (4)")
+    assert one == many
+    assert "VALUES (?)" in many
+
+
+def test_update_delete_limit_normalize():
+    assert norm("UPDATE car SET price = 5 WHERE id = 1") == norm(
+        "UPDATE car SET price = 9 WHERE id = 77"
+    )
+    assert norm("DELETE FROM car WHERE id = 3") == norm(
+        "DELETE FROM car WHERE id = 8"
+    )
+    assert norm("SELECT id FROM car LIMIT 5") == norm(
+        "SELECT id FROM car LIMIT 50"
+    )
+
+
+# ----------------------------------------------------------------------
+# P² streaming quantiles
+# ----------------------------------------------------------------------
+def test_p2_exact_below_five_observations():
+    q = P2Quantile(0.5)
+    for x in (5.0, 1.0, 3.0):
+        q.add(x)
+    assert q.value() == 3.0
+
+
+@pytest.mark.parametrize("quantile", [0.5, 0.95])
+def test_p2_tracks_numpy_percentile(quantile):
+    rng = np.random.default_rng(11)
+    data = rng.normal(100.0, 15.0, 5000)
+    sketch = P2Quantile(quantile)
+    for x in data:
+        sketch.add(float(x))
+    exact = float(np.percentile(data, quantile * 100.0))
+    spread = float(data.max() - data.min())
+    assert abs(sketch.value() - exact) < 0.05 * spread
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_aggregates_and_sorts():
+    reg = FingerprintRegistry(capacity=16)
+    for i in range(10):
+        reg.record("k1", "SELECT ... ?", "SELECT", latency=0.002, rows_out=5)
+    reg.record("k2", "UPDATE ... ?", "UPDATE", latency=0.5, rows_out=0)
+    top = reg.top(limit=2, sort_by="executions")
+    assert [t["key"] for t in top] == ["k1", "k2"]
+    assert top[0]["executions"] == 10
+    assert top[0]["rows_out"] == 50
+    top_ms = reg.top(limit=1, sort_by="total_ms")
+    assert top_ms[0]["key"] == "k2"
+    assert reg.top(limit=1, offset=1, sort_by="total_ms")[0]["key"] == "k1"
+
+
+def test_registry_rejects_unknown_sort_key():
+    reg = FingerprintRegistry()
+    with pytest.raises(ValueError):
+        reg.top(sort_by="bogus")
+    for key in SORT_KEYS:
+        reg.top(sort_by=key)  # all advertised keys accepted
+
+
+def test_registry_eviction_is_bounded_and_keeps_hot_entries():
+    reg = FingerprintRegistry(capacity=32)
+    reg.record("hot", "HOT", "SELECT", latency=0.001)
+    for _ in range(99):
+        reg.record("hot", "HOT", "SELECT", latency=0.001)
+    for i in range(200):
+        reg.record(f"cold{i}", f"COLD {i}", "SELECT", latency=0.001)
+    assert len(reg) <= 32
+    summary = reg.summary()
+    assert summary["evicted"] > 0
+    assert summary["recorded"] == 300
+    assert reg.get("hot") is not None  # coldest-first eviction
+
+
+def test_registry_errors_and_statement_truncation():
+    reg = FingerprintRegistry()
+    reg.record("e", "X" * 2000, "SELECT", latency=0.01, error=True)
+    snap = reg.top(limit=1)[0]
+    assert snap["errors"] == 1
+    assert len(snap["statement"]) <= 512

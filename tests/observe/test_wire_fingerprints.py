@@ -1,0 +1,160 @@
+"""The ``fingerprints`` wire command: pagination, clamping, validation —
+and the shell-side pretty-printing it feeds."""
+
+import io
+
+import pytest
+
+from repro import Engine, EngineConfig, ReproError
+from repro.cli import print_fingerprints, print_stats_dict
+from repro.server import ReproServer, connect
+from repro.server.server import ReproServer as _Server
+from tests.conftest import build_mini_db
+
+
+def make_engine(observe: bool = True) -> Engine:
+    config = EngineConfig.traditional()
+    config.observe = observe
+    return Engine(build_mini_db(), config)
+
+
+@pytest.fixture
+def server():
+    srv = ReproServer(make_engine(), port=0).start_in_thread()
+    yield srv
+    srv.stop_from_thread()
+
+
+def warm(client, n: int = 6) -> None:
+    for i in range(n):
+        client.execute(f"SELECT COUNT(*) FROM car WHERE price < {1000 + i}")
+        client.execute(f"SELECT id FROM owner WHERE id = {i}")
+
+
+def test_fingerprints_roundtrip_and_aggregation(server):
+    with connect(port=server.port) as client:
+        warm(client)
+        reply = client.fingerprints(limit=10, sort="executions")
+        assert reply["enabled"] is True
+        assert reply["summary"]["recorded"] == 12
+        rows = reply["fingerprints"]
+        assert len(rows) == 2
+        assert rows[0]["executions"] == 6
+        assert "?" in rows[0]["statement"]
+        for field in ("p50_ms", "p95_ms", "rows_out", "staleness"):
+            assert field in rows[0]
+
+
+def test_fingerprints_pagination(server):
+    with connect(port=server.port) as client:
+        warm(client)
+        first = client.fingerprints(limit=1, sort="executions")
+        second = client.fingerprints(limit=1, sort="executions", offset=1)
+        assert len(first["fingerprints"]) == 1
+        assert len(second["fingerprints"]) == 1
+        assert (
+            first["fingerprints"][0]["key"]
+            != second["fingerprints"][0]["key"]
+        )
+        assert second["offset"] == 1
+
+
+def test_fingerprints_limit_clamped_below_frame_cap(server):
+    with connect(port=server.port) as client:
+        warm(client, 2)
+        reply = client.fingerprints(limit=10_000_000)
+        assert reply["limit"] == _Server.MAX_FINGERPRINT_LIMIT
+        assert len(reply["fingerprints"]) <= _Server.MAX_FINGERPRINT_LIMIT
+
+
+def test_fingerprints_rejects_bad_sort_and_types(server):
+    with connect(port=server.port) as client:
+        warm(client, 1)
+        with pytest.raises(ReproError):
+            client.fingerprints(sort="bogus")
+        # Malformed frames (bool limit, non-string sort) get error
+        # frames, not a dropped connection.
+        for bad in (
+            {"limit": True},
+            {"limit": "ten"},
+            {"offset": False},
+            {"sort": 7},
+        ):
+            frame = {"type": "fingerprints", "id": client.next_id(), **bad}
+            client.send_raw(frame)
+            reply = client.recv_raw()
+            assert reply["type"] == "error", bad
+            assert reply["id"] == frame["id"]
+        # The connection still works afterwards.
+        assert client.fingerprints()["enabled"] is True
+
+
+def test_fingerprints_disabled_engine_reports_disabled():
+    srv = ReproServer(make_engine(observe=False), port=0).start_in_thread()
+    try:
+        with connect(port=srv.port) as client:
+            client.execute("SELECT COUNT(*) FROM car")
+            reply = client.fingerprints()
+            assert reply["enabled"] is False
+            assert reply["fingerprints"] == []
+    finally:
+        srv.stop_from_thread()
+
+
+# ----------------------------------------------------------------------
+# Shell rendering (the `repro connect` pretty-print path)
+# ----------------------------------------------------------------------
+def test_print_stats_dict_renders_nested_sections_not_json_blobs():
+    out = io.StringIO()
+    print_stats_dict(
+        {
+            "engine": {"statements_executed": 3},
+            "observe": {
+                "advisor": {
+                    "audit": [
+                        {"action": "create", "column": "make"},
+                        {"action": "drop", "column": "make"},
+                    ]
+                }
+            },
+        },
+        out,
+    )
+    text = out.getvalue()
+    assert "engine:" in text
+    assert "  statements_executed=3" in text
+    assert "audit: (2 entries)" in text
+    assert "action=create" in text
+    assert "{" not in text  # no raw dict/JSON blobs
+
+
+def test_print_fingerprints_renders_table_and_disabled_notice():
+    out = io.StringIO()
+    print_fingerprints({"enabled": False}, out)
+    assert "disabled" in out.getvalue()
+
+    out = io.StringIO()
+    print_fingerprints(
+        {
+            "enabled": True,
+            "fingerprints": [
+                {
+                    "key": "abc",
+                    "type": "SELECT",
+                    "executions": 4,
+                    "total_ms": 1.5,
+                    "p50_ms": 0.3,
+                    "p95_ms": 0.6,
+                    "rows_out": 8,
+                    "staleness": 0.1,
+                    "statement": "SELECT COUNT(*) FROM car WHERE price < ?",
+                }
+            ],
+            "summary": {"fingerprints": 1, "recorded": 4, "evicted": 0},
+        },
+        out,
+    )
+    text = out.getvalue()
+    assert "executions" in text and "p95_ms" in text
+    assert "SELECT COUNT(*) FROM car WHERE price < ?" in text
+    assert "1 fingerprint(s) tracked" in text
