@@ -22,6 +22,7 @@ Quickstart::
 """
 
 from .engine import Engine, EngineConfig, QueryResult, StatsMode
+from .cancel import CancelToken
 from .errors import (
     BindingError,
     CatalogError,
@@ -30,6 +31,7 @@ from .errors import (
     PlanningError,
     ReproError,
     SqlSyntaxError,
+    StatementCancelledError,
     StatisticsError,
     StorageError,
 )
@@ -54,8 +56,10 @@ __all__ = [
     "ColumnDef",
     "ForeignKey",
     "make_schema",
+    "CancelToken",
     "ReproError",
     "SqlSyntaxError",
+    "StatementCancelledError",
     "ConfigError",
     "CatalogError",
     "BindingError",

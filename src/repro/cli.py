@@ -123,6 +123,10 @@ def _add_reopt_arguments(parser: argparse.ArgumentParser) -> None:
 
 def make_engine(args: argparse.Namespace) -> Engine:
     db, _ = build_car_database(scale=args.scale, seed=args.seed)
+    return Engine(db, make_config(args))
+
+
+def make_config(args: argparse.Namespace) -> EngineConfig:
     if args.no_jits:
         config = EngineConfig.traditional()
     else:
@@ -153,7 +157,7 @@ def make_engine(args: argparse.Namespace) -> Engine:
     zone_rows = getattr(args, "zone_map_rows", None)
     if zone_rows is not None:
         config.zone_map_rows = zone_rows
-    return Engine(db, config)
+    return config
 
 
 def format_rows(columns: List[str], rows, limit: int = 25) -> str:
@@ -390,7 +394,96 @@ def print_fingerprints(snapshot: dict, out) -> None:
         )
 
 
-def _repl_loop(executor, stdin, out, stats, tables, fingerprints) -> None:
+def run_network_statement(
+    client, sql: str, explain: bool, out, busy_retries: int = 0
+) -> None:
+    """Run one statement over the wire, painting streamed batches as they
+    arrive — the first chunk prints before the server finishes the
+    result. Ctrl-C while a statement runs cancels it server-side and
+    marks the output ``[cancelled]`` instead of killing the shell."""
+    import time as time_module
+
+    if explain:
+        try:
+            out.write(client.explain(sql, busy_retries=busy_retries) + "\n")
+        except SqlSyntaxError as exc:
+            out.write(f"error: {exc}\n")
+            out.write(format_error_caret(sql, exc))
+        except ReproError as exc:
+            out.write(f"error: {exc}\n")
+        return
+
+    limit = 25
+    state = {"widths": None, "shown": 0}
+
+    def paint(columns: List[str], rows) -> None:
+        if state["widths"] is None:
+            text = [[_cell(v) for v in row] for row in rows[:limit]]
+            state["widths"] = [
+                max(len(columns[i]), *(len(r[i]) for r in text))
+                if text
+                else len(columns[i])
+                for i in range(len(columns))
+            ]
+            widths = state["widths"]
+            out.write(
+                " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+                + "\n"
+            )
+            out.write("-+-".join("-" * w for w in widths) + "\n")
+        budget = limit - state["shown"]
+        if budget > 0:
+            widths = state["widths"]
+            for row in rows[:budget]:
+                out.write(
+                    " | ".join(
+                        _cell(v).ljust(w) for v, w in zip(row, widths)
+                    )
+                    + "\n"
+                )
+        state["shown"] += len(rows)
+        out.flush()
+
+    started = time_module.perf_counter()
+    try:
+        result = client.execute_streaming(
+            sql, paint, busy_retries=busy_retries
+        )
+    except KeyboardInterrupt:
+        try:
+            client.cancel(client.last_request_id)
+        except ReproError:
+            pass
+        out.write("\n[cancelled]\n")
+        return
+    except SqlSyntaxError as exc:
+        out.write(f"error: {exc}\n")
+        out.write(format_error_caret(sql, exc))
+        return
+    except ReproError as exc:
+        out.write(f"error: {exc}\n")
+        return
+    elapsed = time_module.perf_counter() - started
+    if result.statement_type == "select":
+        if not result.rows:
+            out.write("(no rows)\n")
+        elif state["shown"] > limit:
+            out.write(f"... ({state['shown'] - limit} more rows)\n")
+        mode = "streamed" if result.streamed else "whole"
+        out.write(
+            f"{result.row_count} row(s) ({mode}) in {elapsed * 1000:.2f} "
+            f"ms; compile {result.compile_time * 1000:.2f} ms, execute "
+            f"{result.execution_time * 1000:.2f} ms\n"
+        )
+    else:
+        out.write(
+            f"{result.statement_type}: {result.affected_rows} row(s)\n"
+        )
+
+
+def _repl_loop(
+    executor, stdin, out, stats, tables, fingerprints, run=run_statement
+) -> None:
     out.write(
         "repro SQL shell — \\help for commands, \\q to quit.\n"
     )
@@ -426,9 +519,7 @@ def _repl_loop(executor, stdin, out, stats, tables, fingerprints) -> None:
                     continue
                 fingerprints(sort_by, limit)
             elif command == "\\explain":
-                run_statement(
-                    executor, rest.rstrip(";"), explain=True, out=out
-                )
+                run(executor, rest.rstrip(";"), explain=True, out=out)
             else:
                 out.write(f"unknown command {command}\n")
             continue
@@ -438,7 +529,7 @@ def _repl_loop(executor, stdin, out, stats, tables, fingerprints) -> None:
             sql = " ".join(buffer).rstrip(";")
             buffer = []
             if sql.strip():
-                run_statement(executor, sql, explain=False, out=out)
+                run(executor, sql, explain=False, out=out)
 
 
 def repl(engine: Engine, stdin, out) -> None:
@@ -462,8 +553,10 @@ def repl(engine: Engine, stdin, out) -> None:
     )
 
 
-def network_repl(client, stdin, out) -> None:
-    """The same shell, statements shipped to a remote server."""
+def network_repl(client, stdin, out, busy_retries: int = 0) -> None:
+    """The same shell, statements shipped to a remote server; results
+    render incrementally as v2 chunks arrive and Ctrl-C cancels the
+    running statement instead of exiting."""
 
     def stats() -> None:
         try:
@@ -486,9 +579,15 @@ def network_repl(client, stdin, out) -> None:
         except ReproError as exc:
             out.write(f"error: {exc}\n")
 
+    def run(executor, sql, explain, out):
+        run_network_statement(
+            executor, sql, explain, out, busy_retries=busy_retries
+        )
+
     _repl_loop(
         client, stdin, out,
         stats=stats, tables=tables, fingerprints=fingerprints,
+        run=run,
     )
 
 
@@ -520,6 +619,21 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--per-client-inflight", type=int, default=4, metavar="N",
         help="per-connection admission cap before BUSY frames",
     )
+    parser.add_argument(
+        "--acceptors", type=int, default=1, metavar="N",
+        help="acceptor processes sharing the port via SO_REUSEPORT "
+        "(each runs its own event loop and engine over copy-on-write "
+        "storage; default 1 = single-process server)",
+    )
+    parser.add_argument(
+        "--stream-threshold", type=int, default=256, metavar="ROWS",
+        help="v2 connections stream SELECTs with at least this many rows "
+        "as binary chunks (default 256)",
+    )
+    parser.add_argument(
+        "--chunk-rows", type=int, default=None, metavar="ROWS",
+        help="rows per binary chunk frame (default 65536)",
+    )
     _add_reopt_arguments(parser)
     _add_observe_arguments(parser)
     return parser
@@ -538,21 +652,74 @@ async def _serve_async(server, out) -> None:
         out.write("server stopped\n")
 
 
+def _serve_acceptors(args, port: int, out) -> int:
+    """Fork an SO_REUSEPORT acceptor fleet and babysit it."""
+    import signal as signal_module
+    import time as time_module
+
+    from .server import AcceptorGroup
+
+    db, _ = build_car_database(scale=args.scale, seed=args.seed)
+    config = make_config(args)
+    server_kwargs = dict(
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        per_client_inflight=args.per_client_inflight,
+        stream_threshold_rows=args.stream_threshold,
+    )
+    if args.chunk_rows is not None:
+        server_kwargs["chunk_rows"] = args.chunk_rows
+    group = AcceptorGroup(
+        lambda: Engine(db, config),
+        n_acceptors=args.acceptors,
+        host=args.host,
+        port=port,
+        **server_kwargs,
+    ).start()
+    out.write(
+        f"listening on {args.host}:{group.port} "
+        f"with {args.acceptors} acceptor(s)\n"
+    )
+    out.flush()
+    stop = {"flag": False}
+    signal_module.signal(
+        signal_module.SIGTERM, lambda *_: stop.update(flag=True)
+    )
+    try:
+        while not stop["flag"] and group.alive() == args.acceptors:
+            time_module.sleep(0.2)
+    except KeyboardInterrupt:
+        out.write("interrupted\n")
+    finally:
+        group.stop()
+        out.write("server stopped\n")
+    return 0
+
+
 def serve_main(argv: Optional[List[str]] = None) -> int:
     from .server import DEFAULT_PORT, ReproServer
 
     args = build_serve_parser().parse_args(argv)
     out = sys.stdout
     out.write(f"building car database (scale={args.scale}) ...\n")
+    port = args.port if args.port is not None else DEFAULT_PORT
     try:
+        if args.acceptors > 1:
+            return _serve_acceptors(args, port, out)
         engine = make_engine(args)
         server = ReproServer(
             engine,
             host=args.host,
-            port=args.port if args.port is not None else DEFAULT_PORT,
+            port=port,
             workers=args.workers,
             max_inflight=args.max_inflight,
             per_client_inflight=args.per_client_inflight,
+            stream_threshold_rows=args.stream_threshold,
+            **(
+                {"chunk_rows": args.chunk_rows}
+                if args.chunk_rows is not None
+                else {}
+            ),
         )
         asyncio.run(_serve_async(server, out))
     except ReproError as exc:
@@ -594,19 +761,18 @@ def connect_main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         out.write(f"error: {exc}\n")
         return 1
-    # One shell-visible knob for backpressure: retry BUSY transparently.
-    raw_execute = client.execute
-    client.execute = (  # type: ignore[method-assign]
-        lambda sql: raw_execute(sql, busy_retries=args.busy_retries)
-    )
     with client:
         out.write(f"connected to {args.host}:{port} "
-                  f"({client.server_info.get('server', '?')})\n")
+                  f"({client.server_info.get('server', '?')}, "
+                  f"protocol v{client.protocol_version})\n")
         if args.execute:
             for sql in args.execute:
-                run_statement(client, sql, explain=args.explain, out=out)
+                run_network_statement(
+                    client, sql, explain=args.explain, out=out,
+                    busy_retries=args.busy_retries,
+                )
             return 0
-        network_repl(client, sys.stdin, out)
+        network_repl(client, sys.stdin, out, busy_retries=args.busy_retries)
     return 0
 
 

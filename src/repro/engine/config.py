@@ -91,6 +91,11 @@ class EngineConfig:
     # exclusive lock, capped at auto_index_budget live auto-indexes, with
     # hysteresis between the create and (lower) drop thresholds. Setting
     # auto_index != "off" implies the observation plane.
+    # Attach columnar output vectors (private snapshots of the SELECT's
+    # result columns) to QueryResult.vectors. The v2 streaming wire
+    # protocol serializes results straight from these buffers; embedded
+    # row-oriented callers can turn the copy off.
+    stream_vectors: bool = True
     observe: bool = False
     observe_fingerprints: int = 512
     zone_map_rows: int = 4096

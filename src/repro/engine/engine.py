@@ -41,7 +41,7 @@ from ..executor.reopt import (
     ReoptState,
     ReoptTelemetry,
 )
-from ..executor.vector import Batch, batch_from_table
+from ..executor.vector import Batch, ColumnVector, batch_from_table
 from ..jits import (
     CompilationReport,
     JustInTimeStatistics,
@@ -557,6 +557,24 @@ class Engine:
 
         fetch_started = time.perf_counter()
         rows = execution.rows()
+        vectors: Optional[List[ColumnVector]] = None
+        if self.config.stream_vectors:
+            # Snapshot the output columns while this statement still holds
+            # its read scope: result batches may alias live table arrays
+            # (batch_from_table with rows=None), and the v2 wire protocol
+            # serializes these buffers after the locks release. String
+            # dictionaries are append-only, so sharing the reference is
+            # safe.
+            vectors = []
+            for name in execution.output_names:
+                vec = execution.batch.column("", name)
+                vectors.append(
+                    ColumnVector(
+                        np.array(vec.values, copy=True),
+                        vec.dtype,
+                        vec.dictionary,
+                    )
+                )
         fetch_time = (
             time.perf_counter() - fetch_started + self.config.fetch_overhead
         )
@@ -592,6 +610,7 @@ class Engine:
             jits_report=jits_report,
             feedback=feedback,
             reopt_events=list(reopt_state.events) if reopt_state else [],
+            vectors=vectors,
         )
 
     # ------------------------------------------------------------------

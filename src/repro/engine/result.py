@@ -30,6 +30,12 @@ class QueryResult:
     feedback: List[FeedbackRecord] = field(default_factory=list)
     # Mid-query plan switches (empty unless EngineConfig.reopt fired).
     reopt_events: List[ReoptEvent] = field(default_factory=list)
+    # Columnar output (one ColumnVector per column, aligned with
+    # ``columns``), attached for SELECTs when EngineConfig.stream_vectors
+    # is on. The arrays are private copies snapshotted inside the
+    # statement's lock scope, so the v2 wire protocol can serialize them
+    # after the locks release without racing concurrent DML.
+    vectors: Optional[list] = None
 
     @property
     def row_count(self) -> int:

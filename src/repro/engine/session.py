@@ -23,8 +23,9 @@ collection, feedback and migration may run on the reader path.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from ..cancel import CancelToken, cancel_scope
 from ..errors import ReproError
 from ..sql import ast, parse
 from ..storage import udi_shard_scope, UDIShard
@@ -66,8 +67,16 @@ class Session:
         ast.DeleteStatement,
     )
 
-    def execute(self, sql: str) -> QueryResult:
-        """Execute one SQL statement under its lock scope."""
+    def execute(
+        self, sql: str, cancel: Optional[CancelToken] = None
+    ) -> QueryResult:
+        """Execute one SQL statement under its lock scope.
+
+        ``cancel`` installs a cooperative cancellation token for the
+        statement: once set, execution stops at the next morsel/operator
+        boundary with :class:`~repro.errors.StatementCancelledError`,
+        locks unwind, and the session stays usable.
+        """
         self._check_open()
         engine = self.engine
         started = time.perf_counter()
@@ -84,25 +93,26 @@ class Session:
         lock_requested = time.perf_counter()
         lock_wait = 0.0
         try:
-            if isinstance(statement, ast.SelectStatement):
-                tables = engine._statement_tables(statement)
-                with engine.locks.read_tables(tables):
-                    lock_wait = time.perf_counter() - lock_requested
-                    result = engine._execute_select(
-                        statement, parse_time, now
-                    )
-            elif isinstance(statement, self._DML_TYPES):
-                with engine.locks.write_tables((statement.table,)):
-                    lock_wait = time.perf_counter() - lock_requested
-                    result = self._run_write(
-                        engine, statement, parse_time, now
-                    )
-            else:
-                with engine.locks.exclusive():
-                    lock_wait = time.perf_counter() - lock_requested
-                    result = self._run_write(
-                        engine, statement, parse_time, now
-                    )
+            with cancel_scope(cancel):
+                if isinstance(statement, ast.SelectStatement):
+                    tables = engine._statement_tables(statement)
+                    with engine.locks.read_tables(tables):
+                        lock_wait = time.perf_counter() - lock_requested
+                        result = engine._execute_select(
+                            statement, parse_time, now
+                        )
+                elif isinstance(statement, self._DML_TYPES):
+                    with engine.locks.write_tables((statement.table,)):
+                        lock_wait = time.perf_counter() - lock_requested
+                        result = self._run_write(
+                            engine, statement, parse_time, now
+                        )
+                else:
+                    with engine.locks.exclusive():
+                        lock_wait = time.perf_counter() - lock_requested
+                        result = self._run_write(
+                            engine, statement, parse_time, now
+                        )
         finally:
             if observe is not None:
                 observe.record_statement(

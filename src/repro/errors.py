@@ -45,3 +45,13 @@ class ExecutionError(ReproError):
 
 class StatisticsError(ReproError):
     """Invalid statistics operation (bad histogram, bad constraint...)."""
+
+
+class StatementCancelledError(ReproError):
+    """The statement was cancelled while executing (cooperative cancel).
+
+    Raised at the next morsel/checkpoint boundary after the statement's
+    :class:`~repro.cancel.CancelToken` is set. The session that ran the
+    statement stays usable: lock scopes unwind through context managers
+    and the UDI shard flushes in the statement's ``finally``.
+    """

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..cancel import check_cancelled
 from ..errors import ExecutionError
 from ..optimizer.optimizer import OptimizedQuery
 from ..optimizer.plans import (
@@ -114,6 +115,9 @@ class PlanExecutor:
     # Dispatch
     # ------------------------------------------------------------------
     def _exec(self, node: PlanNode, block: QueryBlock) -> Batch:
+        # Operator boundaries are the executor's checkpoints: a cancelled
+        # statement stops before the next operator (or fragment) starts.
+        check_cancelled()
         if self.parallel is not None and isinstance(
             node, (Aggregate, HashJoin, Sort, Distinct)
         ):
@@ -384,6 +388,8 @@ class PlanExecutor:
         matches: List[np.ndarray] = []
         counts = np.empty(len(keys), dtype=np.int64)
         for i, key in enumerate(keys.tolist()):
+            if (i & 0x0FFF) == 0:
+                check_cancelled()  # probe loop: poll every 4096 probes
             rows = index.lookup(key)
             counts[i] = len(rows)
             if len(rows):
@@ -444,6 +450,7 @@ class PlanExecutor:
             self._join_key_vectors(p, outer, inner) for p in node.join_predicates
         ]
         for start in range(0, n_out, chunk):
+            check_cancelled()  # one poll per cross-product chunk
             stop = min(start + chunk, n_out)
             o_idx = np.repeat(np.arange(start, stop, dtype=np.int64), n_in)
             i_idx = np.tile(inner_range, stop - start)

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...cancel import cancellable_sleep
 from ...predicates.predicate import LocalPredicate, PredOp
 from ...types import DataType
 from ..floatsum import sum_pairs_shard
@@ -122,7 +123,11 @@ def predicate_mask(data: np.ndarray, pred: PhysPredicate) -> np.ndarray:
 
 def _pay(cost_per_row: float, n_rows: int) -> None:
     if cost_per_row > 0.0 and n_rows > 0:
-        time.sleep(cost_per_row * n_rows)
+        # Sliced sleep: inside the parent process (inline fallback or
+        # workers == 0) the modeled cost polls the statement's cancel
+        # token; inside worker processes no token exists and this is a
+        # plain sleep.
+        cancellable_sleep(cost_per_row * n_rows)
 
 
 def scan_shard(

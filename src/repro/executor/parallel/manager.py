@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...cancel import check_cancelled
 from ...storage.shm import ShmError, ShmRegistry
 from .kernels import KERNELS, encode_predicates
 from .pool import PoolUnavailable, WorkerError, WorkerPool
@@ -188,6 +189,10 @@ class ParallelScanManager:
         if not isinstance(tables, (list, tuple)):
             tables = [tables]
         multi = len(tables) > 1
+        # Shard batches are the manager's morsels: poll the statement's
+        # cancel token before dispatching one (workers never see the
+        # token, so a pooled batch is interrupted at its boundary).
+        check_cancelled()
         if self.pool is not None and not self._disabled:
             try:
                 with self._lock:
@@ -237,12 +242,17 @@ class ParallelScanManager:
         if timing_key is not None:
             out, times = [], []
             for kw in kwargs_list:
+                check_cancelled()
                 t0 = time.perf_counter()
                 out.append(fn(arrays, **kw))
                 times.append(time.perf_counter() - t0)
             self._note_shard_times(timing_key, bounds, times)
             return out
-        return [fn(arrays, **kw) for kw in kwargs_list]
+        results = []
+        for kw in kwargs_list:
+            check_cancelled()
+            results.append(fn(arrays, **kw))
+        return results
 
     def _pruned_bounds(
         self, ranges: List[Tuple[int, int]]

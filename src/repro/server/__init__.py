@@ -1,35 +1,59 @@
-"""Network front-end: wire protocol, asyncio server, blocking client."""
+"""Network front-end: wire protocol, asyncio server, blocking client,
+binary columnar streaming (v2) and the multi-process acceptor fleet."""
 
+from .acceptor import AcceptorCoordination, AcceptorGroup
 from .client import Client, RemoteResult, connect
+from .frames import (
+    DEFAULT_CHUNK_ROWS,
+    StreamDecoder,
+    build_stream_frames,
+    parse_binary_frame,
+)
 from .protocol import (
     DEFAULT_PORT,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    PROTOCOL_VERSION_2,
+    SUPPORTED_VERSIONS,
     CancelledStatementError,
+    FrameTooLargeError,
     ProtocolError,
     ServerBusyError,
+    encode_binary_frame,
     encode_frame,
     error_frame,
     exception_from_frame,
     read_frame,
     read_frame_blocking,
+    read_wire_frame_blocking,
 )
 from .server import ReproServer
 
 __all__ = [
     "ReproServer",
+    "AcceptorGroup",
+    "AcceptorCoordination",
     "Client",
     "RemoteResult",
     "connect",
     "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION_2",
+    "SUPPORTED_VERSIONS",
     "DEFAULT_PORT",
     "MAX_FRAME_BYTES",
+    "DEFAULT_CHUNK_ROWS",
     "ProtocolError",
+    "FrameTooLargeError",
     "ServerBusyError",
     "CancelledStatementError",
+    "StreamDecoder",
+    "build_stream_frames",
+    "parse_binary_frame",
     "encode_frame",
+    "encode_binary_frame",
     "error_frame",
     "exception_from_frame",
     "read_frame",
     "read_frame_blocking",
+    "read_wire_frame_blocking",
 ]

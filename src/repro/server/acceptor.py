@@ -1,0 +1,289 @@
+"""Multi-process acceptor front-end: N server processes, one port.
+
+``AcceptorGroup`` scales the asyncio front-end past one Python process:
+the parent binds an ``SO_REUSEPORT`` socket (resolving port 0 to a real
+port), forks ``n_acceptors`` children, and each child runs a full
+:class:`~repro.server.server.ReproServer` — its own event loop, thread
+pool and (post-fork) worker pools — listening on the *same* address. The
+kernel load-balances incoming connections across the listening sockets,
+so aggregate accept/parse/frame throughput scales with the number of
+acceptor processes instead of serializing on one GIL.
+
+Sharing model (fork copy-on-write):
+
+* The storage the parent built before forking — numpy column arrays,
+  string dictionaries, /dev/shm exports — is shared copy-on-write;
+  children pay no copy for reads.
+* Each child builds its **own** engine via ``engine_factory`` *after*
+  the fork: statistics stores, plan caches, locks and per-process scan
+  worker pools must not cross the fork boundary.
+* Consequence: DML executed through one acceptor is not visible through
+  the others (each child's tables diverge copy-on-write). The fleet
+  targets read-heavy serving; single-process ``ReproServer`` remains the
+  mode for mixed workloads.
+
+Coordination is a tiny shared-memory block (:class:`AcceptorCoordination`)
+holding a drain flag, the fleet-wide in-flight statement count and a
+per-acceptor served counter. ``stop()`` raises the drain flag (children
+stop accepting new connections) and sends ``SIGTERM``; each child drains
+its in-flight statements through ``ReproServer.stop()`` before exiting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+import socket
+import time
+from typing import Callable, Dict, List
+
+from ..errors import ConfigError, ReproError
+from .server import ReproServer
+
+_IDX_DRAIN = 0
+_IDX_INFLIGHT = 1
+_IDX_READY = 2  # how many acceptors are accepting connections
+_COUNTERS = 3  # per-acceptor served counters start here
+
+
+class AcceptorCoordination:
+    """Shared-memory coordination block for one acceptor fleet.
+
+    A ``multiprocessing.Array`` of int64 created before the fork, so
+    every child addresses the same page: ``[drain, inflight,
+    served_0..served_{n-1}]``. Mutations take the array's lock — they
+    happen once per statement, not per row, so contention is noise.
+    """
+
+    def __init__(self, n_acceptors: int):
+        self.n_acceptors = n_acceptors
+        self._array = multiprocessing.Array("q", _COUNTERS + n_acceptors)
+
+    def view(self, index: int) -> "AcceptorView":
+        return AcceptorView(self, index)
+
+    @property
+    def draining(self) -> bool:
+        return self._array[_IDX_DRAIN] != 0
+
+    def start_drain(self) -> None:
+        with self._array.get_lock():
+            self._array[_IDX_DRAIN] = 1
+
+    @property
+    def inflight(self) -> int:
+        return int(self._array[_IDX_INFLIGHT])
+
+    @property
+    def ready(self) -> int:
+        return int(self._array[_IDX_READY])
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._array.get_lock():
+            served = [
+                int(self._array[_COUNTERS + i])
+                for i in range(self.n_acceptors)
+            ]
+            return {
+                "draining": self._array[_IDX_DRAIN] != 0,
+                "inflight": int(self._array[_IDX_INFLIGHT]),
+                "ready": int(self._array[_IDX_READY]),
+                "served": served,
+                "total_served": sum(served),
+            }
+
+
+class AcceptorView:
+    """One acceptor's handle on the coordination block (what
+    :class:`ReproServer` calls around each statement)."""
+
+    def __init__(self, coordination: AcceptorCoordination, index: int):
+        self._coordination = coordination
+        self._array = coordination._array
+        self.index = index
+
+    @property
+    def draining(self) -> bool:
+        return self._array[_IDX_DRAIN] != 0
+
+    def mark_ready(self) -> None:
+        with self._array.get_lock():
+            self._array[_IDX_READY] += 1
+
+    def statement_started(self) -> None:
+        with self._array.get_lock():
+            self._array[_IDX_INFLIGHT] += 1
+
+    def statement_finished(self) -> None:
+        with self._array.get_lock():
+            self._array[_IDX_INFLIGHT] -= 1
+            self._array[_COUNTERS + self.index] += 1
+
+
+def _reuseport_socket(host: str, port: int) -> socket.socket:
+    if not hasattr(socket, "SO_REUSEPORT"):
+        raise ConfigError(
+            "SO_REUSEPORT is not available on this platform; "
+            "run a single-process server instead (--acceptors 1)"
+        )
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    sock.bind((host, port))
+    return sock
+
+
+class AcceptorGroup:
+    """Fork-and-listen fleet of :class:`ReproServer` processes.
+
+    ``engine_factory`` is called once **per child, after the fork** — it
+    should close over storage built in the parent (shared copy-on-write)
+    and construct the engine around it. Server sizing kwargs are passed
+    through to every child's ``ReproServer``.
+    """
+
+    def __init__(
+        self,
+        engine_factory: Callable[[], object],
+        n_acceptors: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **server_kwargs,
+    ):
+        if n_acceptors < 1:
+            raise ConfigError(
+                f"n_acceptors must be >= 1, got {n_acceptors}"
+            )
+        self.engine_factory = engine_factory
+        self.n_acceptors = n_acceptors
+        self.host = host
+        self.port = port
+        self.server_kwargs = dict(server_kwargs)
+        self.coordination = AcceptorCoordination(n_acceptors)
+        self.pids: List[int] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Parent side
+    # ------------------------------------------------------------------
+    def start(self) -> "AcceptorGroup":
+        """Bind the shared port and fork the acceptor processes."""
+        if self._started:
+            raise ReproError("acceptor group already started")
+        parent_sock = _reuseport_socket(self.host, self.port)
+        self.port = parent_sock.getsockname()[1]
+        for index in range(self.n_acceptors):
+            pid = os.fork()
+            if pid == 0:
+                # Child: never return into the parent's control flow.
+                status = 1
+                try:
+                    self._child_main(index, parent_sock)
+                    status = 0
+                finally:
+                    os._exit(status)
+            self.pids.append(pid)
+        # The children hold the port now (child 0 listens on the
+        # inherited socket); the parent only coordinates.
+        parent_sock.close()
+        self._started = True
+        # Wait until every child is accepting: connections made while a
+        # child is still booting would be hashed over a partial listener
+        # set, permanently skewing the kernel's load balance.
+        self.wait_ready()
+        return self
+
+    def wait_ready(self, timeout: float = 10.0) -> None:
+        """Block until all acceptors are listening (or raise)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.coordination.ready >= self.n_acceptors:
+                return
+            if self.alive() < self.n_acceptors:
+                break  # a child died during boot; don't wait out the clock
+            time.sleep(0.01)
+        raise ReproError(
+            f"only {self.coordination.ready}/{self.n_acceptors} acceptors "
+            f"became ready ({self.alive()} processes alive)"
+        )
+
+    def stop(self, timeout: float = 15.0) -> None:
+        """Graceful drain: raise the drain flag, SIGTERM, reap children."""
+        if not self._started:
+            return
+        self.coordination.start_drain()
+        for pid in self.pids:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        deadline = time.monotonic() + timeout
+        remaining = list(self.pids)
+        while remaining and time.monotonic() < deadline:
+            for pid in list(remaining):
+                done, _status = os.waitpid(pid, os.WNOHANG)
+                if done:
+                    remaining.remove(pid)
+            if remaining:
+                time.sleep(0.05)
+        for pid in remaining:  # drain timeout: stop waiting politely
+            try:
+                os.kill(pid, signal.SIGKILL)
+                os.waitpid(pid, 0)
+            except (ProcessLookupError, ChildProcessError):
+                pass
+        self.pids.clear()
+        self._started = False
+
+    def alive(self) -> int:
+        """How many acceptor processes are still running."""
+        count = 0
+        for pid in self.pids:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                continue
+            count += 1
+        return count
+
+    def snapshot(self) -> Dict[str, object]:
+        return self.coordination.snapshot()
+
+    def __enter__(self) -> "AcceptorGroup":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Child side
+    # ------------------------------------------------------------------
+    def _child_main(self, index: int, parent_sock: socket.socket) -> None:
+        # Restore default signal dispositions the parent may have bent.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        if index == 0:
+            sock = parent_sock  # inherited, already bound
+        else:
+            parent_sock.close()
+            sock = _reuseport_socket(self.host, self.port)
+        engine = self.engine_factory()
+        view = self.coordination.view(index)
+        server = ReproServer(
+            engine,
+            host=self.host,
+            port=self.port,
+            sock=sock,
+            coordination=view,
+            **self.server_kwargs,
+        )
+        asyncio.run(self._child_serve(server, view))
+
+    async def _child_serve(self, server: ReproServer, view: AcceptorView) -> None:
+        await server.start()
+        view.mark_ready()
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        loop.add_signal_handler(signal.SIGTERM, stop_event.set)
+        await stop_event.wait()
+        await server.stop()

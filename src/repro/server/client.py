@@ -2,28 +2,45 @@
 
 :class:`Client` mirrors the engine's session surface (``execute`` /
 ``explain``), so the CLI shell, tests and benchmarks drive a remote
-server exactly the way they drive an in-process engine. Backpressure is
-first-class: a ``busy`` frame raises :class:`ServerBusyError` unless the
-caller opted into bounded retries with exponential backoff.
+server exactly the way they drive an in-process engine. The client
+speaks protocol version 2 by default — large SELECT results arrive as
+binary columnar chunks and reassemble into the same row tuples the v1
+JSON protocol delivers; pass ``protocol_version=1`` to force the legacy
+JSON wire. ``iterate()`` exposes the stream incrementally, yielding row
+batches as chunks arrive. Backpressure is first-class: a ``busy`` frame
+raises :class:`ServerBusyError` unless the caller opted into bounded
+retries with jittered exponential backoff.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..types import Value
+from .frames import StreamDecoder, peek_request_id
 from .protocol import (
     DEFAULT_PORT,
-    PROTOCOL_VERSION,
+    PROTOCOL_VERSION_2,
     ProtocolError,
     ServerBusyError,
     encode_frame,
     exception_from_frame,
-    read_frame_blocking,
+    read_wire_frame_blocking,
 )
+
+#: Longest single backoff sleep between busy retries (seconds).
+MAX_BUSY_BACKOFF = 2.0
+
+
+def _backoff_delay(base: float, attempt: int) -> float:
+    """Jittered exponential backoff: uniformly random in (0.5x, 1x] of the
+    doubled base, so a thundering herd of retrying clients decorrelates."""
+    ceiling = min(base * (2**attempt), MAX_BUSY_BACKOFF)
+    return ceiling * (0.5 + 0.5 * random.random())
 
 
 @dataclass
@@ -35,6 +52,7 @@ class RemoteResult:
     rows: List[Tuple[Value, ...]] = field(default_factory=list)
     affected_rows: int = 0
     timings: Dict[str, float] = field(default_factory=dict)
+    streamed: bool = False  # arrived as v2 binary chunks, not JSON rows
     jits_report = None  # parity with QueryResult for shared CLI paths
 
     @property
@@ -67,6 +85,9 @@ class Client:
         timeout: float = 30.0,
         connect_retries: int = 20,
         retry_delay: float = 0.1,
+        protocol_version: int = PROTOCOL_VERSION_2,
+        max_retries: int = 0,
+        busy_backoff: float = 0.05,
     ):
         last_error: Optional[OSError] = None
         self._sock: Optional[socket.socket] = None
@@ -87,10 +108,17 @@ class Client:
         self._file = self._sock.makefile("rb")
         self._next_id = 0
         self._out_of_order: Dict[object, Dict] = {}
+        # request id -> StreamDecoder of a v2 result mid-stream.
+        self._streams: Dict[object, StreamDecoder] = {}
+        # id of the most recent query/iterate request (Ctrl-C cancel hook).
+        self.last_request_id = 0
+        # Default busy-retry policy; per-call arguments override.
+        self.max_retries = max_retries
+        self.busy_backoff = busy_backoff
         self.send_raw(
             {
                 "type": "hello",
-                "version": PROTOCOL_VERSION,
+                "version": protocol_version,
                 "client": "repro-client",
             }
         )
@@ -102,6 +130,9 @@ class Client:
                 f"unexpected handshake reply {greeting.get('type')!r}"
             )
         self.server_info = greeting
+        self.protocol_version = int(
+            greeting.get("version", protocol_version)
+        )
 
     # ------------------------------------------------------------------
     # Raw frame plumbing (also used by tests to pipeline/flood)
@@ -115,11 +146,62 @@ class Client:
             raise ProtocolError("client is closed")
         self._sock.sendall(encode_frame(frame))
 
-    def recv_raw(self) -> Dict:
+    def recv_wire(self) -> Tuple[str, object]:
+        """One wire frame: ``("json", dict)`` or ``("binary", bytes)``."""
         try:
-            return read_frame_blocking(self._file)
+            return read_wire_frame_blocking(self._file)
         except socket.timeout as exc:
             raise ProtocolError("timed out waiting for a frame") from exc
+
+    def recv_raw(self) -> Dict:
+        kind, frame = self.recv_wire()
+        if kind != "json":
+            raise ProtocolError("unexpected binary frame")
+        return frame
+
+    def _pump(self) -> Optional[Dict]:
+        """Read one wire frame and advance protocol state.
+
+        Returns a completed JSON reply (``result_end`` collapses the
+        whole stream into a synthetic ``result`` frame) or ``None`` when
+        the frame only advanced an in-flight stream.
+        """
+        kind, payload = self.recv_wire()
+        if kind == "binary":
+            rid = peek_request_id(payload)
+            decoder = self._streams.get(rid)
+            if decoder is None:
+                raise ProtocolError(
+                    f"binary frame for unknown stream id {rid}"
+                )
+            decoder.feed(payload)
+            return None
+        frame = payload
+        ftype = frame.get("type")
+        if ftype == "result_header":
+            self._streams[frame.get("id")] = StreamDecoder(frame)
+            return None
+        if ftype == "result_end":
+            rid = frame.get("id")
+            decoder = self._streams.pop(rid, None)
+            if decoder is None:
+                raise ProtocolError(
+                    f"result_end without a stream for id {rid}"
+                )
+            decoder.finish(frame)
+            header = decoder.header
+            return {
+                "type": "result",
+                "id": rid,
+                "statement_type": header.get("statement_type", "select"),
+                "columns": decoder.columns,
+                "rows": decoder.rows,
+                "affected_rows": header.get("affected_rows", 0),
+                "timings": header.get("timings", {}),
+                "_streamed": True,
+                "_decoder": decoder,
+            }
+        return frame
 
     def _request(self, frame: Dict) -> Dict:
         """Send one request and wait for the frame echoing its id."""
@@ -128,7 +210,9 @@ class Client:
         if rid in self._out_of_order:
             return self._out_of_order.pop(rid)
         while True:
-            reply = self.recv_raw()
+            reply = self._pump()
+            if reply is None:
+                continue
             if reply.get("id") == rid:
                 return reply
             # A reply for a different id (e.g. the error frame of a
@@ -150,16 +234,33 @@ class Client:
             )
         return reply
 
+    def _resolve_retry(
+        self, busy_retries: Optional[int], busy_backoff: Optional[float]
+    ) -> Tuple[int, float]:
+        return (
+            self.max_retries if busy_retries is None else busy_retries,
+            self.busy_backoff if busy_backoff is None else busy_backoff,
+        )
+
     def _retrying(self, frame_factory, want: str, busy_retries: int,
                   busy_backoff: float) -> Dict:
         attempt = 0
         while True:
             try:
                 return self._unwrap(self._request(frame_factory()), want)
-            except ServerBusyError:
+            except ServerBusyError as exc:
                 if attempt >= busy_retries:
+                    if busy_retries > 0:
+                        raise ServerBusyError(
+                            f"server still busy after {attempt + 1} "
+                            f"attempts ({busy_retries} retries with "
+                            "backoff exhausted)",
+                            inflight=exc.inflight,
+                            cap=exc.cap,
+                            attempts=attempt + 1,
+                        ) from exc
                     raise
-                time.sleep(busy_backoff * (2 ** attempt))
+                time.sleep(_backoff_delay(busy_backoff, attempt))
                 attempt += 1
 
     # ------------------------------------------------------------------
@@ -168,10 +269,17 @@ class Client:
     def execute(
         self,
         sql: str,
-        busy_retries: int = 0,
-        busy_backoff: float = 0.05,
+        busy_retries: Optional[int] = None,
+        busy_backoff: Optional[float] = None,
     ) -> RemoteResult:
-        """Execute one statement on the server."""
+        """Execute one statement on the server.
+
+        Retry arguments default to the client-level ``max_retries`` /
+        ``busy_backoff`` knobs.
+        """
+        busy_retries, busy_backoff = self._resolve_retry(
+            busy_retries, busy_backoff
+        )
         reply = self._retrying(
             lambda: {"type": "query", "id": self.next_id(), "sql": sql},
             "result",
@@ -187,14 +295,114 @@ class Client:
                 str(k): float(v)
                 for k, v in dict(reply.get("timings", {})).items()
             },
+            streamed=bool(reply.get("_streamed", False)),
+        )
+
+    def _stream_events(self, sql: str, busy_retries: int,
+                       busy_backoff: float):
+        """Core streaming loop: yields ``(columns, rows)`` batches as
+        chunks decode; returns the final reply frame (generator value)."""
+        attempt = 0
+        while True:
+            rid = self.next_id()
+            self.last_request_id = rid
+            self.send_raw({"type": "query", "id": rid, "sql": sql})
+            reply: Optional[Dict] = self._out_of_order.pop(rid, None)
+            while reply is None:
+                reply = self._pump()
+                decoder = self._streams.get(rid)
+                if decoder is not None:
+                    batch = decoder.drain_rows()
+                    if batch:
+                        yield decoder.columns, batch
+                if reply is not None and reply.get("id") != rid:
+                    self._out_of_order[reply.get("id")] = reply
+                    reply = None
+            if reply.get("type") == "busy" and attempt < busy_retries:
+                time.sleep(_backoff_delay(busy_backoff, attempt))
+                attempt += 1
+                continue
+            final = self._unwrap(reply, "result")
+            if final.get("_streamed"):
+                # Anything decoded between the last chunk and result_end.
+                tail = final["_decoder"].drain_rows()
+                if tail:
+                    yield final["_decoder"].columns, tail
+            return final
+
+    def iterate(
+        self,
+        sql: str,
+        busy_retries: Optional[int] = None,
+        busy_backoff: Optional[float] = None,
+    ) -> Iterator[List[Tuple[Value, ...]]]:
+        """Execute one statement, yielding row batches as they arrive.
+
+        On a v2 connection each streamed chunk becomes one batch the
+        moment it is decoded — the first batch is available before the
+        server finishes sending the result. Small (unstreamed) results
+        and v1 connections yield a single batch. Raises exactly like
+        :meth:`execute` on errors.
+        """
+        busy_retries, busy_backoff = self._resolve_retry(
+            busy_retries, busy_backoff
+        )
+        events = self._stream_events(sql, busy_retries, busy_backoff)
+        while True:
+            try:
+                _columns, batch = next(events)
+            except StopIteration as stop:
+                final = stop.value or {}
+                if not final.get("_streamed") and final.get("rows"):
+                    yield [tuple(row) for row in final["rows"]]
+                return
+            yield batch
+
+    def execute_streaming(
+        self,
+        sql: str,
+        on_batch,
+        busy_retries: Optional[int] = None,
+        busy_backoff: Optional[float] = None,
+    ) -> RemoteResult:
+        """:meth:`execute`, invoking ``on_batch(columns, rows)`` as each
+        chunk decodes (once with the whole result when unstreamed). The
+        returned result still carries all rows."""
+        busy_retries, busy_backoff = self._resolve_retry(
+            busy_retries, busy_backoff
+        )
+        events = self._stream_events(sql, busy_retries, busy_backoff)
+        while True:
+            try:
+                columns, batch = next(events)
+            except StopIteration as stop:
+                final = stop.value or {}
+                break
+            on_batch(columns, batch)
+        rows = [tuple(row) for row in final.get("rows", [])]
+        if not final.get("_streamed") and rows:
+            on_batch(list(final.get("columns", [])), rows)
+        return RemoteResult(
+            statement_type=final.get("statement_type", "unknown"),
+            columns=list(final.get("columns", [])),
+            rows=rows,
+            affected_rows=int(final.get("affected_rows", 0)),
+            timings={
+                str(k): float(v)
+                for k, v in dict(final.get("timings", {})).items()
+            },
+            streamed=bool(final.get("_streamed", False)),
         )
 
     def explain(
         self,
         sql: str,
-        busy_retries: int = 0,
-        busy_backoff: float = 0.05,
+        busy_retries: Optional[int] = None,
+        busy_backoff: Optional[float] = None,
     ) -> str:
+        busy_retries, busy_backoff = self._resolve_retry(
+            busy_retries, busy_backoff
+        )
         reply = self._retrying(
             lambda: {"type": "explain", "id": self.next_id(), "sql": sql},
             "plan",
@@ -284,6 +492,9 @@ def connect(
     timeout: float = 30.0,
     connect_retries: int = 20,
     retry_delay: float = 0.1,
+    protocol_version: int = PROTOCOL_VERSION_2,
+    max_retries: int = 0,
+    busy_backoff: float = 0.05,
 ) -> Client:
     """Open a blocking client connection (retries while the server boots)."""
     return Client(
@@ -292,4 +503,7 @@ def connect(
         timeout=timeout,
         connect_retries=connect_retries,
         retry_delay=retry_delay,
+        protocol_version=protocol_version,
+        max_retries=max_retries,
+        busy_backoff=busy_backoff,
     )

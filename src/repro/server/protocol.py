@@ -1,14 +1,24 @@
 """Wire protocol for the network front-end.
 
-Frames are length-prefixed JSON: a 4-byte big-endian payload length
-followed by a UTF-8 JSON object. Every frame carries a ``type``; every
+Frames are length-prefixed: a 4-byte big-endian length word followed by
+the payload. With the high bit of the length word clear the payload is a
+UTF-8 JSON object; with it set (:data:`BINARY_FLAG`, protocol version 2
+only, server -> client only) the payload is a binary columnar frame (see
+:mod:`repro.server.frames`). Every JSON frame carries a ``type``; every
 request carries a client-chosen ``id`` that the matching response echoes,
 so clients may pipeline requests and match replies out of order.
 
 Handshake (first frame in each direction)::
 
-    C -> S   {"type": "hello", "version": 1, "client": "..."}
-    S -> C   {"type": "hello_ok", "version": 1, "server": "repro/x.y"}
+    C -> S   {"type": "hello", "version": 2, "client": "..."}
+    S -> C   {"type": "hello_ok", "version": 2, "server": "repro/x.y"}
+
+The server accepts version 1 or 2 and echoes the negotiated version. A
+version-1 connection speaks pure length-prefixed JSON, byte-compatible
+with pre-v2 servers and clients. On a version-2 connection large SELECT
+results stream as a JSON ``result_header``, binary dictionary/chunk
+frames, then a JSON ``result_end``; ``cancel`` additionally interrupts
+*running* statements at morsel/checkpoint boundaries.
 
 Requests::
 
@@ -18,12 +28,14 @@ Requests::
     {"type": "fingerprints", "id": n,            top-N statement
      "limit": k, "sort": "...", "offset": j}     fingerprints (paginated)
     {"type": "ping",    "id": n}                 liveness probe
-    {"type": "cancel",  "id": n, "target": m}    best-effort dequeue of m
+    {"type": "cancel",  "id": n, "target": m}    dequeue or interrupt m
 
 Responses::
 
     {"type": "result", "id": n, "statement_type": ..., "columns": [...],
      "rows": [[...]], "affected_rows": k, "timings": {...}}
+    {"type": "result_header", "id": n, ...}  then binary frames, then
+    {"type": "result_end", "id": n, "chunks": k}      (v2 streaming)
     {"type": "plan", "id": n, "text": "..."}
     {"type": "stats_result", "id": n, "stats": {...}}
     {"type": "fingerprints_result", "id": n, "enabled": bool,
@@ -59,15 +71,25 @@ from ..errors import (
     PlanningError,
     ReproError,
     SqlSyntaxError,
+    StatementCancelledError,
     StatisticsError,
     StorageError,
 )
 
 PROTOCOL_VERSION = 1
+PROTOCOL_VERSION_2 = 2
+#: Versions a v2 server accepts in ``hello`` (negotiated downgrade: a v1
+#: client keeps the pure-JSON protocol, byte-for-byte).
+SUPPORTED_VERSIONS = (PROTOCOL_VERSION, PROTOCOL_VERSION_2)
 DEFAULT_PORT = 7433
 MAX_FRAME_BYTES = 32 * 1024 * 1024
 
 _HEADER = struct.Struct(">I")
+
+#: High bit of the length word marks a binary (columnar) payload; JSON
+#: frames keep it clear. Payloads are capped at 32 MiB, so real lengths
+#: never reach bit 31 and the flag is unambiguous on the wire.
+BINARY_FLAG = 0x80000000
 
 # Error codes carried in error frames.
 CODE_SYNTAX = "SYNTAX"
@@ -76,19 +98,40 @@ CODE_RUNTIME = "RUNTIME"
 CODE_PROTOCOL = "PROTOCOL"
 CODE_CANCELLED = "CANCELLED"
 CODE_INTERNAL = "INTERNAL"
+CODE_FRAME_TOO_LARGE = "FRAME_TOO_LARGE"
 
 
 class ProtocolError(ReproError):
     """Malformed frame, broken framing, or a handshake violation."""
 
 
-class ServerBusyError(ReproError):
-    """The server refused to admit the request (retryable backpressure)."""
+class FrameTooLargeError(ProtocolError):
+    """A single frame would exceed :data:`MAX_FRAME_BYTES`.
 
-    def __init__(self, message: str, inflight: int = -1, cap: int = -1):
+    Raised server-side when a JSON result does not fit in one frame; the
+    error frame names the cap and points at the v2 streaming protocol,
+    which ships results as bounded-size binary chunks instead.
+    """
+
+
+class ServerBusyError(ReproError):
+    """The server refused to admit the request (retryable backpressure).
+
+    ``attempts`` counts how many times the request was tried before the
+    error surfaced (1 when the caller did not opt into retries).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        inflight: int = -1,
+        cap: int = -1,
+        attempts: int = 1,
+    ):
         super().__init__(message)
         self.inflight = inflight
         self.cap = cap
+        self.attempts = attempts
 
 
 class CancelledStatementError(ReproError):
@@ -109,7 +152,9 @@ _ERROR_CLASSES: Dict[str, Type[ReproError]] = {
         ExecutionError,
         StatisticsError,
         ProtocolError,
+        FrameTooLargeError,
         CancelledStatementError,
+        StatementCancelledError,
     )
 }
 
@@ -129,11 +174,23 @@ def encode_frame(frame: Dict) -> bytes:
         frame, separators=(",", ":"), default=_json_default
     ).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
-        raise ProtocolError(
+        raise FrameTooLargeError(
             f"frame of {len(payload)} bytes exceeds the "
-            f"{MAX_FRAME_BYTES}-byte limit"
+            f"{MAX_FRAME_BYTES}-byte ({MAX_FRAME_BYTES // (1024 * 1024)} MiB) "
+            "frame cap; fetch large results over protocol version 2, which "
+            "streams them as bounded-size binary chunks"
         )
     return _HEADER.pack(len(payload)) + payload
+
+
+def encode_binary_frame(payload: bytes) -> bytes:
+    """Wrap a binary (columnar) payload: length word with the high bit set."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"binary frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(payload) | BINARY_FLAG) + payload
 
 
 def decode_payload(payload: bytes) -> Dict:
@@ -164,28 +221,50 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict]:
         if not exc.partial:
             return None
         raise ProtocolError("connection closed mid-header") from exc
-    (length,) = _HEADER.unpack(header)
-    _check_length(length)
+    (word,) = _HEADER.unpack(header)
+    if word & BINARY_FLAG:
+        # Clients never send binary frames; the server-bound direction of
+        # the wire is pure JSON in both protocol versions.
+        raise ProtocolError("unexpected binary frame from client")
+    _check_length(word)
     try:
-        payload = await reader.readexactly(length)
+        payload = await reader.readexactly(word)
     except asyncio.IncompleteReadError as exc:
         raise ProtocolError("connection closed mid-frame") from exc
     return decode_payload(payload)
 
 
-def read_frame_blocking(stream: BinaryIO) -> Dict:
-    """Read one frame from a blocking binary stream (client side)."""
+def read_wire_frame_blocking(stream: BinaryIO):
+    """Read one frame from a blocking stream, JSON or binary.
+
+    Returns ``("json", dict)`` for JSON frames and ``("binary", bytes)``
+    for binary columnar payloads (length word with :data:`BINARY_FLAG`
+    set). This is the v2 client's read primitive;
+    :func:`read_frame_blocking` keeps the v1 JSON-only contract.
+    """
     header = stream.read(_HEADER.size)
     if not header:
         raise ProtocolError("connection closed by server")
     if len(header) < _HEADER.size:
         raise ProtocolError("connection closed mid-header")
-    (length,) = _HEADER.unpack(header)
+    (word,) = _HEADER.unpack(header)
+    binary = bool(word & BINARY_FLAG)
+    length = word & ~BINARY_FLAG
     _check_length(length)
     payload = stream.read(length)
     if payload is None or len(payload) < length:
         raise ProtocolError("connection closed mid-frame")
-    return decode_payload(payload)
+    if binary:
+        return "binary", payload
+    return "json", decode_payload(payload)
+
+
+def read_frame_blocking(stream: BinaryIO) -> Dict:
+    """Read one JSON frame from a blocking binary stream (v1 client side)."""
+    kind, frame = read_wire_frame_blocking(stream)
+    if kind != "json":
+        raise ProtocolError("unexpected binary frame on a v1 connection")
+    return frame
 
 
 # ----------------------------------------------------------------------
@@ -197,9 +276,11 @@ def error_code_for(exc: BaseException) -> str:
         return CODE_SYNTAX
     if isinstance(exc, ConfigError):
         return CODE_CONFIG
+    if isinstance(exc, FrameTooLargeError):
+        return CODE_FRAME_TOO_LARGE
     if isinstance(exc, ProtocolError):
         return CODE_PROTOCOL
-    if isinstance(exc, CancelledStatementError):
+    if isinstance(exc, (CancelledStatementError, StatementCancelledError)):
         return CODE_CANCELLED
     if isinstance(exc, ReproError):
         return CODE_RUNTIME
@@ -227,6 +308,12 @@ def exception_from_frame(frame: Dict) -> ReproError:
         return SqlSyntaxError(
             message, position=position if isinstance(position, int) else -1
         )
-    if frame.get("code") == CODE_CANCELLED:
+    if frame.get("code") == CODE_CANCELLED and not issubclass(
+        cls, (CancelledStatementError, StatementCancelledError)
+    ):
         return CancelledStatementError(message)
+    if frame.get("code") == CODE_FRAME_TOO_LARGE and not issubclass(
+        cls, FrameTooLargeError
+    ):
+        return FrameTooLargeError(message)
     return cls(message)

@@ -22,9 +22,18 @@ Admission control and fairness:
   occupy executor threads at once — the "admission semaphore", enforced
   on the event-loop thread where all scheduler state lives.
 
-Cancellation is best-effort: a ``cancel`` frame dequeues the target
-request if it has not started executing (a running statement cannot be
-interrupted mid-flight).
+Protocol versions: the server negotiates version 1 (pure JSON frames,
+byte-compatible with pre-v2 clients) or version 2 per connection in the
+``hello`` exchange. On version-2 connections SELECT results at or above
+``stream_threshold_rows`` rows stream as binary columnar frames (see
+:mod:`repro.server.frames`) instead of one monolithic JSON ``result``.
+
+Cancellation: a ``cancel`` frame dequeues the target request if it has
+not started executing, and — any protocol version — interrupts a
+*running* statement by setting its :class:`~repro.cancel.CancelToken`;
+the engine observes the token at morsel/checkpoint boundaries and the
+statement's reply becomes a ``CANCELLED`` error frame, with the session
+left reusable.
 """
 
 from __future__ import annotations
@@ -34,13 +43,18 @@ import contextlib
 import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Deque, Dict, Optional, Set
+from typing import Deque, Dict, List, Optional, Set
 
+from ..cancel import CancelToken
 from ..errors import ConfigError, ReproError
+from .frames import DEFAULT_CHUNK_ROWS, build_stream_frames
 from .protocol import (
     PROTOCOL_VERSION,
+    PROTOCOL_VERSION_2,
+    SUPPORTED_VERSIONS,
     CancelledStatementError,
     ProtocolError,
+    encode_binary_frame,
     encode_frame,
     error_frame,
     read_frame,
@@ -62,6 +76,8 @@ class _Connection:
         "closed",
         "write_lock",
         "busy_rejections",
+        "protocol_version",
+        "cancel_tokens",
     )
 
     def __init__(self, conn_id: int, writer: asyncio.StreamWriter, session):
@@ -73,6 +89,11 @@ class _Connection:
         self.closed = False
         self.write_lock = asyncio.Lock()
         self.busy_rejections = 0
+        self.protocol_version = PROTOCOL_VERSION
+        # request id -> CancelToken of the statement currently executing
+        # (registered on the event-loop thread before dispatch, removed in
+        # the request's finally, so `cancel` can interrupt it mid-flight).
+        self.cancel_tokens: Dict[object, CancelToken] = {}
 
     @property
     def inflight(self) -> int:
@@ -82,14 +103,20 @@ class _Connection:
         await self.send_encoded(encode_frame(frame))
 
     async def send_encoded(self, data: bytes) -> None:
+        await self.send_encoded_many([data])
+
+    async def send_encoded_many(self, datas: List[bytes]) -> None:
+        """Write a frame sequence contiguously (one lock scope), so a
+        streamed result is never interleaved with other replies."""
         if self.closed:
             return
         async with self.write_lock:
             if self.closed:
                 return
             try:
-                self.writer.write(data)
-                await self.writer.drain()
+                for data in datas:
+                    self.writer.write(data)
+                    await self.writer.drain()
             except (ConnectionError, RuntimeError):
                 self.closed = True
 
@@ -105,6 +132,10 @@ class ReproServer:
         workers: Optional[int] = None,
         max_inflight: int = 8,
         per_client_inflight: int = 4,
+        stream_threshold_rows: int = 256,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        sock=None,
+        coordination=None,
     ):
         if workers is None:
             workers = max_inflight
@@ -118,14 +149,31 @@ class ReproServer:
             raise ConfigError(
                 f"per_client_inflight must be >= 1, got {per_client_inflight}"
             )
+        if stream_threshold_rows < 1:
+            raise ConfigError(
+                "stream_threshold_rows must be >= 1, "
+                f"got {stream_threshold_rows}"
+            )
+        if chunk_rows < 1:
+            raise ConfigError(f"chunk_rows must be >= 1, got {chunk_rows}")
         self.engine = engine
         self.host = host
         self.port = port
         self.workers = workers
         self.max_inflight = max_inflight
         self.per_client_inflight = per_client_inflight
+        # v2 SELECTs with at least this many rows stream as binary chunks.
+        self.stream_threshold_rows = stream_threshold_rows
+        self.chunk_rows = chunk_rows
+        # Pre-bound listening socket (SO_REUSEPORT acceptor fleets) — when
+        # set, host/port are taken from the socket instead of bound here.
+        self._sock = sock
+        # Optional AcceptorCoordination shared-memory block: per-fleet
+        # statement counters + drain flag (see repro.server.acceptor).
+        self.coordination = coordination
         self.busy_rejections = 0
         self.statements_served = 0
+        self.streamed_results = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._conns: Set[_Connection] = set()
@@ -146,9 +194,14 @@ class ReproServer:
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-server"
         )
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def serve_forever(self) -> None:
@@ -227,7 +280,9 @@ class ReproServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        if self._closing:
+        if self._closing or (
+            self.coordination is not None and self.coordination.draining
+        ):
             writer.close()
             return
         try:
@@ -242,14 +297,15 @@ class ReproServer:
         if (
             hello is None
             or hello.get("type") != "hello"
-            or hello.get("version") != PROTOCOL_VERSION
+            or hello.get("version") not in SUPPORTED_VERSIONS
         ):
             got = None if hello is None else hello.get("version")
+            supported = "/".join(str(v) for v in SUPPORTED_VERSIONS)
             await conn.send(
                 error_frame(
                     None if hello is None else hello.get("id"),
                     ProtocolError(
-                        f"handshake must be a version-{PROTOCOL_VERSION} "
+                        f"handshake must be a version-{supported} "
                         f"hello frame (got {got!r})"
                     ),
                 )
@@ -258,6 +314,7 @@ class ReproServer:
             conn.session.close()
             writer.close()
             return
+        conn.protocol_version = hello["version"]
         from .. import __version__
 
         self._conns.add(conn)
@@ -265,7 +322,7 @@ class ReproServer:
         await conn.send(
             {
                 "type": "hello_ok",
-                "version": PROTOCOL_VERSION,
+                "version": conn.protocol_version,
                 "server": f"repro/{__version__}",
                 "per_client_inflight": self.per_client_inflight,
             }
@@ -285,6 +342,12 @@ class ReproServer:
         finally:
             conn.closed = True
             conn.queue.clear()
+            # A disconnect mid-statement cancels whatever this connection
+            # was running: the worker thread unwinds at the next morsel
+            # boundary and its locks release instead of the statement
+            # burning to completion for a reader that is gone.
+            for token in conn.cancel_tokens.values():
+                token.cancel()
             self._conns.discard(conn)
             with contextlib.suppress(ValueError):
                 self._rr.remove(conn)
@@ -346,6 +409,7 @@ class ReproServer:
             if queued.get("id") == target:
                 found = queued
                 break
+        interrupted = False
         if found is not None:
             conn.queue.remove(found)
             await conn.send(
@@ -354,12 +418,22 @@ class ReproServer:
                     CancelledStatementError("cancelled before execution"),
                 )
             )
+        else:
+            # Not queued: interrupt it if it is executing right now. The
+            # engine raises StatementCancelledError at the next morsel or
+            # checkpoint boundary; the statement's own reply becomes a
+            # CANCELLED error frame from _run_request.
+            token = conn.cancel_tokens.get(target)
+            if token is not None:
+                token.cancel()
+                interrupted = True
         await conn.send(
             {
                 "type": "cancel_result",
                 "id": frame.get("id"),
                 "target": target,
-                "cancelled": found is not None,
+                "cancelled": found is not None or interrupted,
+                "interrupted": interrupted,
             }
         )
 
@@ -393,31 +467,62 @@ class ReproServer:
         loop = asyncio.get_running_loop()
         rid = frame.get("id")
         sql = frame["sql"]
+        token: Optional[CancelToken] = None
+        if frame["type"] == "query":
+            # Registered on the event-loop thread *before* dispatch so a
+            # cancel frame arriving at any point during execution finds it.
+            token = CancelToken()
+            conn.cancel_tokens[rid] = token
 
-        def work() -> bytes:
+        def work() -> List[bytes]:
             # Execute AND serialize on the worker thread: result rows can
             # be large, and encoding them on the event loop would stall
             # every other connection's framing.
             if frame["type"] == "explain":
-                reply = {
-                    "type": "plan",
-                    "id": rid,
-                    "text": conn.session.explain(sql),
-                }
-            else:
-                reply = _result_frame(rid, conn.session.execute(sql))
-            return encode_frame(reply)
+                return [
+                    encode_frame(
+                        {
+                            "type": "plan",
+                            "id": rid,
+                            "text": conn.session.explain(sql),
+                        }
+                    )
+                ]
+            result = conn.session.execute(sql, cancel=token)
+            if (
+                conn.protocol_version >= PROTOCOL_VERSION_2
+                and result.statement_type == "select"
+                and result.vectors is not None
+                and len(result.rows) >= self.stream_threshold_rows
+            ):
+                header, payloads, end = build_stream_frames(
+                    rid, result, self.chunk_rows
+                )
+                return (
+                    [encode_frame(header)]
+                    + [encode_binary_frame(p) for p in payloads]
+                    + [encode_frame(end)]
+                )
+            return [encode_frame(_result_frame(rid, result))]
 
+        if self.coordination is not None:
+            self.coordination.statement_started()
         try:
-            data = await loop.run_in_executor(self._pool, work)
+            datas = await loop.run_in_executor(self._pool, work)
             self.statements_served += 1
+            if len(datas) > 1:
+                self.streamed_results += 1
         except Exception as exc:
-            data = encode_frame(error_frame(rid, exc))
+            datas = [encode_frame(error_frame(rid, exc))]
         finally:
+            if token is not None:
+                conn.cancel_tokens.pop(rid, None)
+            if self.coordination is not None:
+                self.coordination.statement_finished()
             conn.running = False
             self._inflight -= 1
             self._schedule_ready()
-        await conn.send_encoded(data)
+        await conn.send_encoded_many(datas)
 
     #: Hard cap on rows per fingerprints frame. Each row is bounded (the
     #: statement text truncates at 512 chars), so 200 rows stays in the
@@ -474,9 +579,11 @@ class ReproServer:
             "connections": len(self._conns),
             "inflight": self._inflight,
             "statements_served": self.statements_served,
+            "streamed_results": self.streamed_results,
             "busy_rejections": self.busy_rejections,
             "max_inflight": self.max_inflight,
             "per_client_inflight": self.per_client_inflight,
+            "stream_threshold_rows": self.stream_threshold_rows,
         }
 
 

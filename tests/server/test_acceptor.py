@@ -1,0 +1,138 @@
+"""Multi-process acceptor fleet: forking, shared port, coordination.
+
+The ``AcceptorGroup`` tests fork real processes and serve real sockets,
+so they are guarded on ``SO_REUSEPORT`` (Linux/BSD); the coordination
+block is plain shared memory and is tested everywhere.
+"""
+
+import os
+import signal
+import socket
+import time
+
+import pytest
+
+from repro import ConfigError, Engine, EngineConfig
+from repro.server import AcceptorCoordination, AcceptorGroup, connect
+from tests.conftest import build_mini_db
+
+needs_reuseport = pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="SO_REUSEPORT not available on this platform",
+)
+
+
+# ----------------------------------------------------------------------
+# Coordination block (no processes)
+# ----------------------------------------------------------------------
+def test_coordination_counters_and_drain():
+    coordination = AcceptorCoordination(3)
+    view0, view2 = coordination.view(0), coordination.view(2)
+    assert coordination.snapshot() == {
+        "draining": False,
+        "inflight": 0,
+        "ready": 0,
+        "served": [0, 0, 0],
+        "total_served": 0,
+    }
+    view0.mark_ready()
+    view0.statement_started()
+    view2.statement_started()
+    assert coordination.inflight == 2
+    assert coordination.ready == 1
+    view0.statement_finished()
+    view2.statement_finished()
+    view2.statement_started()  # a second statement on acceptor 2
+    view2.statement_finished()
+    snapshot = coordination.snapshot()
+    assert snapshot["served"] == [1, 0, 2]
+    assert snapshot["total_served"] == 3
+    assert snapshot["inflight"] == 0
+    assert not view0.draining
+    coordination.start_drain()
+    assert coordination.draining
+    assert view0.draining and view2.draining
+
+
+def test_acceptor_count_validated():
+    with pytest.raises(ConfigError):
+        AcceptorGroup(lambda: None, n_acceptors=0)
+
+
+# ----------------------------------------------------------------------
+# Forked fleet end-to-end
+# ----------------------------------------------------------------------
+def make_factory():
+    # Storage is built once (in the parent, shared copy-on-write); each
+    # child wraps it in its own engine after the fork.
+    db = build_mini_db(n_owners=80, n_cars=240, seed=9)
+    return lambda: Engine(db, EngineConfig())
+
+
+@needs_reuseport
+def test_fleet_serves_on_one_port_and_drains():
+    group = AcceptorGroup(
+        make_factory(), n_acceptors=2, port=0, stream_threshold_rows=100
+    ).start()
+    try:
+        assert group.port > 0
+        assert group.alive() == 2
+        assert group.coordination.ready == 2
+        # Several connections; the kernel spreads them over the fleet.
+        for _ in range(3):
+            with connect(port=group.port) as client:
+                assert client.execute(
+                    "SELECT COUNT(*) FROM car"
+                ).rows == [(240,)]
+                result = client.execute(
+                    "SELECT id, make FROM car ORDER BY id"
+                )
+                assert result.row_count == 240
+                assert result.streamed is True  # v2 streams over the fleet
+        snapshot = group.snapshot()
+        assert snapshot["total_served"] == 6
+        assert snapshot["inflight"] == 0
+    finally:
+        group.stop()
+    assert group.alive() == 0
+    assert group.pids == []
+    # The port is actually free again.
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.bind(("127.0.0.1", group.port))
+    finally:
+        probe.close()
+
+
+@needs_reuseport
+def test_fleet_context_manager_and_single_acceptor():
+    with AcceptorGroup(make_factory(), n_acceptors=1, port=0) as group:
+        with connect(port=group.port) as client:
+            assert client.execute("SELECT COUNT(*) FROM owner").rows == [
+                (80,)
+            ]
+    assert group.alive() == 0
+
+
+@needs_reuseport
+def test_stop_reaps_a_wedged_child():
+    group = AcceptorGroup(make_factory(), n_acceptors=2, port=0).start()
+    # Simulate a child that never honours SIGTERM.
+    os.kill(group.pids[0], signal.SIGSTOP)
+    started = time.monotonic()
+    group.stop(timeout=1.0)
+    assert group.alive() == 0  # escalated to SIGKILL
+    assert time.monotonic() - started < 10.0
+
+
+@needs_reuseport
+def test_draining_fleet_rejects_new_connections():
+    group = AcceptorGroup(make_factory(), n_acceptors=2, port=0).start()
+    try:
+        group.coordination.start_drain()
+        time.sleep(0.05)
+        with pytest.raises(Exception):
+            with connect(port=group.port, connect_retries=2) as client:
+                client.execute("SELECT COUNT(*) FROM car")
+    finally:
+        group.stop()

@@ -1,0 +1,353 @@
+"""Protocol v2: binary columnar frames, negotiation, streaming clients.
+
+Covers the frame codec in isolation (round-trips, every truncation and
+corruption path), the server's streaming decision, v1/v2 result identity
+over a live socket, incremental delivery, the 32 MiB JSON frame cap, and
+the edge cases a wire protocol lives or dies by: torn frames, binary
+frames in the wrong direction, mid-stream disconnects, oversized
+results on the legacy path.
+"""
+
+import socket
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from repro import Engine, EngineConfig
+from repro.server import (
+    FrameTooLargeError,
+    ProtocolError,
+    ReproServer,
+    StreamDecoder,
+    build_stream_frames,
+    connect,
+    encode_binary_frame,
+    encode_frame,
+    parse_binary_frame,
+    read_frame_blocking,
+)
+from repro.server.frames import (
+    DTYPE_DICT32,
+    DTYPE_FLOAT64,
+    DTYPE_INT64,
+    KIND_CHUNK,
+    KIND_DICT,
+    encode_chunk_frame,
+    encode_dict_frame,
+    peek_request_id,
+)
+from repro.server.protocol import PROTOCOL_VERSION_2
+from tests.conftest import build_mini_db
+
+SQL = "SELECT id, name, salary, city FROM owner ORDER BY id"
+
+
+def make_engine(stream_vectors: bool = True) -> Engine:
+    db = build_mini_db(n_owners=300, n_cars=60, seed=11)
+    config = EngineConfig(stream_vectors=stream_vectors)
+    return Engine(db, config)
+
+
+@pytest.fixture
+def server():
+    # Low threshold and tiny chunks so a 300-row result streams as
+    # several CHUNK frames.
+    srv = ReproServer(
+        make_engine(), port=0, stream_threshold_rows=64, chunk_rows=100
+    ).start_in_thread()
+    yield srv
+    srv.stop_from_thread()
+
+
+# ----------------------------------------------------------------------
+# Frame codec round-trips
+# ----------------------------------------------------------------------
+def test_dict_frame_roundtrip():
+    entries = ["Ottawa", "", "Waßerloo", "x" * 500]
+    kind, rid, (column_index, decoded) = parse_binary_frame(
+        encode_dict_frame(42, 3, entries)
+    )
+    assert (kind, rid, column_index) == (KIND_DICT, 42, 3)
+    assert decoded == entries
+
+
+def test_empty_dict_frame_roundtrip():
+    kind, _rid, (column_index, decoded) = parse_binary_frame(
+        encode_dict_frame(1, 0, [])
+    )
+    assert (kind, column_index, decoded) == (KIND_DICT, 0, [])
+
+
+def test_chunk_frame_roundtrip_all_dtypes():
+    ints = np.arange(5, dtype="<i8") * 1000
+    floats = np.linspace(-1.5, 2.5, 5)
+    codes = np.array([0, 1, 0, 2, 1], dtype="<i4")
+    payload = encode_chunk_frame(
+        7,
+        2,
+        [(DTYPE_INT64, ints), (DTYPE_FLOAT64, floats), (DTYPE_DICT32, codes)],
+    )
+    assert peek_request_id(payload) == 7
+    kind, rid, (chunk_index, columns) = parse_binary_frame(payload)
+    assert (kind, rid, chunk_index) == (KIND_CHUNK, 7, 2)
+    assert [code for code, _ in columns] == [
+        DTYPE_INT64,
+        DTYPE_FLOAT64,
+        DTYPE_DICT32,
+    ]
+    np.testing.assert_array_equal(columns[0][1], ints)
+    np.testing.assert_array_equal(columns[1][1], floats)
+    np.testing.assert_array_equal(columns[2][1], codes)
+
+
+def test_torn_and_corrupt_binary_frames_rejected():
+    chunk = encode_chunk_frame(1, 0, [(DTYPE_INT64, np.arange(4))])
+    dictionary = encode_dict_frame(1, 0, ["a", "bc"])
+    cases = [
+        (b"", "shorter than its prefix"),
+        (chunk[:5], "shorter than its prefix"),
+        (chunk[:12], "truncated CHUNK frame header"),
+        (chunk[:25], "truncated CHUNK column header"),
+        (chunk[:-3], "truncated CHUNK column buffer"),
+        (dictionary[:12], "truncated DICT frame header"),
+        (dictionary[:20], "truncated DICT frame offsets"),
+        (dictionary[:-1], "truncated DICT frame blob"),
+    ]
+    for payload, message in cases:
+        with pytest.raises(ProtocolError, match=message):
+            parse_binary_frame(payload)
+    with pytest.raises(ProtocolError, match="shorter than its prefix"):
+        peek_request_id(b"\x01")
+
+
+def test_unknown_kind_and_dtype_rejected():
+    prefix = struct.Struct("<Bq").pack(9, 1)
+    with pytest.raises(ProtocolError, match="unknown binary frame kind 9"):
+        parse_binary_frame(prefix)
+    # Patch a chunk's per-column dtype code to an unassigned value.
+    chunk = bytearray(encode_chunk_frame(1, 0, [(DTYPE_INT64, np.arange(2))]))
+    col_head = struct.Struct("<Bq").size + struct.Struct("<IIH").size
+    chunk[col_head] = 77
+    with pytest.raises(ProtocolError, match="unknown dtype code 77"):
+        parse_binary_frame(bytes(chunk))
+
+
+def test_buffer_size_mismatch_rejected():
+    # Claim 4 rows but ship 3 values' worth of bytes.
+    good = encode_chunk_frame(1, 0, [(DTYPE_INT64, np.arange(3))])
+    tampered = bytearray(good)
+    head = struct.Struct("<Bq")
+    struct.Struct("<IIH").pack_into(tampered, head.size, 0, 4, 1)
+    with pytest.raises(ProtocolError, match="expected 4 x 8"):
+        parse_binary_frame(bytes(tampered))
+
+
+# ----------------------------------------------------------------------
+# build_stream_frames <-> StreamDecoder (no socket)
+# ----------------------------------------------------------------------
+def test_stream_frames_roundtrip_chunked():
+    engine = make_engine()
+    result = engine.execute(SQL)
+    header, payloads, end = build_stream_frames(5, result, chunk_rows=90)
+    assert header["row_count"] == 300
+    assert header["n_chunks"] == 4  # ceil(300 / 90)
+    assert header["columns"] == list(result.columns)
+    decoder = StreamDecoder(header)
+    batches = []
+    for payload in payloads:
+        decoder.feed(payload)
+        batches.append(len(decoder.drain_rows()))
+    decoder.finish(end)
+    assert decoder.complete
+    assert decoder.rows == result.rows
+    # DICT frames yield no rows; CHUNK frames drain incrementally.
+    assert [b for b in batches if b] == [90, 90, 90, 30]
+
+
+def test_stream_frames_require_vectors():
+    engine = make_engine(stream_vectors=False)
+    result = engine.execute(SQL)
+    assert result.vectors is None
+    with pytest.raises(ProtocolError, match="stream_vectors"):
+        build_stream_frames(1, result)
+
+
+def test_decoder_rejects_out_of_order_chunks():
+    result = make_engine().execute(SQL)
+    header, payloads, _end = build_stream_frames(5, result, chunk_rows=90)
+    decoder = StreamDecoder(header)
+    dicts = [p for p in payloads if parse_binary_frame(p)[0] == KIND_DICT]
+    chunks = [p for p in payloads if parse_binary_frame(p)[0] == KIND_CHUNK]
+    for payload in dicts:
+        decoder.feed(payload)
+    with pytest.raises(ProtocolError, match="out of order"):
+        decoder.feed(chunks[1])
+
+
+def test_decoder_rejects_chunk_before_its_dictionary():
+    result = make_engine().execute(SQL)
+    _header, payloads, _end = build_stream_frames(5, result, chunk_rows=90)
+    decoder = StreamDecoder(_header)
+    chunk = next(
+        p for p in payloads if parse_binary_frame(p)[0] == KIND_CHUNK
+    )
+    with pytest.raises(ProtocolError, match="before its DICT frame"):
+        decoder.feed(chunk)
+
+
+def test_decoder_rejects_truncated_stream():
+    result = make_engine().execute(SQL)
+    header, payloads, end = build_stream_frames(5, result, chunk_rows=90)
+    decoder = StreamDecoder(header)
+    for payload in payloads[:-1]:  # drop the last chunk
+        decoder.feed(payload)
+    with pytest.raises(ProtocolError, match="of 4 chunks"):
+        decoder.finish(end)
+
+
+# ----------------------------------------------------------------------
+# End-to-end over a socket
+# ----------------------------------------------------------------------
+def test_v2_and_v1_fetch_identical_rows(server):
+    with connect(port=server.port, protocol_version=2) as v2:
+        streamed = v2.execute(SQL)
+    with connect(port=server.port, protocol_version=1) as v1:
+        legacy = v1.execute(SQL)
+    assert streamed.streamed is True
+    assert legacy.streamed is False
+    assert streamed.columns == legacy.columns
+    assert streamed.rows == legacy.rows
+    assert streamed.row_count == legacy.row_count == 300
+    assert server.streamed_results >= 1
+
+
+def test_version_negotiation_recorded(server):
+    with connect(port=server.port, protocol_version=1) as v1:
+        assert v1.protocol_version == 1
+    with connect(port=server.port) as v2:
+        assert v2.protocol_version == PROTOCOL_VERSION_2
+
+
+def test_small_results_stay_json_on_v2(server):
+    with connect(port=server.port) as client:
+        result = client.execute("SELECT COUNT(*) FROM owner")
+        assert result.rows == [(300,)]
+        assert result.streamed is False
+
+
+def test_iterate_yields_incremental_batches(server):
+    with connect(port=server.port) as client:
+        batches = list(client.iterate(SQL))
+    assert len(batches) == 3  # 300 rows / 100-row chunks
+    assert [len(b) for b in batches] == [100, 100, 100]
+    rows = [row for batch in batches for row in batch]
+    with connect(port=server.port, protocol_version=1) as v1:
+        assert rows == v1.execute(SQL).rows
+
+
+def test_execute_streaming_callback_sees_every_chunk(server):
+    seen = []
+    with connect(port=server.port) as client:
+        result = client.execute_streaming(
+            SQL, lambda columns, rows: seen.append((tuple(columns), len(rows)))
+        )
+    assert result.streamed is True
+    assert [n for _, n in seen] == [100, 100, 100]
+    assert all(cols == tuple(result.columns) for cols, _ in seen)
+    assert sum(n for _, n in seen) == len(result.rows)
+
+
+def test_unstreamed_callback_fires_once(server):
+    seen = []
+    with connect(port=server.port) as client:
+        result = client.execute_streaming(
+            "SELECT COUNT(*) FROM car",
+            lambda columns, rows: seen.append(rows),
+        )
+    assert result.streamed is False
+    assert seen == [[(60,)]]
+
+
+def test_dml_and_errors_unaffected_by_v2(server):
+    with connect(port=server.port) as client:
+        deleted = client.execute("DELETE FROM car WHERE id < 10")
+        assert deleted.statement_type == "delete"
+        assert deleted.streamed is False
+        with pytest.raises(Exception):
+            client.execute("SELECT nosuch FROM owner")
+        assert client.execute("SELECT COUNT(*) FROM owner").rows == [(300,)]
+
+
+# ----------------------------------------------------------------------
+# The 32 MiB cap on the legacy JSON path
+# ----------------------------------------------------------------------
+def test_v1_oversized_result_reports_frame_too_large(server, monkeypatch):
+    import repro.server.protocol as protocol
+
+    # Shrink the cap instead of building a >32 MiB result: encode_frame
+    # reads the module global at call time, and the error frame itself
+    # stays tiny.
+    monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 4096)
+    with connect(port=server.port, protocol_version=1) as client:
+        with pytest.raises(FrameTooLargeError) as excinfo:
+            client.execute(SQL)
+        message = str(excinfo.value)
+        assert "4096" in message
+        assert "protocol version 2" in message
+        # The connection survives the refusal.
+        assert client.execute("SELECT COUNT(*) FROM owner").rows == [(300,)]
+
+
+def test_v2_streams_past_the_json_cap(server, monkeypatch):
+    import repro.server.protocol as protocol
+
+    # The same result that breaks v1 under a 4 KiB cap streams fine on
+    # v2: each binary chunk is far below the cap.
+    monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 4096)
+    with connect(port=server.port) as client:
+        result = client.execute(SQL)
+        assert result.streamed is True
+        assert result.row_count == 300
+
+
+# ----------------------------------------------------------------------
+# Wrong-direction and mid-stream failures
+# ----------------------------------------------------------------------
+def test_client_sent_binary_frame_rejected(server):
+    with socket.create_connection(("127.0.0.1", server.port), 5) as sock:
+        stream = sock.makefile("rb")
+        sock.sendall(encode_frame({"type": "hello", "version": 2}))
+        assert read_frame_blocking(stream)["type"] == "hello_ok"
+        sock.sendall(encode_binary_frame(b"\x02" + b"\x00" * 20))
+        reply = read_frame_blocking(stream)
+        assert reply["type"] == "error"
+        assert reply["code"] == "PROTOCOL"
+    # The server keeps serving.
+    with connect(port=server.port) as client:
+        assert client.execute("SELECT COUNT(*) FROM owner").row_count == 1
+
+
+def test_mid_stream_disconnect_releases_the_session(server):
+    sock = socket.create_connection(("127.0.0.1", server.port), 5)
+    stream = sock.makefile("rb")
+    sock.sendall(encode_frame({"type": "hello", "version": 2}))
+    assert read_frame_blocking(stream)["type"] == "hello_ok"
+    sock.sendall(encode_frame({"type": "query", "id": 1, "sql": SQL}))
+    # Read just the header, then vanish mid-stream. (Close the makefile
+    # wrapper too — it holds its own reference to the fd.)
+    assert read_frame_blocking(stream)["type"] == "result_header"
+    stream.close()
+    sock.close()
+    # The session (and any locks it held) must be released: a write
+    # statement through a fresh connection cannot succeed otherwise.
+    deadline = time.monotonic() + 5.0
+    with connect(port=server.port) as client:
+        deleted = client.execute("DELETE FROM car WHERE id >= 55")
+        assert deleted.affected_rows >= 1
+        while time.monotonic() < deadline:
+            if client.stats()["server"]["connections"] == 1:
+                break
+            time.sleep(0.05)
+        assert client.stats()["server"]["connections"] == 1
