@@ -1,0 +1,238 @@
+"""MVCC snapshot reads vs the blocking read path under a sustained writer.
+
+One writer session hammers CAR with UPDATE statements, each paying
+``commit_latency`` inside its lock span (the durable-commit model: a log
+force before the locks release). Four reader sessions concurrently run
+aggregate SELECTs against the same table. Flipping only
+``EngineConfig.mvcc``:
+
+* ``mvcc=False`` — the blocking read path: every SELECT takes the
+  table's read lock and queues behind the writer's exclusive commit
+  spans.
+* ``mvcc=True``  — readers pin the table's published snapshot
+  generation at statement start and never touch the per-table write
+  lock; the writer's copy-on-write publish does not stall them.
+
+Bars: aggregate read throughput at 4 readers is >= ``SPEEDUP_BAR`` (3x)
+with snapshots vs blocking, and **every** read observes a statement-
+atomic state: each ``(COUNT, SUM)`` pair must exactly equal one of the
+states a sequential replay of the writer's statements produces
+(``sequential_match`` == 1.00, asserted for both modes).
+
+Run under pytest (the usual path) or standalone:
+
+    python bench_mvcc_reads.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from typing import Dict, List
+
+from repro import Engine, EngineConfig
+from repro.workload import build_car_database, format_table
+
+N_READERS = 4
+COMMIT_LATENCY = 0.06  # seconds per write statement, inside the lock span
+WRITER_GAP = 0.002  # think time between commits (see bench_lock_granularity)
+SPEEDUP_BAR = 3.0  # snapshot vs blocking aggregate read throughput
+
+WRITER_STATEMENT = "UPDATE car SET price = price + 1.0 WHERE id < 40"
+READER_STATEMENT = "SELECT COUNT(*), SUM(price) FROM car"
+
+
+def build_engine(mvcc: bool, scale: float, seed: int,
+                 commit_latency: float) -> Engine:
+    db, _ = build_car_database(scale=scale, seed=seed)
+    config = EngineConfig.traditional()
+    config.mvcc = mvcc
+    config.commit_latency = commit_latency
+    return Engine(db, config)
+
+
+def run_side(
+    mvcc: bool,
+    scale: float,
+    seed: int,
+    reads_per_reader: int,
+    commit_latency: float,
+) -> Dict:
+    engine = build_engine(mvcc, scale, seed, commit_latency)
+    stop = threading.Event()
+    writes = {"n": 0}
+    observed: List[List[tuple]] = [[] for _ in range(N_READERS)]
+    start = threading.Barrier(N_READERS + 1)
+
+    def writer() -> None:
+        session = engine.session()
+        start.wait()
+        while not stop.is_set():
+            session.execute(WRITER_STATEMENT)
+            writes["n"] += 1
+            time.sleep(WRITER_GAP)
+
+    def reader(index: int) -> None:
+        session = engine.session()
+        start.wait()
+        for _ in range(reads_per_reader):
+            observed[index].append(session.execute(READER_STATEMENT).rows[0])
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader, args=(i,)) for i in range(N_READERS)
+    ]
+    for t in threads:
+        t.start()
+    started = time.perf_counter()
+    for t in threads[1:]:
+        t.join(timeout=600)
+    elapsed = time.perf_counter() - started
+    stop.set()
+    threads[0].join(timeout=60)
+
+    # Sequential replay: the set of statement-atomic states a reader may
+    # legally observe is exactly {state after k writer commits}.
+    replay = build_engine(mvcc, scale, seed, commit_latency=0.0)
+    valid = {replay.execute(READER_STATEMENT).rows[0]}
+    for _ in range(writes["n"]):
+        replay.execute(WRITER_STATEMENT)
+        valid.add(replay.execute(READER_STATEMENT).rows[0])
+
+    reads = [row for per_reader in observed for row in per_reader]
+    matched = sum(1 for row in reads if row in valid)
+    return {
+        "elapsed": elapsed,
+        "reads": len(reads),
+        "reads_per_sec": len(reads) / elapsed,
+        "writer_statements": writes["n"],
+        "sequential_match": matched / len(reads) if reads else 0.0,
+    }
+
+
+def run_bench(
+    scale: float,
+    seed: int,
+    reads_per_reader: int,
+    commit_latency: float = COMMIT_LATENCY,
+) -> Dict:
+    sides = {
+        "blocking": run_side(
+            False, scale, seed, reads_per_reader, commit_latency
+        ),
+        "snapshot": run_side(
+            True, scale, seed, reads_per_reader, commit_latency
+        ),
+    }
+    speedup = (
+        sides["snapshot"]["reads_per_sec"] / sides["blocking"]["reads_per_sec"]
+    )
+    table = format_table(
+        ["read path", "reads", "elapsed_s", "reads/s", "writer stmts",
+         "seq match"],
+        [
+            [
+                name,
+                str(r["reads"]),
+                f"{r['elapsed']:.3f}",
+                f"{r['reads_per_sec']:.1f}",
+                str(r["writer_statements"]),
+                f"{r['sequential_match']:.2f}",
+            ]
+            for name, r in sides.items()
+        ],
+    )
+    table += (
+        f"\nread throughput, {N_READERS} readers vs 1 sustained writer "
+        f"(commit latency {commit_latency * 1000:.0f} ms/write): "
+        f"{speedup:.2f}x (bar {SPEEDUP_BAR}x)"
+    )
+    return {"sides": sides, "speedup": speedup, "table": table}
+
+
+def check_bars(bench: Dict, speedup_bar: float = SPEEDUP_BAR) -> List[str]:
+    failures = []
+    if bench["speedup"] < speedup_bar:
+        failures.append(
+            f"snapshot-read speedup {bench['speedup']:.2f}x < {speedup_bar}x"
+        )
+    for name, side in bench["sides"].items():
+        if side["sequential_match"] != 1.0:
+            failures.append(
+                f"{name}: only {side['sequential_match']:.3f} of reads "
+                "matched a sequential-replay state (want 1.00)"
+            )
+    return failures
+
+
+def json_metrics(bench: Dict) -> Dict:
+    return {
+        "sides": {
+            name: {
+                "reads_per_sec": side["reads_per_sec"],
+                "writer_statements": side["writer_statements"],
+                "sequential_match": side["sequential_match"],
+            }
+            for name, side in bench["sides"].items()
+        },
+        "read_speedup": bench["speedup"],
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+def test_mvcc_reads():
+    from conftest import DATA_SEED, SCALE, emit
+
+    # Small scale on purpose: the contrast under test is lock waiting vs
+    # snapshot pinning, not scan CPU (which the GIL charges both paths).
+    bench = run_bench(min(SCALE, 0.005), DATA_SEED, reads_per_reader=40)
+    emit(
+        "bench_mvcc_reads",
+        bench["table"],
+        metrics=json_metrics(bench),
+        config={
+            "commit_latency": COMMIT_LATENCY,
+            "readers": N_READERS,
+            "writer_statement": WRITER_STATEMENT,
+        },
+    )
+    failures = check_bars(bench)
+    assert not failures, "\n".join(failures) + "\n" + bench["table"]
+
+
+# ----------------------------------------------------------------------
+# standalone entry point (CI smoke)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scale / short streams with a relaxed speedup bar; the "
+        "sequential-match bar stays exact",
+    )
+    parser.add_argument("--scale", type=float, default=0.005)
+    parser.add_argument("--reads", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    scale = 0.005 if args.smoke else args.scale
+    reads = 15 if args.smoke else args.reads
+    bench = run_bench(scale, args.seed, reads)
+    print(bench["table"])
+    failures = check_bars(bench, speedup_bar=1.5 if args.smoke else SPEEDUP_BAR)
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print(
+        f"OK: snapshot-read speedup {bench['speedup']:.2f}x, sequential "
+        f"match 1.00 on both read paths"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,7 +79,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_reopt_arguments(parser)
     _add_observe_arguments(parser)
+    _add_mvcc_arguments(parser)
     return parser
+
+
+def _add_mvcc_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-mvcc", action="store_true",
+        help="disable MVCC snapshot reads (SELECTs take blocking per-table "
+        "read locks and AS OF time travel is unavailable)",
+    )
+    parser.add_argument(
+        "--snapshot-chunk-rows", type=int, default=None, metavar="ROWS",
+        help="copy-on-write snapshot chunk size in rows (default 65536)",
+    )
+    parser.add_argument(
+        "--snapshot-retention", type=int, default=None, metavar="N",
+        help="snapshot generations retained per table for AS OF "
+        "time travel (default 8)",
+    )
 
 
 def _add_observe_arguments(parser: argparse.ArgumentParser) -> None:
@@ -157,6 +175,13 @@ def make_config(args: argparse.Namespace) -> EngineConfig:
     zone_rows = getattr(args, "zone_map_rows", None)
     if zone_rows is not None:
         config.zone_map_rows = zone_rows
+    config.mvcc = not getattr(args, "no_mvcc", False)
+    snap_chunk = getattr(args, "snapshot_chunk_rows", None)
+    if snap_chunk is not None:
+        config.chunk_rows = snap_chunk
+    retention = getattr(args, "snapshot_retention", None)
+    if retention is not None:
+        config.snapshot_retention = retention
     return config
 
 
@@ -636,6 +661,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     _add_reopt_arguments(parser)
     _add_observe_arguments(parser)
+    _add_mvcc_arguments(parser)
     return parser
 
 

@@ -96,6 +96,19 @@ class EngineConfig:
     # protocol serializes results straight from these buffers; embedded
     # row-oriented callers can turn the copy off.
     stream_vectors: bool = True
+    # MVCC snapshot reads (default on). Every mutating statement publishes
+    # an immutable epoch-stamped TableSnapshot (copy-on-write chunks of
+    # chunk_rows rows; only touched chunks are copied). With mvcc=True
+    # SELECT/EXPLAIN/RUNSTATS pin a snapshot at statement start instead of
+    # taking per-table read locks, so readers never block on (or block) a
+    # writer, and ``SELECT ... AS OF <clock>`` serves any generation still
+    # inside the snapshot_retention window. With mvcc=False reads take the
+    # blocking per-table lock path (the benchmark baseline); snapshots are
+    # still published (version keying for zone maps / shm exports relies
+    # on them) but never pinned by readers.
+    mvcc: bool = True
+    chunk_rows: int = 65536
+    snapshot_retention: int = 8
     observe: bool = False
     observe_fingerprints: int = 512
     zone_map_rows: int = 4096
@@ -156,6 +169,14 @@ class EngineConfig:
         if self.reopt_max_rounds < 1:
             raise ConfigError(
                 f"reopt_max_rounds must be >= 1, got {self.reopt_max_rounds}"
+            )
+        if self.chunk_rows < 1:
+            raise ConfigError(
+                f"chunk_rows must be >= 1, got {self.chunk_rows}"
+            )
+        if self.snapshot_retention < 1:
+            raise ConfigError(
+                f"snapshot_retention must be >= 1, got {self.snapshot_retention}"
             )
         if self.observe_fingerprints < 1:
             raise ConfigError(

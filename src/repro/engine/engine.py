@@ -22,7 +22,8 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,7 +56,7 @@ from ..rng import make_rng
 from ..schema import ColumnDef, TableSchema
 from ..sql import ast, build_query_graph, parse
 from ..sql.qgm import QueryBlock
-from ..storage import Database
+from ..storage import Database, TableSnapshot
 from ..types import DataType
 from .config import EngineConfig, StatsMode
 from .locks import AtomicCounter, LockManager, RWLock
@@ -74,6 +75,12 @@ class Engine:
     ):
         self.database = database if database is not None else Database()
         self.config = config or EngineConfig.traditional()
+        # MVCC snapshot knobs: chunk size applies to tables created from
+        # here on; the retention window retunes existing tables too.
+        self.database.configure_snapshots(
+            chunk_rows=self.config.chunk_rows,
+            snapshot_retention=self.config.snapshot_retention,
+        )
         self.catalog = SystemCatalog()
         self.rng = make_rng(self.config.seed)
         # Self-observing production plane (fingerprints + zone maps +
@@ -146,7 +153,8 @@ class Engine:
         # locks. SELECT/EXPLAIN read-lock their tables, DML write-locks
         # its target, DDL/RUNSTATS take the database exclusively.
         self.locks = LockManager(
-            granular=self.config.lock_granularity == "table"
+            granular=self.config.lock_granularity == "table",
+            snapshot_reads=self.config.mvcc,
         )
         self._default_session = Session(self, session_id=0)
 
@@ -168,6 +176,51 @@ class Engine:
     @property
     def statements_executed(self) -> int:
         return self._statements.value
+
+    # ------------------------------------------------------------------
+    # MVCC read views
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_view(
+        self,
+        tables: Optional[Iterable[str]],
+        as_of: Optional[int] = None,
+    ):
+        """Pin one snapshot generation per table for a reader statement.
+
+        Yields ``{name: TableSnapshot}`` (or ``None`` when MVCC is off or
+        the table set is unknown — the caller then runs on live tables
+        under whatever locks it holds). While the scope is active the
+        current thread's ``database.table()`` lookups resolve to the
+        pinned generations, so the whole read pipeline — binder, JITS
+        sampling, optimizer, executor, parallel scans — observes one
+        immutable statement-consistent state. ``as_of`` pins, per table,
+        the newest generation whose publish stamp is <= the given
+        statement clock (time travel); pinned generations are refcounted
+        and released on exit.
+        """
+        if tables is None or not self.config.mvcc:
+            if as_of is not None:
+                raise ExecutionError(
+                    "AS OF requires MVCC snapshots (EngineConfig.mvcc=True) "
+                    "and a resolvable table set"
+                )
+            yield None
+            return
+        pinned: Dict[str, TableSnapshot] = {}
+        try:
+            for name in tables:
+                live = self.database.live_table(name)
+                pinned[name.lower()] = (
+                    live.pin_current()
+                    if as_of is None
+                    else live.pin_as_of(as_of)
+                )
+            with self.database.read_view(pinned):
+                yield pinned
+        finally:
+            for snap in pinned.values():
+                snap.release()
 
     # ------------------------------------------------------------------
     # Sessions and statement dispatch
@@ -411,7 +464,10 @@ class Engine:
     def _explain_select(self, statement: ast.SelectStatement, now: int) -> str:
         """EXPLAIN pipeline. Caller holds the read scope."""
         block = build_query_graph(statement, self.database)
-        profile, _ = self.jits.before_optimize(block, now)
+        if statement.as_of is not None:
+            profile = None  # time travel: no JITS collection (see SELECT)
+        else:
+            profile, _ = self.jits.before_optimize(block, now)
         optimized = Optimizer(self._stats_context(profile, now)).optimize(block)
         return optimized.explain()
 
@@ -467,15 +523,23 @@ class Engine:
         return tuple(parts)
 
     def _execute_select(
-        self, statement: ast.SelectStatement, parse_time: float, now: int
+        self,
+        statement: ast.SelectStatement,
+        parse_time: float,
+        now: int,
+        pinned: Optional[Dict[str, TableSnapshot]] = None,
     ) -> QueryResult:
-        """SELECT pipeline. Caller holds the read scope."""
+        """SELECT pipeline. Caller holds the read scope (and, under MVCC,
+        has installed the pinned read view this thread resolves through)."""
+        time_travel = statement.as_of is not None
         compile_started = time.perf_counter()
         optimized = None
         template = fingerprint = tables = None
-        if self.plan_cache is not None:
+        if self.plan_cache is not None and not time_travel:
             # AST nodes are plain dataclasses, so repr() is a value-based
             # normal form of the parsed query — the cache template.
+            # Time-travel queries never touch the cache: their plans are
+            # costed against a historical generation.
             tables = self._statement_tables(statement)
             if tables is not None:
                 template = repr(statement)
@@ -488,7 +552,14 @@ class Engine:
             jits_report = CompilationReport(plan_cache_hit=True)
         else:
             block = build_query_graph(statement, self.database)
-            profile, jits_report = self.jits.before_optimize(block, now)
+            if time_travel:
+                # Historical reads bypass the JITS pipeline entirely: the
+                # stats stores describe the *current* data, and a query
+                # over an old generation must neither consume nor pollute
+                # them (no collection, no feedback, no migration tick).
+                profile, jits_report = None, CompilationReport()
+            else:
+                profile, jits_report = self.jits.before_optimize(block, now)
             optimizer = Optimizer(self._stats_context(profile, now))
             optimized = optimizer.optimize(block)
             if self.plan_cache is not None and template is not None:
@@ -579,7 +650,12 @@ class Engine:
             time.perf_counter() - fetch_started + self.config.fetch_overhead
         )
 
-        if reopt_state is not None:
+        if time_travel:
+            # No feedback from the past: cardinalities observed against a
+            # historical generation would corrupt StatHistory for the
+            # current data.
+            feedback = []
+        elif reopt_state is not None:
             # Feedback always compares the *round-0* estimates against the
             # union of observations across plan segments — keyed by alias,
             # so every observed quantifier feeds StatHistory exactly once
@@ -594,8 +670,9 @@ class Engine:
             self.reopt_telemetry.record_statement(reopt_state)
         else:
             feedback = collect_feedback(optimized, execution)
-        self.jits.after_execute(feedback, now)
-        self.jits.tick(now)
+        if not time_travel:
+            self.jits.after_execute(feedback, now)
+            self.jits.tick(now)
 
         return QueryResult(
             statement_type="select",
@@ -611,6 +688,14 @@ class Engine:
             feedback=feedback,
             reopt_events=list(reopt_state.events) if reopt_state else [],
             vectors=vectors,
+            snapshots=(
+                {
+                    name: (snap.version, snap.stamp)
+                    for name, snap in pinned.items()
+                }
+                if pinned is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -770,7 +855,20 @@ class Engine:
     def collect_general_statistics(
         self, tables: Optional[Sequence[str]] = None
     ) -> float:
-        """RUNSTATS on all (or the given) tables; returns elapsed seconds."""
+        """RUNSTATS on all (or the given) tables; returns elapsed seconds.
+
+        Under MVCC this is a *reader*: it pins one snapshot generation per
+        table and scans that, so statistics collection no longer excludes
+        (or waits for) concurrent DML — the catalog it publishes describes
+        the pinned generation, which staleness tracking already handles.
+        """
+        if self.config.mvcc:
+            names = tuple(
+                tables if tables is not None else self.database.table_names()
+            )
+            with self.locks.read_tables(names):
+                with self.read_view(names):
+                    return self._collect_general_statistics_locked(names)
         with self.locks.exclusive():
             return self._collect_general_statistics_locked(tables)
 

@@ -144,10 +144,18 @@ class LockManager:
     database-level behaviour (reads share one lock, every write is
     exclusive) — the baseline the lock-granularity benchmark compares
     against.
+
+    With ``snapshot_reads=True`` (MVCC mode) the read scope stops taking
+    per-table locks entirely: readers operate on a pinned immutable
+    :class:`~repro.storage.snapshot.TableSnapshot`, so only the database
+    intent lock is needed (DDL still excludes readers — the table *dict*
+    is not versioned, only table contents are). SELECTs then never block
+    on, nor block, a concurrent writer's per-table exclusive lock.
     """
 
-    def __init__(self, granular: bool = True):
+    def __init__(self, granular: bool = True, snapshot_reads: bool = False):
         self.granular = granular
+        self.snapshot_reads = snapshot_reads
         # Database lock: shared ("intent") mode for per-table statements,
         # write mode for exclusive operations.
         self.database = RWLock()
@@ -182,6 +190,12 @@ class LockManager:
         """
         if names is None:
             with self.database.write_locked():
+                yield
+            return
+        if self.snapshot_reads:
+            # MVCC read path: the caller pins table snapshots, so no data
+            # lock is needed — just exclude structural (DDL) changes.
+            with self.database.read_locked():
                 yield
             return
         if not self.granular:

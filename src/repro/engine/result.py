@@ -36,6 +36,12 @@ class QueryResult:
     # statement's lock scope, so the v2 wire protocol can serialize them
     # after the locks release without racing concurrent DML.
     vectors: Optional[list] = None
+    # MVCC provenance: the snapshot generations this statement observed
+    # (SELECT: the pinned read view) or published (DML: the generations
+    # its mutations became visible at), as ``{table: (epoch, stamp)}``.
+    # The stamp is the engine statement clock an ``AS OF`` query can
+    # replay this exact state with.
+    snapshots: Optional[Dict[str, Tuple[int, int]]] = None
 
     @property
     def row_count(self) -> int:

@@ -98,9 +98,17 @@ class Session:
                     tables = engine._statement_tables(statement)
                     with engine.locks.read_tables(tables):
                         lock_wait = time.perf_counter() - lock_requested
-                        result = engine._execute_select(
-                            statement, parse_time, now
-                        )
+                        # Under MVCC the lock scope above is only the
+                        # database intent lock; the statement's actual
+                        # isolation comes from pinning one snapshot
+                        # generation per table here (AS OF pins
+                        # historical ones).
+                        with engine.read_view(
+                            tables, statement.as_of
+                        ) as pinned:
+                            result = engine._execute_select(
+                                statement, parse_time, now, pinned=pinned
+                            )
                 elif isinstance(statement, self._DML_TYPES):
                     with engine.locks.write_tables((statement.table,)):
                         lock_wait = time.perf_counter() - lock_requested
@@ -132,6 +140,7 @@ class Session:
 
     def _run_write(self, engine, statement, parse_time: float, now: int):
         """Write-statement body; caller holds the statement's lock scope."""
+        result = None
         try:
             with udi_shard_scope(self.shard):
                 result = engine._dispatch_write(statement, parse_time, now)
@@ -140,7 +149,23 @@ class Session:
             # failed: whatever it already applied to the data must
             # reach the UDI counters before readers run, and a
             # clean shard keeps the session usable afterwards.
+            touched = self.shard.pending_tables()
             self.shard.flush()
+            if touched:
+                # Publish one MVCC snapshot generation per touched table
+                # — still under the table write lock, so the publish
+                # stamp (a fresh statement-clock draw) is monotone per
+                # table and the generation becomes visible to readers
+                # atomically with the lock release. Failed statements
+                # publish too: whatever they applied is live, and the
+                # snapshot chain must never diverge from the live data.
+                stamp = engine._clock.next()
+                published = {}
+                for table in touched:
+                    snap = table.publish_snapshot(stamp=stamp)
+                    published[snap.name.lower()] = (snap.version, snap.stamp)
+                if result is not None:
+                    result.snapshots = published
             # Durable-commit cost (when configured) is paid before the
             # locks release, like a log force: it is the lock-hold time
             # the granularity benchmark overlaps across tables.
@@ -160,8 +185,10 @@ class Session:
         if not isinstance(statement, ast.SelectStatement):
             raise ReproError("EXPLAIN supports SELECT statements only")
         now = engine._clock.next()
-        with engine.locks.read_tables(engine._statement_tables(statement)):
-            return engine._explain_select(statement, now)
+        tables = engine._statement_tables(statement)
+        with engine.locks.read_tables(tables):
+            with engine.read_view(tables, statement.as_of):
+                return engine._explain_select(statement, now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

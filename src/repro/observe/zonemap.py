@@ -128,7 +128,11 @@ class TableZoneMap:
     __slots__ = ("_table_ref", "version", "n_rows", "zone_rows", "columns")
 
     def __init__(self, table, zone_rows: int):
-        self._table_ref = weakref.ref(table)
+        # Under MVCC, scans hand us a TableSnapshot; the pin must be the
+        # underlying live Table (its ``storage_identity``) so a map built
+        # from one generation validates against the live table and every
+        # later pinned generation at the same epoch.
+        self._table_ref = weakref.ref(getattr(table, "storage_identity", table))
         self.version = table.version
         self.n_rows = table.row_count
         self.zone_rows = zone_rows
@@ -138,7 +142,7 @@ class TableZoneMap:
         """Same table *object*, same mutation epoch, same extent — the
         identity check that survives DROP+CREATE epoch-number reuse."""
         return (
-            self._table_ref() is table
+            self._table_ref() is getattr(table, "storage_identity", table)
             and table.version == self.version
             and table.row_count == self.n_rows
         )

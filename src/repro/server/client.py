@@ -43,6 +43,17 @@ def _backoff_delay(base: float, attempt: int) -> float:
     return ceiling * (0.5 + 0.5 * random.random())
 
 
+def _parse_snapshots(frame: Dict) -> Optional[Dict[str, Tuple[int, int]]]:
+    """Decode a frame's MVCC snapshot map (JSON lists -> tuples)."""
+    raw = frame.get("snapshots")
+    if not raw:
+        return None
+    return {
+        str(name): (int(pair[0]), int(pair[1]))
+        for name, pair in dict(raw).items()
+    }
+
+
 @dataclass
 class RemoteResult:
     """Client-side view of a ``result`` frame (QueryResult's wire subset)."""
@@ -53,6 +64,9 @@ class RemoteResult:
     affected_rows: int = 0
     timings: Dict[str, float] = field(default_factory=dict)
     streamed: bool = False  # arrived as v2 binary chunks, not JSON rows
+    # MVCC provenance relayed by the server: {table: (epoch, stamp)} of
+    # the snapshot generations this statement observed or published.
+    snapshots: Optional[Dict[str, Tuple[int, int]]] = None
     jits_report = None  # parity with QueryResult for shared CLI paths
 
     @property
@@ -198,6 +212,7 @@ class Client:
                 "rows": decoder.rows,
                 "affected_rows": header.get("affected_rows", 0),
                 "timings": header.get("timings", {}),
+                "snapshots": header.get("snapshots"),
                 "_streamed": True,
                 "_decoder": decoder,
             }
@@ -296,6 +311,7 @@ class Client:
                 for k, v in dict(reply.get("timings", {})).items()
             },
             streamed=bool(reply.get("_streamed", False)),
+            snapshots=_parse_snapshots(reply),
         )
 
     def _stream_events(self, sql: str, busy_retries: int,
@@ -392,6 +408,7 @@ class Client:
                 for k, v in dict(final.get("timings", {})).items()
             },
             streamed=bool(final.get("_streamed", False)),
+            snapshots=_parse_snapshots(final),
         )
 
     def explain(

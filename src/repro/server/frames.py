@@ -162,6 +162,13 @@ def build_stream_frames(
         "n_chunks": n_chunks,
         "timings": dict(result.timings),
     }
+    snapshots = getattr(result, "snapshots", None)
+    if snapshots:
+        # MVCC provenance (see the JSON result frame): per-table
+        # [epoch, stamp] of the pinned/published generations.
+        header["snapshots"] = {
+            name: list(pair) for name, pair in snapshots.items()
+        }
     payloads: List[bytes] = []
     for index in sorted(dictionaries):
         payloads.append(

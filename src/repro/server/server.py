@@ -588,7 +588,7 @@ class ReproServer:
 
 
 def _result_frame(request_id, result) -> Dict:
-    return {
+    frame = {
         "type": "result",
         "id": request_id,
         "statement_type": result.statement_type,
@@ -597,3 +597,11 @@ def _result_frame(request_id, result) -> Dict:
         "affected_rows": result.affected_rows,
         "timings": dict(result.timings),
     }
+    snapshots = getattr(result, "snapshots", None)
+    if snapshots:
+        # MVCC provenance: {table: [epoch, stamp]} — the stamp replays
+        # this statement's exact view via ``SELECT ... AS OF <stamp>``.
+        frame["snapshots"] = {
+            name: list(pair) for name, pair in snapshots.items()
+        }
+    return frame

@@ -229,6 +229,10 @@ class SelectStatement(Statement):
     order_by: List[OrderItem] = field(default_factory=list)
     limit: Optional[int] = None
     distinct: bool = False
+    # MVCC time travel: ``SELECT ... AS OF <clock>`` pins, per table, the
+    # newest snapshot generation published at or before the given engine
+    # statement clock. None = read the current generation.
+    as_of: Optional[int] = None
 
 
 @dataclass

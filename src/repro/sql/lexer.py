@@ -14,7 +14,7 @@ KEYWORDS = {
     "insert", "into", "values", "update", "set", "delete", "create", "drop",
     "table", "index", "on", "primary", "key", "int", "integer", "float",
     "double", "string", "varchar", "text", "join", "inner", "is", "null",
-    "count", "sum", "avg", "min", "max", "hash", "sorted", "using",
+    "count", "sum", "avg", "min", "max", "hash", "sorted", "using", "of",
 }
 
 

@@ -184,6 +184,16 @@ class Parser:
                 raise self._error("expected LIMIT count")
             self._advance()
             limit = int(float(token.text))
+        # Time travel: trailing AS OF <statement clock> pins the whole
+        # statement to the snapshot generations current at that clock.
+        as_of = None
+        if self._accept_keyword("as"):
+            self._expect_keyword("of")
+            token = self._peek()
+            if token.type is not TokenType.NUMBER:
+                raise self._error("expected AS OF statement clock")
+            self._advance()
+            as_of = int(float(token.text))
         return ast.SelectStatement(
             items=items,
             from_items=from_items,
@@ -194,6 +204,7 @@ class Parser:
             order_by=order_by,
             limit=limit,
             distinct=distinct,
+            as_of=as_of,
         )
 
     def _parse_select_item(self) -> ast.SelectItem:
@@ -223,7 +234,10 @@ class Parser:
             return ast.DerivedTable(select=select, alias=alias)
         name = self._expect_ident()
         alias = None
-        if self._accept_keyword("as"):
+        # ``AS OF`` here is the trailing time-travel clause, not an
+        # alias introducer (OF is reserved, so it can never be one).
+        if self._peek().is_keyword("as") and not self._peek(1).is_keyword("of"):
+            self._advance()
             alias = self._expect_ident()
         elif self._peek().type is TokenType.IDENT:
             alias = self._advance().text

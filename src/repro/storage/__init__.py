@@ -15,6 +15,13 @@ from .sampling import (
     bernoulli_sample,
     fixed_size_sample,
 )
+from .snapshot import (
+    DEFAULT_CHUNK_ROWS,
+    DEFAULT_SNAPSHOT_RETENTION,
+    ColumnSnapshot,
+    SnapshotIndexSet,
+    TableSnapshot,
+)
 from .shm import (
     SHM_PREFIX,
     ColumnSegment,
@@ -35,6 +42,11 @@ __all__ = [
     "SortedIndex",
     "IndexSet",
     "Table",
+    "TableSnapshot",
+    "ColumnSnapshot",
+    "SnapshotIndexSet",
+    "DEFAULT_CHUNK_ROWS",
+    "DEFAULT_SNAPSHOT_RETENTION",
     "UDIShard",
     "active_udi_shard",
     "udi_shard_scope",

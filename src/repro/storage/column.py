@@ -14,6 +14,7 @@ import numpy as np
 from ..errors import StorageError
 from ..types import DataType, Value
 from .dictionary import StringDictionary
+from .snapshot import DEFAULT_CHUNK_ROWS, ColumnSnapshot
 
 _INITIAL_CAPACITY = 16
 
@@ -27,7 +28,12 @@ def _physical_dtype(dtype: DataType) -> np.dtype:
 class Column:
     """One growable typed column."""
 
-    def __init__(self, name: str, dtype: DataType):
+    def __init__(
+        self,
+        name: str,
+        dtype: DataType,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ):
         self.name = name
         self.dtype = dtype
         self._buf = np.empty(_INITIAL_CAPACITY, dtype=_physical_dtype(dtype))
@@ -39,6 +45,16 @@ class Column:
         # invalidation off it so updates to other columns don't force
         # rebuilds.
         self.version = 0
+        # Copy-on-write bookkeeping for MVCC snapshots: which chunk
+        # indices were touched since the last published generation, plus
+        # that generation's chunk arrays (clean ones are reused by object
+        # identity when the next generation publishes).
+        if chunk_rows < 1:
+            raise StorageError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        self.chunk_rows = chunk_rows
+        self._dirty: set = set()
+        self._last_chunks: List[np.ndarray] = []
+        self._last_snapshot: Optional[ColumnSnapshot] = None
 
     def __len__(self) -> int:
         return self._size
@@ -85,17 +101,37 @@ class Column:
             return int(physical)
         return float(physical)
 
+    # ------------------------------------------------------------------
+    # Copy-on-write chunk tracking
+    # ------------------------------------------------------------------
+    def _mark_range(self, start: int, stop: int) -> None:
+        """Mark chunks covering rows [start, stop) as touched."""
+        if stop <= start:
+            return
+        cr = self.chunk_rows
+        self._dirty.update(range(start // cr, (stop - 1) // cr + 1))
+
+    def _mark_rows(self, rows: np.ndarray) -> None:
+        if len(rows) == 0:
+            return
+        cr = self.chunk_rows
+        touched = np.unique(np.asarray(rows, dtype=np.int64) // cr)
+        self._dirty.update(int(c) for c in touched)
+
     def append(self, value: Value) -> None:
         self._reserve(1)
         self._buf[self._size] = self.encode_value(value)
         self._size += 1
+        self._mark_range(self._size - 1, self._size)
         self.version += 1
 
     def extend(self, values: Sequence[Value]) -> None:
         self._reserve(len(values))
+        start = self._size
         for value in values:
             self._buf[self._size] = self.encode_value(value)
             self._size += 1
+        self._mark_range(start, self._size)
         self.version += 1
 
     def extend_physical(self, physical: np.ndarray) -> None:
@@ -104,17 +140,20 @@ class Column:
             physical = physical.astype(self._buf.dtype)
         self._reserve(len(physical))
         self._buf[self._size : self._size + len(physical)] = physical
+        self._mark_range(self._size, self._size + len(physical))
         self._size += len(physical)
         self.version += 1
 
     def set_at(self, rows: np.ndarray, value: Value) -> None:
         """Overwrite the given row positions with one logical value."""
         self._buf[: self._size][rows] = self.encode_value(value)
+        self._mark_rows(rows)
         self.version += 1
 
     def set_physical(self, rows: np.ndarray, values: np.ndarray) -> None:
         """Overwrite row positions with per-row physical values."""
         self._buf[: self._size][rows] = values
+        self._mark_rows(rows)
         self.version += 1
 
     def delete_rows(self, keep_mask: np.ndarray) -> None:
@@ -122,9 +161,68 @@ class Column:
         if len(keep_mask) != self._size:
             raise StorageError("delete mask length mismatch")
         kept = self._buf[: self._size][keep_mask]
+        # Every row from the first deletion onward shifts position, so
+        # the chunks from there to the (new, shorter) end are all dirty.
+        holes = np.flatnonzero(~np.asarray(keep_mask, dtype=bool))
         self._buf = kept.copy()
         self._size = len(kept)
+        if len(holes):
+            self._mark_range(int(holes[0]), self._size)
+            # A delete shrinking into an earlier chunk still dirties the
+            # chunk the first hole landed in, even when it is now the
+            # (shorter) tail chunk.
+            self._dirty.add(int(holes[0]) // self.chunk_rows)
         self.version += 1
+
+    def snapshot(self) -> ColumnSnapshot:
+        """Publish this column's current content as an immutable generation.
+
+        Untouched chunks are carried over from the previous generation by
+        object identity; touched ones (and any chunk whose extent changed)
+        are copied out of the live buffer as read-only arrays. When
+        nothing changed at all, the previous :class:`ColumnSnapshot`
+        object itself is returned, so downstream caches (materialized
+        data, index structures) carry across generations for free.
+        """
+        cr = self.chunk_rows
+        n = self._size
+        n_chunks = (n + cr - 1) // cr
+        prev = self._last_chunks
+        last = self._last_snapshot
+        if (
+            last is not None
+            and not self._dirty
+            and last.size == n
+            and len(prev) == n_chunks
+        ):
+            return last
+        chunks: List[np.ndarray] = []
+        for i in range(n_chunks):
+            expected = min((i + 1) * cr, n) - i * cr
+            carried = prev[i] if i < len(prev) else None
+            if (
+                i not in self._dirty
+                and carried is not None
+                and len(carried) == expected
+            ):
+                chunks.append(carried)
+                continue
+            arr = self._buf[i * cr : i * cr + expected].copy()
+            arr.setflags(write=False)
+            chunks.append(arr)
+        self._last_chunks = chunks
+        self._dirty.clear()
+        snap = ColumnSnapshot(
+            self.name,
+            self.dtype,
+            self.dictionary,
+            chunks,
+            n,
+            self.version,
+            self._buf.dtype,
+        )
+        self._last_snapshot = snap
+        return snap
 
     def logical_values(self, rows: Optional[np.ndarray] = None) -> List[Value]:
         """Decode rows back to Python values (for result fetch)."""

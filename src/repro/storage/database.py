@@ -13,27 +13,84 @@ statement's name lookups here never race a structural change.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import threading
+from contextlib import contextmanager
+from typing import Dict, List, Mapping, Optional
 
 from ..errors import CatalogError
 from ..schema import TableSchema
 from .index import IndexSet
+from .snapshot import (
+    DEFAULT_CHUNK_ROWS,
+    DEFAULT_SNAPSHOT_RETENTION,
+    TableSnapshot,
+)
 from .table import Table
 
 
 class Database:
     """Named tables and their index sets."""
 
-    def __init__(self, name: str = "repro"):
+    def __init__(
+        self,
+        name: str = "repro",
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        snapshot_retention: int = DEFAULT_SNAPSHOT_RETENTION,
+    ):
         self.name = name
+        self.chunk_rows = chunk_rows
+        self.snapshot_retention = snapshot_retention
         self._tables: Dict[str, Table] = {}
         self._indexes: Dict[str, IndexSet] = {}
+        # Per-thread MVCC read view: while installed, name lookups for
+        # the pinned tables resolve to their TableSnapshot generation —
+        # the executor, optimizer, JITS sampling and parallel manager all
+        # go through table()/indexes(), so one view covers the whole read
+        # pipeline without threading snapshots through every call.
+        self._view = threading.local()
+
+    def configure_snapshots(
+        self,
+        chunk_rows: Optional[int] = None,
+        snapshot_retention: Optional[int] = None,
+    ) -> None:
+        """Engine-config wiring. ``chunk_rows`` applies to tables created
+        from now on (a live column's COW bookkeeping is keyed to its
+        chunking); ``snapshot_retention`` also retunes existing tables."""
+        if chunk_rows is not None:
+            self.chunk_rows = chunk_rows
+        if snapshot_retention is not None:
+            self.snapshot_retention = snapshot_retention
+            for table in self._tables.values():
+                table.snapshot_retention = max(1, snapshot_retention)
+
+    @contextmanager
+    def read_view(self, snapshots: Mapping[str, TableSnapshot]):
+        """Resolve this thread's lookups of the given tables to the given
+        pinned generations for the duration of the scope. Nestable (the
+        previous view is restored); unlisted tables resolve live."""
+        previous = getattr(self._view, "snapshots", None)
+        self._view.snapshots = snapshots
+        try:
+            yield
+        finally:
+            self._view.snapshots = previous
+
+    def _viewed(self, key: str) -> Optional[TableSnapshot]:
+        view = getattr(self._view, "snapshots", None)
+        if view is None:
+            return None
+        return view.get(key)
 
     def create_table(self, schema: TableSchema) -> Table:
         key = schema.name.lower()
         if key in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
-        table = Table(schema)
+        table = Table(
+            schema,
+            chunk_rows=self.chunk_rows,
+            snapshot_retention=self.snapshot_retention,
+        )
         self._tables[key] = table
         self._indexes[key] = IndexSet(table)
         # Primary keys get a hash index automatically: that is what makes
@@ -52,15 +109,32 @@ class Database:
     def has_table(self, name: str) -> bool:
         return name.lower() in self._tables
 
-    def table(self, name: str) -> Table:
+    def live_table(self, name: str) -> Table:
+        """The live table, ignoring any installed read view (the pinning
+        code itself must see the mutable object, not a generation)."""
         try:
             return self._tables[name.lower()]
         except KeyError:
             raise CatalogError(f"table {name!r} does not exist") from None
 
-    def indexes(self, name: str) -> IndexSet:
+    def table(self, name: str):
+        key = name.lower()
+        viewed = self._viewed(key)
+        if viewed is not None:
+            return viewed
         try:
-            return self._indexes[name.lower()]
+            return self._tables[key]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def indexes(self, name: str):
+        key = name.lower()
+        viewed = self._viewed(key)
+        if viewed is not None:
+            live = self._indexes.get(key)
+            return viewed.index_view(live.declared() if live is not None else ())
+        try:
+            return self._indexes[key]
         except KeyError:
             raise CatalogError(f"table {name!r} does not exist") from None
 

@@ -194,3 +194,8 @@ class IndexSet:
 
     def all(self):
         return list(self._indexes.values())
+
+    def declared(self):
+        """The (kind, column) keys currently declared — what a
+        :class:`~repro.storage.snapshot.SnapshotIndexSet` mirrors."""
+        return list(self._indexes.keys())

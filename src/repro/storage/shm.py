@@ -3,10 +3,13 @@
 The parent engine exports a table's physical column arrays into
 ``multiprocessing.shared_memory`` segments; worker processes attach by
 name and wrap the buffers in zero-copy numpy views. Exports are
-epoch-stamped with ``Table.version`` (bumped on every mutation), so:
+epoch-stamped with the snapshot epoch (``version`` — bumped once per
+published MVCC generation), so:
 
 * the parent re-exports a table only when its data epoch moved — a
-  read-heavy workload pays the copy once, not per scan;
+  read-heavy workload pays the copy once, not per scan — and retains a
+  small window of epochs so MVCC readers pinned to different snapshot
+  generations each dispatch against their own epoch's segments;
 * workers cache their attachments per table and re-attach only when a
   task arrives carrying a different export id — a process-global
   counter stamped into every :class:`TablePayload`, so a DROP/CREATE
@@ -36,6 +39,8 @@ import itertools
 import os
 import secrets
 import threading
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, List, Optional, Tuple
@@ -147,31 +152,73 @@ class _TableExport:
         self.handles = []
 
 
+#: How many distinct export epochs the registry keeps live per table.
+#: Under MVCC several readers can be pinned to different snapshot
+#: generations at once; retaining a small window lets each dispatch
+#: against its own epoch's segments without thrashing re-exports.
+EXPORT_EPOCHS_RETAINED = 4
+
+
 class ShmRegistry:
-    """Parent-side registry of table exports, keyed by table data epoch."""
+    """Parent-side registry of table exports, keyed by (table, epoch).
+
+    Per table the registry keeps up to :data:`EXPORT_EPOCHS_RETAINED`
+    epochs alive in LRU order — MVCC readers pinned to different snapshot
+    generations each reuse the export matching their pinned epoch. The
+    oldest epoch's segments are unlinked on eviction; workers still
+    mapping them keep the memory until they unmap (Linux semantics), so
+    eviction never corrupts an in-flight task.
+    """
 
     def __init__(self) -> None:
-        self._exports: Dict[str, _TableExport] = {}
+        # name -> (weakref to the owning live Table, epoch -> export).
+        # The identity check is what keeps a reader pinned to a dropped
+        # table's generation from being served a re-created table's
+        # arrays when the new table's epoch numbering collides with the
+        # pinned epoch (epochs restart at 0 on CREATE).
+        self._exports: Dict[
+            str,
+            Tuple["weakref.ref", "OrderedDict[int, _TableExport]"],
+        ] = {}
         self._lock = threading.RLock()
         self._closed = False
         self.exports = 0  # tables (re-)exported, for stats_snapshot
         atexit.register(self.close)
 
     def export(self, table) -> TablePayload:
-        """Export ``table`` (or reuse the cached export for its epoch)."""
+        """Export ``table`` (or reuse the cached export for its epoch).
+
+        ``table`` may be a live Table or a pinned TableSnapshot; either
+        way ``version`` is the snapshot epoch the arrays belong to.
+        """
         with self._lock:
             if self._closed:
                 raise ShmError("shared-memory registry is closed")
             name = table.name.lower()
             epoch = table.version
-            current = self._exports.get(name)
+            identity = getattr(table, "storage_identity", table)
+            entry = self._exports.get(name)
+            if entry is not None and entry[0]() is not identity:
+                # Same name, different storage (DROP + CREATE, or a
+                # pinned generation of the dropped table resurfacing):
+                # an epoch-number hit here would serve the wrong arrays.
+                for export in entry[1].values():
+                    export.close()
+                entry = None
+            if entry is None:
+                entry = (weakref.ref(identity), OrderedDict())
+                self._exports[name] = entry
+            per_table = entry[1]
+            current = per_table.get(epoch)
             if current is not None:
-                if current.epoch == epoch:
-                    return current.payload
-                current.close()  # stale epoch: rebuild below
+                per_table.move_to_end(epoch)
+                return current.payload
             export = self._build(table, name, epoch)
-            self._exports[name] = export
+            per_table[epoch] = export
             self.exports += 1
+            while len(per_table) > EXPORT_EPOCHS_RETAINED:
+                _, oldest = per_table.popitem(last=False)
+                oldest.close()
             return export.payload
 
     def _build(self, table, name: str, epoch: int) -> _TableExport:
@@ -217,19 +264,27 @@ class ShmRegistry:
         return _TableExport(payload, handles)
 
     def release(self, table_name: str) -> None:
-        """Unlink one table's segments (e.g. after DROP TABLE)."""
+        """Unlink one table's segments, all epochs (e.g. after DROP TABLE).
+
+        Dropping the whole per-table map matters for correctness, not
+        just hygiene: a re-created table restarts its epoch numbering, so
+        a stale entry could otherwise satisfy the new table's export from
+        the old table's arrays.
+        """
         with self._lock:
-            export = self._exports.pop(table_name.lower(), None)
-            if export is not None:
+            entry = self._exports.pop(table_name.lower(), None)
+        if entry is not None:
+            for export in entry[1].values():
                 export.close()
 
     def close(self) -> None:
         """Unlink every segment; idempotent, also runs at interpreter exit."""
         with self._lock:
             self._closed = True
-            exports, self._exports = list(self._exports.values()), {}
-        for export in exports:
-            export.close()
+            entries, self._exports = list(self._exports.values()), {}
+        for _, per_table in entries:
+            for export in per_table.values():
+                export.close()
 
 
 class WorkerAttachments:

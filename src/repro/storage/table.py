@@ -18,6 +18,11 @@ from ..errors import StorageError
 from ..schema import TableSchema
 from ..types import Value
 from .column import Column
+from .snapshot import (
+    DEFAULT_CHUNK_ROWS,
+    DEFAULT_SNAPSHOT_RETENTION,
+    TableSnapshot,
+)
 
 
 class UDIShard:
@@ -39,6 +44,11 @@ class UDIShard:
 
     def add(self, table: "Table", rows: int) -> None:
         self._pending[table] = self._pending.get(table, 0) + rows
+
+    def pending_tables(self) -> List["Table"]:
+        """Tables holding unflushed deltas — the statement's publish set
+        (the session publishes their snapshots right after flushing)."""
+        return list(self._pending.keys())
 
     def flush(self) -> int:
         """Apply all pending deltas; returns total rows flushed."""
@@ -79,19 +89,47 @@ def udi_shard_scope(shard: UDIShard):
 class Table:
     """A named collection of equal-length columns."""
 
-    def __init__(self, schema: TableSchema):
+    def __init__(
+        self,
+        schema: TableSchema,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        snapshot_retention: int = DEFAULT_SNAPSHOT_RETENTION,
+    ):
         self.schema = schema
+        self.chunk_rows = max(1, chunk_rows)
+        self.snapshot_retention = max(1, snapshot_retention)
         self.columns: Dict[str, Column] = {
-            c.name.lower(): Column(c.name, c.dtype) for c in schema.columns
+            c.name.lower(): Column(c.name, c.dtype, chunk_rows=self.chunk_rows)
+            for c in schema.columns
         }
-        # Monotone counters; never reset.
+        # Monotone counters; never reset. ``version`` is the publication
+        # epoch: it moves exactly when a new TableSnapshot publishes (at
+        # the statement boundary for engine DML, per mutation for direct
+        # API callers), never mid-statement — so caches keyed on it can
+        # only ever see published generations.
         self.udi_total = 0  # rows touched by any INSERT/UPDATE/DELETE
-        self.version = 0  # bumped on any mutation (index/cache invalidation)
+        self.version = 0
         self._udi_lock = threading.Lock()
+        # MVCC snapshot chain: the published generations, oldest first,
+        # stamps non-decreasing. Guarded by _snap_lock (pin/unpin/publish
+        # and retention trimming); _pending_mutations counts mutator calls
+        # since the last publish.
+        self._snap_lock = threading.Lock()
+        self._pending_mutations = 0
+        self._history: List[TableSnapshot] = []
+        self._current: Optional[TableSnapshot] = None
+        self.publish_snapshot(stamp=0)
 
     @property
     def name(self) -> str:
         return self.schema.name
+
+    @property
+    def storage_identity(self) -> "Table":
+        """Self — the common identity anchor with :class:`TableSnapshot`,
+        so caches validate `presented.storage_identity` uniformly whether
+        they were handed the live table or a pinned generation."""
+        return self
 
     @property
     def row_count(self) -> int:
@@ -221,22 +259,127 @@ class Table:
     def _record_mutation(self, rows: int) -> None:
         """Account ``rows`` of UDI activity for the current statement.
 
-        The version bump lands immediately (the mutating statement holds
-        the database write lock, so no reader can observe it mid-flight);
-        the UDI delta goes through the active session shard when one is
-        installed, deferring visibility to the statement boundary.
+        The version bump does NOT land here: it moved into
+        :meth:`publish_snapshot`, so a statement that crashes mid-flight
+        can never leave caches keyed to a version that was never
+        published. With a session shard installed the UDI delta and the
+        publish are both deferred to the statement boundary (the session
+        flushes, then publishes, while still holding the table write
+        lock); direct API callers — test fixtures, generators — publish
+        immediately, preserving the historical bump-per-mutation
+        semantics for code that never goes through a session.
         """
-        self.version += 1
+        self._pending_mutations += 1
         shard = active_udi_shard()
         if shard is not None:
             shard.add(self, rows)
         else:
             self.apply_udi(rows)
+            self.publish_snapshot()
 
     def apply_udi(self, rows: int) -> None:
         """Fold a UDI delta into the monotone total."""
         with self._udi_lock:
             self.udi_total += rows
+
+    # ------------------------------------------------------------------
+    # MVCC snapshot chain
+    # ------------------------------------------------------------------
+    def publish_snapshot(self, stamp: Optional[int] = None) -> TableSnapshot:
+        """Publish the current content as an immutable generation.
+
+        No-op (returns the current snapshot) when nothing mutated since
+        the last publish. ``stamp`` is the engine statement clock drawn
+        at publish time; ``None`` (direct API callers without an engine)
+        reuses the previous stamp, so setup-time bulk loads stay below
+        every engine-issued clock value. Stamps are clamped monotone:
+        DML on one table serializes on its write lock, so publish order
+        is execution order, and the history stays sorted by stamp.
+        """
+        with self._snap_lock:
+            current = self._current
+            if current is not None and self._pending_mutations == 0:
+                return current
+            if current is not None:
+                self.version += 1
+            last_stamp = current.stamp if current is not None else 0
+            if stamp is None:
+                stamp = last_stamp
+            stamp = max(stamp, last_stamp)
+            snapshot = TableSnapshot(
+                self,
+                {name: col.snapshot() for name, col in self.columns.items()},
+                version=self.version,
+                stamp=stamp,
+                udi_total=self.udi_total,
+                row_count=self.row_count,
+            )
+            self._pending_mutations = 0
+            self._history.append(snapshot)
+            self._current = snapshot
+            self._trim_locked()
+            return snapshot
+
+    def _trim_locked(self) -> None:
+        """Drop the oldest unpinned generations beyond the retention
+        window. Pinned generations (and the current one) are never
+        dropped — the refcount is the GC soundness guarantee."""
+        excess = len(self._history) - self.snapshot_retention
+        if excess <= 0:
+            return
+        kept: List[TableSnapshot] = []
+        for snap in self._history:
+            if excess > 0 and snap.pins == 0 and snap is not self._current:
+                excess -= 1
+                continue
+            kept.append(snap)
+        self._history = kept
+
+    @property
+    def current_snapshot(self) -> TableSnapshot:
+        with self._snap_lock:
+            return self._current
+
+    @property
+    def snapshot_stamp(self) -> int:
+        """Statement clock of the newest published generation."""
+        with self._snap_lock:
+            return self._current.stamp
+
+    def snapshots(self) -> List[TableSnapshot]:
+        """The retained generations, oldest first (introspection)."""
+        with self._snap_lock:
+            return list(self._history)
+
+    def pin_current(self) -> TableSnapshot:
+        """Pin the newest published generation (reader statement start)."""
+        with self._snap_lock:
+            snap = self._current
+            snap.pins += 1
+            return snap
+
+    def pin_as_of(self, stamp: int) -> TableSnapshot:
+        """Pin the newest generation published at or before ``stamp``.
+
+        Raises :class:`StorageError` when the retention window no longer
+        holds a generation that old (or ``stamp`` predates the table).
+        """
+        with self._snap_lock:
+            for snap in reversed(self._history):
+                if snap.stamp <= stamp:
+                    snap.pins += 1
+                    return snap
+        raise StorageError(
+            f"no snapshot of table {self.name!r} at or before statement "
+            f"clock {stamp} is retained (retention window "
+            f"{self.snapshot_retention})"
+        )
+
+    def unpin(self, snapshot: TableSnapshot) -> None:
+        """Release one pin; an unpinned generation outside the retention
+        window is dropped on the next publish."""
+        with self._snap_lock:
+            snapshot.pins = max(0, snapshot.pins - 1)
 
 
 def _row_get(row: Mapping[str, Value], name: str) -> Value:

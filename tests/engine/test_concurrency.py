@@ -15,6 +15,8 @@ The contract under test (see the README's concurrency model):
 
 from __future__ import annotations
 
+import os
+import random
 import threading
 
 import pytest
@@ -23,7 +25,10 @@ from repro import Engine, EngineConfig
 from repro.executor import run_reference
 from repro.sql import build_query_graph, parse_select
 from tests.conftest import build_mini_db
-from tests.harness.differential import assert_same_final_state
+from tests.harness.differential import (
+    assert_same_final_state,
+    run_torture_schedule,
+)
 
 WORKERS = 6
 
@@ -298,6 +303,125 @@ def test_multi_table_dml_with_migration_stress():
     assert_same_final_state(concurrent, sequential)
     # The JITS pipeline actually ran during the stress.
     assert concurrent.jits.total_collections > 0
+
+
+# ----------------------------------------------------------------------
+# Snapshot-isolation torture schedules: N writer threads hammer the
+# tables with chunk-local DML while M reader threads SELECT (and run
+# RUNSTATS) on pinned MVCC snapshots; every reader result is validated
+# against a sequential replay at its pinned publish stamps.
+# ----------------------------------------------------------------------
+#: CI sets REPRO_TORTURE_SCHEDULES=200 for the stress sweep; the default
+#: keeps local runs quick.
+TORTURE_SCHEDULES = int(os.environ.get("REPRO_TORTURE_SCHEDULES", "8"))
+
+TORTURE_READS = [
+    "SELECT id, price FROM car WHERE price > 15000",
+    "SELECT id, make FROM car WHERE make = 'Toyota'",
+    "SELECT COUNT(*) FROM car",
+    "SELECT make, COUNT(*) FROM car GROUP BY make",
+    "SELECT id, year FROM car WHERE year BETWEEN 1998 AND 2004",
+    "SELECT id, salary FROM owner WHERE salary > 5000",
+    "SELECT city, COUNT(*) FROM owner GROUP BY city",
+    "SELECT o.name, c.id FROM car c, owner o WHERE c.ownerid = o.id "
+    "AND c.price > 25000",
+]
+
+
+def _torture_writer_streams(rng: random.Random, n_writers: int,
+                            dml_per_writer: int, n_cars: int,
+                            n_owners: int):
+    """Seeded single-table, chunk-local DML streams (one per writer)."""
+    streams = []
+    fresh_id = 50_000
+    for w in range(n_writers):
+        stream = []
+        for _ in range(dml_per_writer):
+            kind = rng.randrange(5)
+            if kind == 0:
+                lo = rng.randrange(n_cars)
+                stream.append(
+                    "UPDATE car SET price = price + "
+                    f"{rng.randrange(1, 500)} "
+                    f"WHERE id BETWEEN {lo} AND {lo + rng.randrange(4, 24)}"
+                )
+            elif kind == 1:
+                lo = rng.randrange(n_owners)
+                stream.append(
+                    "UPDATE owner SET salary = salary + "
+                    f"{rng.randrange(1, 90)} "
+                    f"WHERE id BETWEEN {lo} AND {lo + rng.randrange(2, 12)}"
+                )
+            elif kind == 2:
+                lo = rng.randrange(n_cars)
+                stream.append(
+                    f"DELETE FROM car WHERE id BETWEEN {lo} AND {lo + 1}"
+                )
+            elif kind == 3:
+                fresh_id += 1
+                stream.append(
+                    "INSERT INTO car (id, ownerid, make, model, year, price)"
+                    f" VALUES ({fresh_id}, {rng.randrange(n_owners)}, "
+                    f"'Toyota', 'Camry', {1995 + rng.randrange(12)}, "
+                    f"{rng.randrange(5_000, 40_000)}.0)"
+                )
+            else:
+                year = 1995 + rng.randrange(12)
+                stream.append(
+                    "UPDATE car SET year = year + 1 "
+                    f"WHERE year = {year} AND id < {rng.randrange(40, n_cars)}"
+                )
+        streams.append(stream)
+    return streams
+
+
+def _run_torture(seed: int, scan_workers: int = 0) -> None:
+    n_owners, n_cars = 80, 240
+    rng = random.Random(seed)
+    streams = _torture_writer_streams(
+        rng, n_writers=3, dml_per_writer=5, n_cars=n_cars, n_owners=n_owners
+    )
+
+    def base_config() -> EngineConfig:
+        config = EngineConfig.with_jits(s_max=0.3, sample_size=100)
+        # Tiny COW chunks so the mini tables span many chunks and the
+        # chunk-local DML actually exercises partial-copy publishes.
+        config.chunk_rows = 32
+        config.snapshot_retention = 4
+        if scan_workers:
+            config.scan_workers = scan_workers
+            config.parallel_threshold_rows = 64
+        return config
+
+    report = run_torture_schedule(
+        build_db=lambda: build_mini_db(
+            n_owners=n_owners, n_cars=n_cars, seed=7
+        ),
+        base_config=base_config,
+        writer_streams=streams,
+        reader_pool=TORTURE_READS,
+        seed=seed,
+        n_readers=3,
+        reads_per_reader=7,
+        runstats_every=4,
+    )
+    assert report.dml_executed == sum(len(s) for s in streams)
+    assert report.reads_validated > 0
+    assert report.runstats_passes > 0
+
+
+@pytest.mark.parametrize("seed", range(TORTURE_SCHEDULES))
+def test_snapshot_isolation_torture_threaded(seed):
+    """Readers on pinned snapshots must equal sequential replay at their
+    pinned publish stamps while writers run concurrently."""
+    _run_torture(seed)
+
+
+@pytest.mark.parametrize("seed", range(max(1, TORTURE_SCHEDULES // 4)))
+def test_snapshot_isolation_torture_process(seed):
+    """Same isolation contract with the process-parallel scan pool in
+    the loop: reader shards dispatch against per-epoch shm exports."""
+    _run_torture(seed + 1000, scan_workers=2)
 
 
 def test_stats_snapshot_consistent_under_concurrent_writes():

@@ -193,6 +193,145 @@ def test_worker_kernel_error_is_not_fatal():
         pool.close()
 
 
+def test_sigkill_mid_scan_of_old_snapshot_reattaches_same_epoch():
+    """SIGKILL a worker while a batch over an *old* pinned generation is
+    in flight: the respawned worker must re-attach the same epoch export
+    and the scan must still see the old generation's values."""
+    from repro.storage.shm import ShmRegistry
+
+    db = build_mini_db(60, 200, seed=11)
+    table = db.live_table("car")
+    pinned = table.pin_current()
+    old_max = float(np.max(pinned.column_data("price")))
+    # Move the live table ahead so the pinned generation is historical.
+    table.update_rows(
+        np.arange(table.row_count), {"price": old_max * 10.0}
+    )
+    assert table.version > pinned.version
+
+    registry = ShmRegistry()
+    pool = WorkerPool(workers=2, task_timeout=30.0)
+    pool.start()
+    try:
+        payload = registry.export(pinned)
+        victim = pool.pids()[0]
+        stats_kwargs = dict(
+            column="price",
+            rows=None,
+            integral=False,
+            scale=1.0,
+            n_buckets=8,
+            n_frequent=4,
+        )
+        tasks = [("sleep", None, dict(duration=0.4)) for _ in range(3)] + [
+            ("column_stats", payload, stats_kwargs)
+        ]
+
+        def kill_soon():
+            time.sleep(0.15)  # land inside the first sleep round
+            os.kill(victim, signal.SIGKILL)
+
+        killer = threading.Thread(target=kill_soon)
+        killer.start()
+        try:
+            results = pool.run_tasks(tasks)
+        finally:
+            killer.join()
+        assert pool.respawns >= 1
+        # The retried stats task attached the pinned epoch's segments:
+        # it reports the OLD maximum, not the live table's.
+        assert results[-1]["max_value"] == pytest.approx(old_max)
+        assert float(np.max(table.column_data("price"))) > old_max
+        # Same epoch export, no re-export happened.
+        assert registry.export(pinned) is payload
+        assert registry.exports == 1
+    finally:
+        pool.close()
+        registry.close()
+        pinned.release()
+
+
+def test_as_of_scan_after_worker_death_reuses_epoch_export(engine_factory):
+    """Engine-level: an AS OF statement pinned to a historical epoch
+    survives a worker SIGKILL — respawn, re-attach, same rows, and no
+    extra export of the old epoch."""
+    par = _engine(engine_factory)
+    seq = engine_factory(
+        build_mini_db(200, 600, seed=7),
+        EngineConfig.with_jits(s_max=0.4, sample_size=150),
+    )
+    want_old = sorted(seq.execute(QUERY).rows)
+    assert sorted(par.execute(QUERY).rows) == want_old  # warm export
+    stamp = par.database.live_table("car").snapshot_stamp
+    par.execute("UPDATE car SET price = price + 100000 WHERE year >= 1990")
+    as_of = f"{QUERY} AS OF {stamp}"
+    assert sorted(par.execute(as_of).rows) == want_old
+    exports_before = par.parallel.registry.exports
+    os.kill(par.parallel.pool.pids()[0], signal.SIGKILL)
+    time.sleep(0.05)
+    assert sorted(par.execute(as_of).rows) == want_old
+    snap = par.stats_snapshot()["parallel"]
+    assert snap["worker_respawns"] >= 1
+    assert snap["tables_exported"] == exports_before
+    assert snap["fallbacks"] == 0
+
+
+def test_drop_create_pinned_read_never_serves_new_tables_arrays():
+    """DROP + CREATE while a reader stays pinned to the old generation:
+    even when the re-created table's epoch numbering collides with the
+    pinned epoch, the registry must never satisfy the pinned reader's
+    export from the new table's arrays (identity check, the export-id
+    regression pattern)."""
+    from repro.storage.shm import ShmRegistry, WorkerAttachments
+
+    db = build_mini_db(60, 200, seed=13)
+    old = db.live_table("car")
+    pinned = old.pin_current()
+    old_prices = np.array(pinned.column_data("price"), copy=True)
+
+    registry = ShmRegistry()
+    attachments = WorkerAttachments()
+    try:
+        old_payload = registry.export(pinned)
+        schema = old.schema
+        db.drop_table("car")
+        registry.release("car")
+
+        new = db.create_table(schema)
+        new.insert_rows(
+            [
+                {
+                    "id": i,
+                    "ownerid": 0,
+                    "make": "Lada",
+                    "model": "2101",
+                    "year": 1970,
+                    "price": -1.0,
+                }
+                for i in range(8)
+            ]
+        )
+        # Epoch numbering restarted: drive the new table to the pinned
+        # generation's epoch so a (name, epoch) keyed cache would alias.
+        while new.version < pinned.version:
+            new.update_rows(np.array([0]), {"price": -1.0})
+        assert new.version == pinned.version
+
+        new_payload = registry.export(new)
+        assert new_payload.export_id != old_payload.export_id
+        # The pinned reader exporting *after* the new table must get its
+        # own generation back, not the colliding-epoch new export.
+        again = registry.export(pinned)
+        assert again.export_id != new_payload.export_id
+        assert again.n_rows == pinned.row_count != new.row_count
+        arrays = attachments.arrays(again)
+        np.testing.assert_array_equal(arrays["price"], old_prices)
+    finally:
+        attachments.close()
+        registry.close()
+        pinned.release()
+
+
 def test_respawned_pool_reuses_shared_memory(engine_factory):
     """After a crash + respawn the fresh worker re-attaches to the same
     exported epoch (no extra export)."""

@@ -232,3 +232,45 @@ def test_rejects_malformed(bad):
 def test_parse_select_rejects_dml():
     with pytest.raises(SqlSyntaxError):
         parse_select("DELETE FROM t")
+
+
+# ----------------------------------------------------------------------
+# AS OF time travel
+# ----------------------------------------------------------------------
+def test_as_of_trailing_clause():
+    stmt = parse_select("SELECT a FROM t AS OF 42")
+    assert stmt.as_of == 42
+
+
+def test_as_of_defaults_to_none():
+    assert parse_select("SELECT a FROM t").as_of is None
+
+
+def test_as_of_after_order_and_limit():
+    stmt = parse_select(
+        "SELECT a FROM t WHERE a > 1 ORDER BY a LIMIT 5 AS OF 7"
+    )
+    assert stmt.limit == 5
+    assert stmt.as_of == 7
+
+
+def test_as_of_does_not_eat_select_alias():
+    # AS in the select list is still an alias; only trailing AS OF is
+    # time travel.
+    stmt = parse_select("SELECT a AS x FROM t AS OF 3")
+    assert stmt.items[0].alias == "x"
+    assert stmt.as_of == 3
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "SELECT a FROM t AS OF",
+        "SELECT a FROM t AS OF epoch",
+        "SELECT a FROM t AS 42",
+        "SELECT a FROM t AS OF 3 garbage",
+    ],
+)
+def test_as_of_malformed_rejected(bad):
+    with pytest.raises(SqlSyntaxError):
+        parse(bad)
